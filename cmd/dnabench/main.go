@@ -1,0 +1,239 @@
+// Command dnabench regenerates every figure and headline number of the
+// paper's evaluation (Figures 3, 9a, 9b, 9c, 10 and Sections 7-8) and
+// prints them as tables with the paper's values alongside.
+//
+// Usage:
+//
+//	dnabench -run all
+//	dnabench -run fig9b -reads 50000
+//	dnabench -list
+//
+// Experiment ids: fig3, fig9a, fig9b, fig9c, multiplex, fig10, cost,
+// latency, updatecost, decode, misprime, scale, tree, density, cache,
+// primers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dnastore/internal/experiment"
+)
+
+var experimentIDs = []string{
+	"fig3", "fig9a", "fig9b", "fig9c", "multiplex", "fig10",
+	"cost", "latency", "updatecost", "decode", "misprime",
+	"scale", "tree", "density", "cache", "primers", "related", "alloc",
+}
+
+func main() {
+	run := flag.String("run", "all", "experiment id or 'all'")
+	reads := flag.Int("reads", 50000, "sequencing reads per figure-9 experiment")
+	seed := flag.Uint64("seed", 0, "wetlab seed (0 = default)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experimentIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+	if err := runExperiments(*run, *reads, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dnabench:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiments(run string, reads int, seed uint64) error {
+	want := map[string]bool{}
+	if run == "all" {
+		for _, id := range experimentIDs {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		for id := range want {
+			if !contains(experimentIDs, id) {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+		}
+	}
+	out := os.Stdout
+
+	if want["fig3"] {
+		r, err := experiment.Fig3()
+		if err != nil {
+			return err
+		}
+		experiment.PrintFig3(out, r)
+		fmt.Fprintln(out)
+	}
+	if want["density"] {
+		experiment.PrintDensity(out, experiment.Density())
+		fmt.Fprintln(out)
+	}
+	if want["primers"] {
+		fmt.Fprintln(out, "running scaled-down primer search...")
+		experiment.PrintPrimerYield(out, experiment.PrimerYield(40000))
+		fmt.Fprintln(out)
+	}
+	if want["scale"] {
+		r, err := experiment.Scale()
+		if err != nil {
+			return err
+		}
+		experiment.PrintScale(out, r)
+		fmt.Fprintln(out)
+	}
+	if want["tree"] {
+		r, err := experiment.TreeAblation()
+		if err != nil {
+			return err
+		}
+		experiment.PrintTreeAblation(out, r)
+		fmt.Fprintln(out)
+	}
+	if want["related"] {
+		experiment.PrintRelated(out, experiment.Related())
+		fmt.Fprintln(out)
+	}
+	if want["alloc"] {
+		r, err := experiment.Alloc()
+		if err != nil {
+			return err
+		}
+		experiment.PrintAlloc(out, r)
+		fmt.Fprintln(out)
+	}
+	if want["cache"] {
+		r, err := experiment.Cache(1024, 50000)
+		if err != nil {
+			return err
+		}
+		experiment.PrintCache(out, r)
+		fmt.Fprintln(out)
+	}
+
+	needWetlab := want["fig9a"] || want["fig9b"] || want["fig9c"] || want["multiplex"] ||
+		want["fig10"] || want["cost"] || want["latency"] || want["updatecost"] ||
+		want["decode"] || want["misprime"]
+	if !needWetlab {
+		return nil
+	}
+
+	t0 := time.Now()
+	fmt.Fprintf(out, "building the Section 6 wetlab (13 files, %d-block Alice partition)...\n",
+		experiment.AliceBlocks)
+	w, err := experiment.Build(experiment.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "built in %v: %d strands in the Alice pool, %d in the IDT update pool\n\n",
+		time.Since(t0).Round(time.Millisecond), w.AliceStrands(), w.IDTPool.Len())
+
+	a, err := experiment.Fig9a(w, reads)
+	if err != nil {
+		return err
+	}
+	if want["fig9a"] {
+		experiment.PrintFig9a(out, a)
+		fmt.Fprintln(out)
+	}
+
+	var b *experiment.Fig9bResult
+	if want["fig9b"] || want["cost"] || want["latency"] || want["updatecost"] ||
+		want["decode"] || want["misprime"] {
+		b, err = experiment.Fig9Elongated(w, a.Amplified, 531, reads)
+		if err != nil {
+			return err
+		}
+	}
+	if want["fig9b"] {
+		experiment.PrintFig9b(out, b)
+		fmt.Fprintln(out)
+	}
+	if want["fig9c"] {
+		c, err := experiment.Fig9Elongated(w, a.Amplified, 144, reads)
+		if err != nil {
+			return err
+		}
+		experiment.PrintFig9b(out, c)
+		fmt.Fprintln(out)
+	}
+	if want["multiplex"] {
+		m, err := experiment.Fig9Multiplex(w, a.Amplified, experiment.TwistUpdateBlocks, reads)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Multiplex PCR (Section 6.5), blocks %v (%d reads)\n", m.Blocks, m.TotalReads)
+		for _, blk := range m.Blocks {
+			fmt.Fprintf(out, "  block %d: %d target reads\n", blk, m.TargetReads[blk])
+		}
+		fmt.Fprintf(out, "  useful fraction: %.1f%% across three blocks\n\n", 100*m.TargetOverall)
+	}
+	if want["cost"] || want["latency"] {
+		c := experiment.Cost(a, b)
+		if want["cost"] {
+			experiment.PrintCost(out, c)
+			fmt.Fprintln(out)
+		}
+		if want["latency"] {
+			l, err := experiment.Latency(c)
+			if err != nil {
+				return err
+			}
+			experiment.PrintLatency(out, l)
+			fmt.Fprintln(out)
+		}
+	}
+	if want["updatecost"] {
+		u, err := experiment.UpdateCost(w, b)
+		if err != nil {
+			return err
+		}
+		experiment.PrintUpdateCost(out, u)
+		fmt.Fprintln(out)
+	}
+	if want["decode"] {
+		d, err := experiment.Decode8(w, b, 225)
+		if err != nil {
+			return err
+		}
+		experiment.PrintDecode(out, d)
+		fmt.Fprintln(out)
+	}
+	if want["misprime"] {
+		m, err := experiment.Misprime(w, b)
+		if err != nil {
+			return err
+		}
+		experiment.PrintMisprime(out, m)
+		fmt.Fprintln(out)
+	}
+	if want["fig10"] {
+		for _, proto := range []string{"measure-then-amplify", "amplify-then-measure"} {
+			r, err := experiment.Fig10(w, proto, 8*reads)
+			if err != nil {
+				return err
+			}
+			experiment.PrintFig10(out, r)
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}
+
+func contains(ids []string, id string) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,284 @@
+// Command dnastore is a small command-line block device backed by the
+// simulated DNA store. Because the physical pool lives only in memory,
+// persistence works the way a digital front-end for DNA storage would:
+// every mutation is appended to a journal file, and each invocation
+// replays the journal to re-create the tube before executing the
+// requested operation.
+//
+// Usage:
+//
+//	dnastore -journal tube.json create mydocs
+//	dnastore -journal tube.json write mydocs 3 "block three content"
+//	dnastore -journal tube.json update mydocs 3 0 5 0 "patched"
+//	dnastore -journal tube.json read mydocs 3
+//	dnastore -journal tube.json range mydocs 0 7
+//	dnastore -journal tube.json costs
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"dnastore"
+)
+
+// journalEntry is one persisted mutation.
+type journalEntry struct {
+	Op        string `json:"op"` // "create", "write", "update"
+	Partition string `json:"partition"`
+	Block     int    `json:"block,omitempty"`
+	Data      []byte `json:"data,omitempty"`
+	// Patch fields for "update".
+	DeleteStart int    `json:"deleteStart,omitempty"`
+	DeleteCount int    `json:"deleteCount,omitempty"`
+	InsertPos   int    `json:"insertPos,omitempty"`
+	Insert      []byte `json:"insert,omitempty"`
+}
+
+type journal struct {
+	Seed    uint64         `json:"seed"`
+	Entries []journalEntry `json:"entries"`
+}
+
+func loadJournal(path string) (*journal, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &journal{Seed: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var j journal
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("corrupt journal %s: %v", path, err)
+	}
+	return &j, nil
+}
+
+func (j *journal) save(path string) error {
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// replay rebuilds the in-memory system from the journal.
+func (j *journal) replay() (*dnastore.System, error) {
+	sys, err := dnastore.New(dnastore.Options{Seed: j.Seed})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range j.Entries {
+		switch e.Op {
+		case "create":
+			if _, err := sys.CreatePartition(e.Partition); err != nil {
+				return nil, fmt.Errorf("journal entry %d: %v", i, err)
+			}
+		case "write":
+			p, ok := sys.Partition(e.Partition)
+			if !ok {
+				return nil, fmt.Errorf("journal entry %d: unknown partition %q", i, e.Partition)
+			}
+			if err := p.WriteBlock(e.Block, e.Data); err != nil {
+				return nil, fmt.Errorf("journal entry %d: %v", i, err)
+			}
+		case "update":
+			p, ok := sys.Partition(e.Partition)
+			if !ok {
+				return nil, fmt.Errorf("journal entry %d: unknown partition %q", i, e.Partition)
+			}
+			patch := dnastore.Patch{
+				DeleteStart: e.DeleteStart,
+				DeleteCount: e.DeleteCount,
+				InsertPos:   e.InsertPos,
+				Insert:      e.Insert,
+			}
+			if err := p.UpdateBlock(e.Block, patch); err != nil {
+				return nil, fmt.Errorf("journal entry %d: %v", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("journal entry %d: unknown op %q", i, e.Op)
+		}
+	}
+	return sys, nil
+}
+
+func main() {
+	journalPath := flag.String("journal", "dnastore.json", "journal file holding the tube's write history")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if err := runCommand(*journalPath, args); err != nil {
+		fmt.Fprintln(os.Stderr, "dnastore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dnastore [-journal file] <command> ...
+commands:
+  create <partition>
+  write  <partition> <block> <text>
+  update <partition> <block> <delStart> <delCount> <insPos> <text>
+  read   <partition> <block>
+  range  <partition> <lo> <hi>
+  costs`)
+}
+
+func runCommand(journalPath string, args []string) error {
+	j, err := loadJournal(journalPath)
+	if err != nil {
+		return err
+	}
+	sys, err := j.replay()
+	if err != nil {
+		return err
+	}
+	atoi := func(s string) (int, error) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("not a number: %q", s)
+		}
+		return v, nil
+	}
+	switch args[0] {
+	case "create":
+		if len(args) != 2 {
+			return errors.New("create needs a partition name")
+		}
+		if _, err := sys.CreatePartition(args[1]); err != nil {
+			return err
+		}
+		j.Entries = append(j.Entries, journalEntry{Op: "create", Partition: args[1]})
+		if err := j.save(journalPath); err != nil {
+			return err
+		}
+		fmt.Printf("created partition %q\n", args[1])
+	case "write":
+		if len(args) != 4 {
+			return errors.New("write needs: partition block text")
+		}
+		block, err := atoi(args[2])
+		if err != nil {
+			return err
+		}
+		p, ok := sys.Partition(args[1])
+		if !ok {
+			return fmt.Errorf("unknown partition %q", args[1])
+		}
+		if err := p.WriteBlock(block, []byte(args[3])); err != nil {
+			return err
+		}
+		j.Entries = append(j.Entries, journalEntry{
+			Op: "write", Partition: args[1], Block: block, Data: []byte(args[3]),
+		})
+		if err := j.save(journalPath); err != nil {
+			return err
+		}
+		fmt.Printf("synthesized block %d of %q (15 strands)\n", block, args[1])
+	case "update":
+		if len(args) != 7 {
+			return errors.New("update needs: partition block delStart delCount insPos text")
+		}
+		block, err := atoi(args[2])
+		if err != nil {
+			return err
+		}
+		ds, err := atoi(args[3])
+		if err != nil {
+			return err
+		}
+		dc, err := atoi(args[4])
+		if err != nil {
+			return err
+		}
+		ip, err := atoi(args[5])
+		if err != nil {
+			return err
+		}
+		p, ok := sys.Partition(args[1])
+		if !ok {
+			return fmt.Errorf("unknown partition %q", args[1])
+		}
+		patch := dnastore.Patch{DeleteStart: ds, DeleteCount: dc, InsertPos: ip, Insert: []byte(args[6])}
+		if err := p.UpdateBlock(block, patch); err != nil {
+			return err
+		}
+		j.Entries = append(j.Entries, journalEntry{
+			Op: "update", Partition: args[1], Block: block,
+			DeleteStart: ds, DeleteCount: dc, InsertPos: ip, Insert: []byte(args[6]),
+		})
+		if err := j.save(journalPath); err != nil {
+			return err
+		}
+		fmt.Printf("logged update %d for block %d of %q\n", p.Versions(block), block, args[1])
+	case "read":
+		if len(args) != 3 {
+			return errors.New("read needs: partition block")
+		}
+		block, err := atoi(args[2])
+		if err != nil {
+			return err
+		}
+		p, ok := sys.Partition(args[1])
+		if !ok {
+			return fmt.Errorf("unknown partition %q", args[1])
+		}
+		data, err := p.ReadBlock(block)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", trimZeros(data))
+	case "range":
+		if len(args) != 4 {
+			return errors.New("range needs: partition lo hi")
+		}
+		lo, err := atoi(args[2])
+		if err != nil {
+			return err
+		}
+		hi, err := atoi(args[3])
+		if err != nil {
+			return err
+		}
+		p, ok := sys.Partition(args[1])
+		if !ok {
+			return fmt.Errorf("unknown partition %q", args[1])
+		}
+		blocks, err := p.ReadRange(lo, hi)
+		if err != nil {
+			return err
+		}
+		for i, b := range blocks {
+			fmt.Printf("block %d: %s\n", lo+i, trimZeros(b))
+		}
+	case "costs":
+		c := sys.Costs()
+		fmt.Printf("strands synthesized:  %d\n", c.StrandsSynthesized)
+		fmt.Printf("primer pairs used:    %d\n", c.PrimerPairsUsed)
+		fmt.Printf("elongated primers:    %d\n", c.ElongatedPrimersSynthesized)
+		fmt.Printf("reads sequenced:      %d\n", c.ReadsSequenced)
+		fmt.Printf("PCR reactions:        %d\n", c.PCRReactions)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+	return nil
+}
+
+// trimZeros strips the zero padding of short block writes for display.
+func trimZeros(b []byte) []byte {
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	return b[:end]
+}

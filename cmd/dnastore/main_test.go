@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// journalPath returns a fresh journal file in a test temp dir.
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "tube.json")
+}
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	j := journalPath(t)
+	steps := [][]string{
+		{"create", "docs"},
+		{"write", "docs", "3", "hello molecular world"},
+		{"read", "docs", "3"},
+	}
+	for _, args := range steps {
+		if err := runCommand(j, args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	// The journal persists across invocations.
+	data, err := os.ReadFile(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"op": "write"`) {
+		t.Error("journal missing write entry")
+	}
+}
+
+func TestUpdateThroughJournal(t *testing.T) {
+	j := journalPath(t)
+	steps := [][]string{
+		{"create", "docs"},
+		{"write", "docs", "0", "hello world"},
+		{"update", "docs", "0", "0", "5", "0", "howdy"},
+		{"read", "docs", "0"},
+		{"costs"},
+	}
+	for _, args := range steps {
+		if err := runCommand(j, args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	// Replay from the journal must reproduce the updated state.
+	jj, err := loadJournal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jj.Entries) != 3 {
+		t.Fatalf("journal entries %d want 3", len(jj.Entries))
+	}
+	sys, err := jj.replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := sys.Partition("docs")
+	if !ok {
+		t.Fatal("partition lost in replay")
+	}
+	got, err := p.ReadBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(got), "howdy world") {
+		t.Errorf("replayed content %q", got[:12])
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	j := journalPath(t)
+	cases := [][]string{
+		{"create"},                     // missing name
+		{"write", "ghost", "0", "x"},   // unknown partition
+		{"read", "ghost", "0"},         // unknown partition
+		{"write", "ghost", "NaN", "x"}, // bad number
+		{"update", "ghost", "0", "0"},  // wrong arity
+		{"range", "ghost", "0", "1"},   // unknown partition
+		{"explode"},                    // unknown command
+	}
+	for _, args := range cases {
+		if err := runCommand(j, args); err == nil {
+			t.Errorf("%v: expected error", args)
+		}
+	}
+}
+
+func TestCorruptJournal(t *testing.T) {
+	j := journalPath(t)
+	if err := os.WriteFile(j, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCommand(j, []string{"costs"}); err == nil {
+		t.Error("corrupt journal accepted")
+	}
+}
+
+func TestRangeCommand(t *testing.T) {
+	j := journalPath(t)
+	steps := [][]string{
+		{"create", "docs"},
+		{"write", "docs", "0", "block zero"},
+		{"write", "docs", "1", "block one"},
+		{"range", "docs", "0", "1"},
+	}
+	for _, args := range steps {
+		if err := runCommand(j, args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestTrimZeros(t *testing.T) {
+	if got := trimZeros([]byte{'a', 'b', 0, 0}); string(got) != "ab" {
+		t.Errorf("trimZeros = %q", got)
+	}
+	if got := trimZeros([]byte{0, 0}); len(got) != 0 {
+		t.Errorf("all zeros -> %q", got)
+	}
+}

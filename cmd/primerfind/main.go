@@ -1,0 +1,48 @@
+// Command primerfind runs the greedy PCR-primer library search
+// (Section 1's methodology): random candidates are screened against
+// GC-content, homopolymer, melting-temperature, primer-dimer and
+// pairwise-Hamming-distance constraints.
+//
+// Usage:
+//
+//	primerfind -length 20 -max 100 -candidates 1000000 -mindist 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dnastore/internal/primer"
+	"dnastore/internal/rng"
+)
+
+func main() {
+	length := flag.Int("length", 20, "primer length in bases")
+	max := flag.Int("max", 100, "stop after this many accepted primers")
+	candidates := flag.Int("candidates", 1_000_000, "candidate budget")
+	minDist := flag.Int("mindist", 6, "minimum pairwise Hamming distance")
+	seed := flag.Uint64("seed", 1, "search seed")
+	quiet := flag.Bool("quiet", false, "print only the summary")
+	flag.Parse()
+
+	c := primer.DefaultConstraints()
+	c.Length = *length
+	c.MinPairDistance = *minDist
+	if *length != 20 {
+		// Tm windows scale with length; widen for non-default lengths.
+		c.TmMin, c.TmMax = 0, 200
+	}
+	lib := primer.NewLibrary(c)
+	res := lib.Search(rng.New(*seed), *max, *candidates)
+
+	if !*quiet {
+		for _, p := range lib.Primers() {
+			fmt.Println(p)
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"accepted %d primers from %d candidates (%d failed single-primer constraints, %d too close to an existing primer); min pairwise distance %d\n",
+		res.Accepted, res.Candidates, res.RejectedSingle, res.RejectedPair,
+		lib.MinPairwiseDistance())
+}

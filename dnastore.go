@@ -1,0 +1,197 @@
+// Package dnastore is a DNA data-storage library with block semantics,
+// efficient random block access via elongated PCR primers, sequential
+// range access, and versioned in-place updates — a full reimplementation
+// of "Efficiently Enabling Block Semantics and Data Updates in DNA
+// Storage" (Sharma et al., MICRO 2023) on top of a mechanistic wet-lab
+// simulator.
+//
+// A System models one DNA tube plus the digital front-end metadata
+// (primer library, index-tree seeds, version counters). Partitions are
+// created per primer pair and expose a block-device-like API; every read
+// performs the full simulated wet protocol: PCR (with an elongated
+// primer narrowing the reaction to the requested blocks), sequencing at
+// a configured depth, clustering, trace reconstruction, Reed-Solomon
+// decoding, and update-patch application.
+//
+// Quick start:
+//
+//	sys, _ := dnastore.New(dnastore.Options{Seed: 1})
+//	p, _ := sys.CreatePartition("docs")
+//	p.WriteBlock(0, []byte("hello, molecular world"))
+//	p.UpdateBlock(0, dnastore.Patch{DeleteStart: 0, DeleteCount: 5, Insert: []byte("howdy")})
+//	data, _ := p.ReadBlock(0) // -> "howdy, molecular world"
+package dnastore
+
+import (
+	"fmt"
+
+	"dnastore/internal/blockstore"
+	"dnastore/internal/primer"
+	"dnastore/internal/rng"
+	"dnastore/internal/update"
+)
+
+// Patch is one incremental block update: bytes
+// [DeleteStart, DeleteStart+DeleteCount) are removed, then Insert is
+// spliced at InsertPos (evaluated after the deletion). Patches are
+// synthesized as DNA "update units" whose address differs from the data
+// block only in the version base, so one PCR retrieves data and updates
+// together.
+type Patch = update.Patch
+
+// Costs are the accumulated physical-cost counters of a System:
+// synthesized strands, consumed primer pairs, sequenced reads, and PCR
+// reactions.
+type Costs = blockstore.Costs
+
+// CachePolicy selects the eviction policy of the elongated-primer cache.
+type CachePolicy = blockstore.CachePolicy
+
+// Cache policies.
+const (
+	LRU = blockstore.LRU
+	LFU = blockstore.LFU
+)
+
+// Options configures a System. The zero value selects the paper's
+// wet-lab configuration: 150-base strands, 20-base primers, RS(15,11)
+// encoding units of 256-byte blocks, and 1024-block partitions.
+type Options struct {
+	// Seed drives every stochastic component; equal seeds reproduce
+	// identical systems bit for bit. 0 selects a fixed default.
+	Seed uint64
+	// MaxPartitions bounds how many partitions (primer pairs) the system
+	// can create. 0 means 8. Each partition consumes two primers from a
+	// greedily searched library, mirroring the scarce mutually compatible
+	// primer supply the paper describes.
+	MaxPartitions int
+	// TreeDepth sets blocks per partition to 4^TreeDepth. 0 means the
+	// paper's depth 5 (1024 blocks). The strand geometry is adjusted so
+	// the sparse index (2 bases per level) fits.
+	TreeDepth int
+}
+
+// System is one simulated DNA tube and its partitions.
+type System struct {
+	store *blockstore.Store
+}
+
+// New creates a System, searching a fresh primer library for it.
+func New(opt Options) (*System, error) {
+	if opt.Seed == 0 {
+		opt.Seed = 0xd4a
+	}
+	if opt.MaxPartitions == 0 {
+		opt.MaxPartitions = 8
+	}
+	if opt.MaxPartitions < 1 {
+		return nil, fmt.Errorf("dnastore: MaxPartitions %d", opt.MaxPartitions)
+	}
+	if opt.TreeDepth == 0 {
+		opt.TreeDepth = 5
+	}
+	cfg := blockstore.DefaultConfig()
+	cfg.Seed = opt.Seed
+	if opt.TreeDepth != 5 {
+		cfg.TreeDepth = opt.TreeDepth
+		// The payload shrinks or grows with the index field; trim the
+		// strand so the payload stays a whole number of bytes.
+		// Geometry.Validate rejects infeasible depths.
+		cfg.Geometry.IndexLen = 2 * opt.TreeDepth
+		if rem := cfg.Geometry.PayloadBases() % 4; rem > 0 && cfg.Geometry.PayloadBases() > rem {
+			cfg.Geometry.StrandLen -= rem
+		}
+	}
+	lib := primer.NewLibrary(primer.DefaultConstraints())
+	lib.Search(rng.New(opt.Seed^0x9121e), 2*opt.MaxPartitions, 4_000_000)
+	if lib.Len() < 2*opt.MaxPartitions {
+		return nil, fmt.Errorf("dnastore: primer search yielded %d of %d primers",
+			lib.Len(), 2*opt.MaxPartitions)
+	}
+	store, err := blockstore.New(cfg, lib.Primers())
+	if err != nil {
+		return nil, err
+	}
+	return &System{store: store}, nil
+}
+
+// Costs returns the system's accumulated physical-cost counters.
+func (s *System) Costs() Costs { return s.store.Costs() }
+
+// CreatePartition allocates the next primer pair and returns an empty
+// partition with its own PCR-navigable index tree.
+func (s *System) CreatePartition(name string) (*Partition, error) {
+	p, err := s.store.CreatePartition(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Partition{p: p}, nil
+}
+
+// Partition returns a previously created partition.
+func (s *System) Partition(name string) (*Partition, bool) {
+	p, ok := s.store.Partition(name)
+	if !ok {
+		return nil, false
+	}
+	return &Partition{p: p}, true
+}
+
+// Partition is a block device inside one primer pair's address space.
+type Partition struct {
+	p *blockstore.Partition
+}
+
+// Name returns the partition name.
+func (p *Partition) Name() string { return p.p.Name() }
+
+// Blocks returns the number of addressable blocks (4^depth).
+func (p *Partition) Blocks() int { return p.p.Blocks() }
+
+// BlockSize returns the usable bytes per block (256 in the default
+// geometry).
+func (p *Partition) BlockSize() int { return p.p.BlockSize() }
+
+// WriteBlock stores data (at most BlockSize bytes) as the block's
+// original version. Blocks are write-once; use UpdateBlock afterwards —
+// DNA is an append-only medium.
+func (p *Partition) WriteBlock(block int, data []byte) error {
+	return p.p.WriteBlock(block, data)
+}
+
+// Write stores data sequentially from block 0 and returns the number of
+// blocks consumed.
+func (p *Partition) Write(data []byte) (int, error) { return p.p.Write(data) }
+
+// ReadBlock retrieves one block through the full wet protocol and
+// returns its content with all updates applied.
+func (p *Partition) ReadBlock(block int) ([]byte, error) { return p.p.ReadBlock(block) }
+
+// ReadRange retrieves blocks lo..hi (inclusive) using the minimal set
+// of index-tree prefixes, one PCR per prefix — the paper's sequential
+// access.
+func (p *Partition) ReadRange(lo, hi int) ([][]byte, error) { return p.p.ReadRange(lo, hi) }
+
+// ReadAll retrieves every written block with a whole-partition PCR.
+func (p *Partition) ReadAll() ([][]byte, error) { return p.p.ReadAll() }
+
+// UpdateBlock logs a patch against a block. The first two updates live
+// in the block's own version slots; later ones overflow into a log
+// block chained from the last slot.
+func (p *Partition) UpdateBlock(block int, patch Patch) error {
+	return p.p.UpdateBlock(block, patch)
+}
+
+// Versions returns how many updates a block has received.
+func (p *Partition) Versions(block int) int { return p.p.Versions(block) }
+
+// EnableCache installs an elongated-primer cache of the given capacity,
+// so frequently accessed blocks pay primer synthesis only once.
+func (p *Partition) EnableCache(capacity int, policy CachePolicy) error {
+	c, err := blockstore.NewPrimerCache(capacity, policy)
+	if err != nil {
+		return err
+	}
+	p.p.SetPrimerCache(c)
+	return nil
+}

@@ -1,0 +1,138 @@
+package dnastore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// newSystem caches one system per test binary run; primer search
+// dominates construction cost.
+func newSystem(t testing.TB) *System {
+	t.Helper()
+	sys, err := New(Options{Seed: 7, MaxPartitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewDefaults(t *testing.T) {
+	sys := newSystem(t)
+	p, err := sys.CreatePartition("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Blocks() != 1024 {
+		t.Errorf("blocks %d want 1024 (paper scale)", p.Blocks())
+	}
+	if p.BlockSize() != 256 {
+		t.Errorf("block size %d want 256", p.BlockSize())
+	}
+	if p.Name() != "docs" {
+		t.Errorf("name %q", p.Name())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{MaxPartitions: -1}); err == nil {
+		t.Error("negative partitions accepted")
+	}
+	// A depth that leaves no payload must fail geometry validation.
+	if _, err := New(Options{TreeDepth: 40}); err == nil {
+		t.Error("absurd tree depth accepted")
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	sys := newSystem(t)
+	p, err := sys.CreatePartition("e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("hello, molecular world")
+	if err := p.WriteBlock(3, content); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadBlock(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, content) {
+		t.Fatalf("read %q", got[:len(content)])
+	}
+	if err := p.UpdateBlock(3, Patch{DeleteStart: 0, DeleteCount: 5, Insert: []byte("howdy")}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Versions(3) != 1 {
+		t.Errorf("versions %d", p.Versions(3))
+	}
+	got, err = p.ReadBlock(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("howdy, molecular world")) {
+		t.Fatalf("updated read %q", got[:22])
+	}
+	costs := sys.Costs()
+	if costs.StrandsSynthesized != 30 || costs.ReadsSequenced == 0 {
+		t.Errorf("costs %+v", costs)
+	}
+}
+
+func TestSequentialAndLookup(t *testing.T) {
+	sys := newSystem(t)
+	p, err := sys.CreatePartition("seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("sequential block data! "), 40) // ~920B
+	n, err := p.Write(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("blocks %d", n)
+	}
+	blocks, err := p.ReadRange(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("range blocks %d", len(blocks))
+	}
+	if !bytes.Equal(blocks[0][:10], data[256:266]) {
+		t.Error("range content mismatch")
+	}
+	if _, ok := sys.Partition("seq"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, ok := sys.Partition("ghost"); ok {
+		t.Error("phantom partition")
+	}
+}
+
+func TestCacheIntegration(t *testing.T) {
+	sys := newSystem(t)
+	p, err := sys.CreatePartition("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableCache(4, LRU); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableCache(0, LFU); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if err := p.WriteBlock(0, []byte("hot block")); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Costs().ElongatedPrimersSynthesized
+	for i := 0; i < 3; i++ {
+		if _, err := p.ReadBlock(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sys.Costs().ElongatedPrimersSynthesized - before; got != 1 {
+		t.Errorf("elongated primers synthesized %d want 1 (cache)", got)
+	}
+}

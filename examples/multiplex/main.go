@@ -1,0 +1,66 @@
+// Multiplex: sequential access to a range of consecutive blocks. The
+// index tree maps any contiguous block range onto a minimal set of
+// subtree prefixes (Section 3.1), and the store issues one PCR with a
+// partially elongated primer per prefix — far fewer reactions and far
+// less sequencing than touching every block individually.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dnastore"
+	"dnastore/internal/text"
+)
+
+func main() {
+	sys, err := dnastore.New(dnastore.Options{Seed: 7, TreeDepth: 4}) // 256 blocks
+	if err != nil {
+		log.Fatal(err)
+	}
+	vids, err := sys.CreatePartition("archive")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fill the first 48 blocks.
+	data := []byte(text.Book(555, 48*vids.BlockSize()))
+	if _, err := vids.Write(data); err != nil {
+		log.Fatal(err)
+	}
+
+	// Read blocks 16..31: an aligned 16-block subtree — one prefix, one
+	// PCR with a 4-base partial elongation.
+	before := sys.Costs()
+	blocks, err := vids.ReadRange(16, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	used := sys.Costs()
+	fmt.Printf("aligned range [16,31]: %d blocks via %d PCR reaction(s), %d reads\n",
+		len(blocks), used.PCRReactions-before.PCRReactions,
+		used.ReadsSequenced-before.ReadsSequenced)
+
+	// Read blocks 10..41: an unaligned range decomposes into a handful
+	// of subtree prefixes, never one reaction per block.
+	before = sys.Costs()
+	blocks, err = vids.ReadRange(10, 41)
+	if err != nil {
+		log.Fatal(err)
+	}
+	used = sys.Costs()
+	fmt.Printf("unaligned range [10,41]: %d blocks via %d PCR reaction(s), %d reads\n",
+		len(blocks), used.PCRReactions-before.PCRReactions,
+		used.ReadsSequenced-before.ReadsSequenced)
+
+	// Verify content integrity across the range.
+	bs := vids.BlockSize()
+	for i, b := range blocks {
+		blockNum := 10 + i
+		want := data[blockNum*bs : (blockNum+1)*bs]
+		if string(b[:16]) != string(want[:16]) {
+			log.Fatalf("block %d content mismatch", blockNum)
+		}
+	}
+	fmt.Println("all range contents verified against the source data")
+}

@@ -1,0 +1,144 @@
+package blockstore
+
+import "fmt"
+
+// CachePolicy selects the eviction policy for the elongated-primer
+// cache.
+type CachePolicy int
+
+const (
+	// LRU evicts the least recently used primer.
+	LRU CachePolicy = iota
+	// LFU evicts the least frequently used primer.
+	LFU
+)
+
+// PrimerCache models the physical management of synthesized elongated
+// primers (Section 7.7.4): primers are synthesized lazily on first use
+// and a bounded number are retained ("keep up to N most frequently
+// requested elongations per partition, discard the rest"). A hit means
+// the primer is reused; a miss means it must be synthesized again.
+type PrimerCache struct {
+	capacity int
+	policy   CachePolicy
+
+	// LRU state: intrusive doubly-linked list over entries.
+	entries map[int]*cacheEntry
+	head    *cacheEntry // most recent
+	tail    *cacheEntry // least recent
+
+	hits, misses int
+}
+
+type cacheEntry struct {
+	block      int
+	freq       int
+	prev, next *cacheEntry
+}
+
+// NewPrimerCache creates a cache holding up to capacity primers.
+func NewPrimerCache(capacity int, policy CachePolicy) (*PrimerCache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("blockstore: cache capacity %d", capacity)
+	}
+	if policy != LRU && policy != LFU {
+		return nil, fmt.Errorf("blockstore: unknown cache policy %d", policy)
+	}
+	return &PrimerCache{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[int]*cacheEntry),
+	}, nil
+}
+
+// Access records a use of the block's elongated primer and reports
+// whether it was already cached (true = reuse, false = synthesis).
+func (c *PrimerCache) Access(block int) bool {
+	if e, ok := c.entries[block]; ok {
+		c.hits++
+		e.freq++
+		c.moveToFront(e)
+		return true
+	}
+	c.misses++
+	e := &cacheEntry{block: block, freq: 1}
+	if len(c.entries) >= c.capacity {
+		c.evict()
+	}
+	c.entries[block] = e
+	c.pushFront(e)
+	return false
+}
+
+// Hits and Misses report the access counters; misses equal primer
+// syntheses.
+func (c *PrimerCache) Hits() int   { return c.hits }
+func (c *PrimerCache) Misses() int { return c.misses }
+
+// Len returns the number of cached primers.
+func (c *PrimerCache) Len() int { return len(c.entries) }
+
+// HitRate returns hits / accesses, or 0 with no accesses.
+func (c *PrimerCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+func (c *PrimerCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *PrimerCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *PrimerCache) moveToFront(e *cacheEntry) {
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// evict removes one entry per the policy.
+func (c *PrimerCache) evict() {
+	switch c.policy {
+	case LRU:
+		if c.tail != nil {
+			victim := c.tail
+			c.unlink(victim)
+			delete(c.entries, victim.block)
+		}
+	case LFU:
+		// Scan for the minimum frequency, breaking ties toward the least
+		// recently used (closest to the tail).
+		var victim *cacheEntry
+		for e := c.tail; e != nil; e = e.prev {
+			if victim == nil || e.freq < victim.freq {
+				victim = e
+			}
+		}
+		if victim != nil {
+			c.unlink(victim)
+			delete(c.entries, victim.block)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package blockstore
+
+import (
+	"testing"
+
+	"dnastore/internal/rng"
+	"dnastore/internal/stats"
+)
+
+func TestNewPrimerCacheValidation(t *testing.T) {
+	if _, err := NewPrimerCache(0, LRU); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewPrimerCache(4, CachePolicy(9)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c, err := NewPrimerCache(2, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(1) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(1) {
+		t.Error("second access should hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 || c.Len() != 1 {
+		t.Errorf("counters hits=%d misses=%d len=%d", c.Hits(), c.Misses(), c.Len())
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate %v", c.HitRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, _ := NewPrimerCache(2, LRU)
+	c.Access(1)
+	c.Access(2)
+	c.Access(1) // 1 most recent
+	c.Access(3) // evicts 2
+	if !c.Access(1) {
+		t.Error("1 should still be cached")
+	}
+	if c.Access(2) {
+		t.Error("2 should have been evicted")
+	}
+}
+
+func TestCacheLFUEviction(t *testing.T) {
+	c, _ := NewPrimerCache(2, LFU)
+	c.Access(1)
+	c.Access(1)
+	c.Access(1) // freq 3
+	c.Access(2) // freq 1
+	c.Access(3) // evicts 2 (lowest freq)
+	if !c.Access(1) {
+		t.Error("high-frequency 1 evicted")
+	}
+	if c.Access(2) {
+		t.Error("2 should have been evicted")
+	}
+}
+
+func TestCacheZeroValueHitRate(t *testing.T) {
+	c, _ := NewPrimerCache(1, LRU)
+	if c.HitRate() != 0 {
+		t.Error("empty cache hit rate should be 0")
+	}
+}
+
+func TestCacheZipfWorkload(t *testing.T) {
+	// Section 7.7.4: under Zipfian popularity a small cache of elongated
+	// primers absorbs most accesses, so frequently read blocks pay the
+	// primer synthesis once.
+	z, err := stats.NewZipf(1024, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	for _, policy := range []CachePolicy{LRU, LFU} {
+		c, _ := NewPrimerCache(64, policy) // 6% of blocks
+		for i := 0; i < 20000; i++ {
+			c.Access(z.Draw(r))
+		}
+		if hr := c.HitRate(); hr < 0.5 {
+			t.Errorf("policy %d: hit rate %.2f below 0.5 under Zipf(1.0)", policy, hr)
+		}
+		if c.Len() > 64 {
+			t.Errorf("policy %d: cache overflowed to %d", policy, c.Len())
+		}
+	}
+}
+
+func TestCacheIntegrationWithPartition(t *testing.T) {
+	s := newTestStore(t, testConfig())
+	p, _ := s.CreatePartition("alice")
+	if err := p.WriteBlock(4, []byte("cached block")); err != nil {
+		t.Fatal(err)
+	}
+	cache, _ := NewPrimerCache(8, LRU)
+	p.SetPrimerCache(cache)
+	for i := 0; i < 3; i++ {
+		if _, err := p.ReadBlock(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Misses() != 1 || cache.Hits() != 2 {
+		t.Errorf("cache hits=%d misses=%d, want 2/1", cache.Hits(), cache.Misses())
+	}
+	if s.Costs().ElongatedPrimersSynthesized != 1 {
+		t.Errorf("elongated primers synthesized %d want 1",
+			s.Costs().ElongatedPrimersSynthesized)
+	}
+}

@@ -1,0 +1,169 @@
+package blockstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/cluster"
+	"dnastore/internal/decode"
+	"dnastore/internal/dna"
+	"dnastore/internal/pool"
+	"dnastore/internal/rng"
+	"dnastore/internal/update"
+)
+
+// randomSeqN builds a deterministic random sequence for contamination.
+func randomSeqN(seed uint64, n int) dna.Seq {
+	r := rng.New(seed)
+	s := make(dna.Seq, n)
+	for i := range s {
+		s[i] = dna.Base(r.Intn(4))
+	}
+	return s
+}
+
+// dropStrands removes n of a block's molecules from the tube, modeling
+// synthesis dropout or molecular decay of whole species.
+func dropStrands(s *Store, partition string, block, n int) int {
+	dropped := 0
+	for _, sp := range s.Tube().Species() {
+		if dropped >= n {
+			break
+		}
+		if sp.Meta.Partition == partition && sp.Meta.Block == block && sp.Meta.Version == 0 {
+			sp.Abundance = 0
+			dropped++
+		}
+	}
+	return dropped
+}
+
+func TestReadSurvivesMoleculeDropout(t *testing.T) {
+	// Losing up to 4 of a block's 15 molecules is within the RS erasure
+	// budget; the read must still return exact data.
+	s := newTestStore(t, testConfig())
+	p, _ := s.CreatePartition("alice")
+	content := bytes.Repeat([]byte("survives dropout "), 10)
+	if err := p.WriteBlock(20, content); err != nil {
+		t.Fatal(err)
+	}
+	if got := dropStrands(s, "alice", 20, 4); got != 4 {
+		t.Fatalf("dropped %d strands", got)
+	}
+	got, err := p.ReadBlock(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(content)], content) {
+		t.Fatal("content corrupted after 4-molecule dropout")
+	}
+}
+
+func TestReadFailsBeyondErasureBudget(t *testing.T) {
+	// Losing 6 molecules exceeds RS(15,11); the read must fail loudly,
+	// never return fabricated data.
+	s := newTestStore(t, testConfig())
+	p, _ := s.CreatePartition("alice")
+	if err := p.WriteBlock(21, []byte("unrecoverable")); err != nil {
+		t.Fatal(err)
+	}
+	dropStrands(s, "alice", 21, 6)
+	if _, err := p.ReadBlock(21); !errors.Is(err, decode.ErrDecode) {
+		t.Errorf("expected ErrDecode, got %v", err)
+	}
+}
+
+func TestReadUnderHarshErrorRates(t *testing.T) {
+	// Nanopore-grade error rates (~9% per base) still decode with a
+	// channel-matched pipeline: wider clustering radius, looser primer
+	// tolerance, and deeper coverage.
+	cfg := testConfig()
+	cfg.Rates = channel.Nanopore()
+	cfg.CoverageDepth = 40
+	cfg.Decode.MaxPrimerDist = 6
+	// Channel-matched clustering: 12-grams rarely survive 9% noise, so
+	// use short q-grams and more signature hashes, and a radius that
+	// admits pairs of ~9%-noise reads.
+	cfg.Decode.Cluster = cluster.Config{Q: 8, NumHashes: 8, MaxDist: 45}
+	s := newTestStore(t, cfg)
+	p, _ := s.CreatePartition("alice")
+	content := []byte("harsh channel content")
+	if err := p.WriteBlock(2, content); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadBlock(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(content)], content) {
+		t.Fatal("content corrupted under nanopore rates")
+	}
+}
+
+func TestContaminatedTube(t *testing.T) {
+	// Foreign molecules (another lab's library without our primers) in
+	// the same tube must not affect reads.
+	s := newTestStore(t, testConfig())
+	p, _ := s.CreatePartition("alice")
+	if err := p.WriteBlock(5, []byte("clean data")); err != nil {
+		t.Fatal(err)
+	}
+	// Contaminate with substantial foreign mass.
+	foreign := pool.New()
+	r := s.src.Fork()
+	for i := 0; i < 50; i++ {
+		seq := randomSeqN(r.Uint64(), 150)
+		foreign.Add(seq, 1e5, pool.Meta{Partition: "contaminant", Block: i, OriginBlock: i})
+	}
+	s.Tube().MixInto(foreign, 1)
+	got, err := p.ReadBlock(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("clean data")) {
+		t.Fatal("contamination corrupted the read")
+	}
+}
+
+func TestUpdateChainPropertyAgainstModel(t *testing.T) {
+	// Apply a pseudo-random sequence of patches through the store and
+	// through an in-memory model; the final reads must agree. Exercises
+	// version slots, overflow chains, and patch ordering end to end.
+	s := newTestStore(t, testConfig())
+	p, _ := s.CreatePartition("alice")
+	model := bytes.Repeat([]byte("m"), 64)
+	if err := p.WriteBlock(9, model); err != nil {
+		t.Fatal(err)
+	}
+	// The model starts as the padded block content.
+	padded := make([]byte, p.BlockSize())
+	copy(padded, model)
+	model = padded
+	r := s.src.Fork()
+	for i := 0; i < 7; i++ {
+		patch := update.Patch{
+			DeleteStart: r.Intn(16),
+			DeleteCount: r.Intn(8),
+			InsertPos:   r.Intn(16),
+			Insert:      []byte{byte('A' + i), byte('a' + i)},
+		}
+		if err := p.UpdateBlock(9, patch); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		next, err := patch.Apply(model)
+		if err != nil {
+			t.Fatalf("model apply %d: %v", i, err)
+		}
+		model = next
+	}
+	got, err := p.ReadBlock(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatalf("store and model diverged after 7 updates:\n store %q\n model %q",
+			got[:32], model[:32])
+	}
+}

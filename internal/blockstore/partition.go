@@ -1,0 +1,624 @@
+package blockstore
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"dnastore/internal/codec"
+	"dnastore/internal/decode"
+	"dnastore/internal/dna"
+	"dnastore/internal/indextree"
+	"dnastore/internal/layout"
+	"dnastore/internal/pcr"
+	"dnastore/internal/pool"
+	"dnastore/internal/rng"
+	"dnastore/internal/update"
+)
+
+// Partition is one primer pair's address space, internally blocked by a
+// PCR-navigable index tree.
+type Partition struct {
+	store    *Store
+	name     string
+	fwd, rev dna.Seq
+	tree     *indextree.Tree
+	rand     *codec.Randomizer
+	unit     *layout.UnitCodec
+	pipeline *decode.Pipeline
+
+	versions     map[int]int // block -> updates written so far
+	written      map[int]bool
+	overflow     map[int]int // block -> its overflow log block
+	nextOverflow int
+	cache        *PrimerCache // optional elongated-primer cache
+	noise        *rng.Source
+}
+
+// directUpdateSlots is the number of updates stored in the block's own
+// version slots before overflowing: version bases give 4 slots, one for
+// data, and the last slot is reserved for the overflow pointer, so two
+// updates live inline (Section 5.3).
+const directUpdateSlots = 2
+
+// Name returns the partition name.
+func (p *Partition) Name() string { return p.name }
+
+// BlockSize returns the usable bytes per block (264 - pad = 256 in the
+// paper's geometry).
+func (p *Partition) BlockSize() int { return p.unit.DataBytes() - p.store.cfg.PadBytes }
+
+// Blocks returns the number of addressable blocks (4^depth).
+func (p *Partition) Blocks() int { return p.tree.Leaves() }
+
+// Tree exposes the partition's index tree.
+func (p *Partition) Tree() *indextree.Tree { return p.tree }
+
+// Primers returns the partition's main primer pair.
+func (p *Partition) Primers() (fwd, rev dna.Seq) { return p.fwd, p.rev }
+
+// SetPrimerCache installs an elongated-primer cache (Section 7.7.4).
+// Without a cache every elongated access synthesizes its primer anew.
+func (p *Partition) SetPrimerCache(c *PrimerCache) { p.cache = c }
+
+// Versions returns how many updates the block has received.
+func (p *Partition) Versions(block int) int { return p.versions[block] }
+
+// ElongatedPrimer returns the block's fully elongated forward primer
+// (main primer + sync base + full index), 31 bases in the paper's
+// geometry.
+func (p *Partition) ElongatedPrimer(block int) (dna.Seq, error) {
+	idx, err := p.tree.Encode(block)
+	if err != nil {
+		return nil, err
+	}
+	return p.store.cfg.Geometry.ElongatedPrimer(p.fwd, idx), nil
+}
+
+// checkBlock validates a block number.
+func (p *Partition) checkBlock(block int) error {
+	if block < 0 || block >= p.Blocks() {
+		return fmt.Errorf("%w: %d of %d", ErrBlockRange, block, p.Blocks())
+	}
+	return nil
+}
+
+// writeUnit synthesizes the 15 strands of one (block, version) unit into
+// the tube. data must be exactly unit.DataBytes() long and already
+// include padding; it is whitened with the per-unit randomizer stream.
+func (p *Partition) writeUnit(block, version int, data []byte) error {
+	white := p.rand.Derive(decode.UnitSeed(block, version)).Apply(data)
+	payloads, err := p.unit.Encode(white)
+	if err != nil {
+		return err
+	}
+	idx, err := p.tree.Encode(block)
+	if err != nil {
+		return err
+	}
+	orders := make([]pool.SynthesisOrder, 0, len(payloads))
+	for intra, pl := range payloads {
+		seq, err := p.store.cfg.Geometry.Assemble(p.fwd, p.rev, layout.Strand{
+			Index: idx, Version: version, Intra: intra, Payload: pl,
+		})
+		if err != nil {
+			return err
+		}
+		orders = append(orders, pool.SynthesisOrder{
+			Seq: seq,
+			Meta: pool.Meta{
+				Partition:   p.name,
+				Block:       block,
+				Version:     version,
+				Intra:       intra,
+				OriginBlock: block,
+			},
+		})
+	}
+	synth, err := pool.Synthesize(p.noise, orders, p.store.cfg.Synthesis)
+	if err != nil {
+		return err
+	}
+	p.store.tube.MixInto(synth, 1)
+	p.store.costs.StrandsSynthesized += len(orders)
+	return nil
+}
+
+// sealUnit expands block content to the unit size, writing a CRC32 of
+// the content into the padding (Section 6.2's "randomly padded" tail;
+// the whitening still turns it into random-looking bases). The CRC is
+// the correctness oracle for the decoder's candidate recursion. With
+// fewer than 4 pad bytes the unit is zero-padded without a checksum.
+func (p *Partition) sealUnit(content []byte) []byte {
+	out := make([]byte, p.unit.DataBytes())
+	copy(out, content)
+	bs := p.BlockSize()
+	if p.store.cfg.PadBytes >= 4 {
+		crc := crc32.ChecksumIEEE(out[:bs])
+		out[bs] = byte(crc >> 24)
+		out[bs+1] = byte(crc >> 16)
+		out[bs+2] = byte(crc >> 8)
+		out[bs+3] = byte(crc)
+	}
+	return out
+}
+
+// verifyUnit checks a decoded unit's pad CRC.
+func (p *Partition) verifyUnit(data []byte) bool {
+	if p.store.cfg.PadBytes < 4 || len(data) != p.unit.DataBytes() {
+		return true
+	}
+	bs := p.BlockSize()
+	crc := crc32.ChecksumIEEE(data[:bs])
+	return data[bs] == byte(crc>>24) && data[bs+1] == byte(crc>>16) &&
+		data[bs+2] == byte(crc>>8) && data[bs+3] == byte(crc)
+}
+
+// WriteBlock stores data (at most BlockSize bytes) as the block's
+// original version.
+func (p *Partition) WriteBlock(block int, data []byte) error {
+	if err := p.checkBlock(block); err != nil {
+		return err
+	}
+	if len(data) > p.BlockSize() {
+		return fmt.Errorf("%w: %d > %d", ErrBlockSize, len(data), p.BlockSize())
+	}
+	if p.written[block] {
+		return fmt.Errorf("blockstore: block %d already written (DNA is append-only; use UpdateBlock)", block)
+	}
+	if err := p.writeUnit(block, 0, p.sealUnit(data)); err != nil {
+		return err
+	}
+	p.written[block] = true
+	return nil
+}
+
+// Write stores data sequentially from block 0, returning the number of
+// blocks consumed.
+func (p *Partition) Write(data []byte) (int, error) {
+	bs := p.BlockSize()
+	n := (len(data) + bs - 1) / bs
+	if n > p.Blocks() {
+		return 0, fmt.Errorf("%w: %d blocks needed, %d available", ErrBlockSize, n, p.Blocks())
+	}
+	for i := 0; i < n; i++ {
+		end := (i + 1) * bs
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := p.WriteBlock(i, data[i*bs:end]); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}
+
+// UpdateBlock logs a patch against the block. The first two updates
+// occupy the block's own version slots; further updates overflow into a
+// log block whose pointer occupies the last slot (Section 5.3).
+func (p *Partition) UpdateBlock(block int, patch update.Patch) error {
+	if err := p.checkBlock(block); err != nil {
+		return err
+	}
+	if !p.written[block] {
+		return fmt.Errorf("%w: block %d", ErrBlockNotFound, block)
+	}
+	marshaled, err := patch.Marshal(p.BlockSize())
+	if err != nil {
+		return err
+	}
+	return p.appendVersion(block, p.sealUnit(marshaled))
+}
+
+// UpdateBlockExternal prepares an update patch as a separately
+// synthesized pool — the paper's IDT flow (Section 6.4.1), where small
+// update pools come from a cheaper vendor with a very different
+// concentration — without adding it to the tube. The version counter is
+// advanced as usual; the caller is responsible for physically mixing the
+// returned pool into the tube (package mix).
+func (p *Partition) UpdateBlockExternal(block int, patch update.Patch, params pool.SynthesisParams) (*pool.Pool, error) {
+	if err := p.checkBlock(block); err != nil {
+		return nil, err
+	}
+	if !p.written[block] {
+		return nil, fmt.Errorf("%w: block %d", ErrBlockNotFound, block)
+	}
+	n := p.versions[block]
+	if n >= directUpdateSlots {
+		return nil, fmt.Errorf("blockstore: external updates support only direct slots (block %d has %d)", block, n)
+	}
+	marshaled, err := patch.Marshal(p.BlockSize())
+	if err != nil {
+		return nil, err
+	}
+	version := n + 1
+	white := p.rand.Derive(decode.UnitSeed(block, version)).Apply(p.sealUnit(marshaled))
+	payloads, err := p.unit.Encode(white)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := p.tree.Encode(block)
+	if err != nil {
+		return nil, err
+	}
+	orders := make([]pool.SynthesisOrder, 0, len(payloads))
+	for intra, pl := range payloads {
+		seq, err := p.store.cfg.Geometry.Assemble(p.fwd, p.rev, layout.Strand{
+			Index: idx, Version: version, Intra: intra, Payload: pl,
+		})
+		if err != nil {
+			return nil, err
+		}
+		orders = append(orders, pool.SynthesisOrder{
+			Seq: seq,
+			Meta: pool.Meta{
+				Partition:   p.name,
+				Block:       block,
+				Version:     version,
+				Intra:       intra,
+				OriginBlock: block,
+			},
+		})
+	}
+	external, err := pool.Synthesize(p.noise, orders, params)
+	if err != nil {
+		return nil, err
+	}
+	p.store.costs.StrandsSynthesized += len(orders)
+	p.versions[block] = version
+	return external, nil
+}
+
+// appendVersion writes unit data as the next version of the block,
+// overflowing recursively when the direct slots are exhausted.
+func (p *Partition) appendVersion(block int, unitData []byte) error {
+	n := p.versions[block]
+	if n < directUpdateSlots {
+		if err := p.writeUnit(block, n+1, unitData); err != nil {
+			return err
+		}
+		p.versions[block] = n + 1
+		return nil
+	}
+	// Overflow path: ensure the block has a log block and a pointer in
+	// its last slot.
+	logBlock, ok := p.overflow[block]
+	if !ok {
+		logBlock = p.nextOverflow
+		if p.written[logBlock] || logBlock < 0 {
+			return fmt.Errorf("blockstore: overflow space exhausted for block %d", block)
+		}
+		ptr, err := update.MarshalOverflow(logBlock, p.BlockSize())
+		if err != nil {
+			return err
+		}
+		if err := p.writeUnit(block, directUpdateSlots+1, p.sealUnit(ptr)); err != nil {
+			return err
+		}
+		p.overflow[block] = logBlock
+		p.nextOverflow--
+		p.versions[block] = n + 1 // the pointer consumes the slot
+		// The log block's own v0 carries the first overflowed patch, so
+		// mark it written and recurse below.
+		p.written[logBlock] = true
+		p.versions[logBlock] = -1 // v0 not yet used; see writeLog below
+	}
+	return p.writeLog(logBlock, unitData, block)
+}
+
+// writeLog appends patch data into a log block's version slots
+// (including v0, which is a patch rather than data for log blocks).
+func (p *Partition) writeLog(logBlock int, unitData []byte, origin int) error {
+	n := p.versions[logBlock] // starts at -1: v0 unused
+	if n+1 <= directUpdateSlots {
+		if err := p.writeUnit(logBlock, n+1, unitData); err != nil {
+			return err
+		}
+		p.versions[logBlock] = n + 1
+		return nil
+	}
+	// The log block itself overflows: chain another log block.
+	next, ok := p.overflow[logBlock]
+	if !ok {
+		next = p.nextOverflow
+		if p.written[next] || next < 0 {
+			return fmt.Errorf("blockstore: overflow chain exhausted for block %d", origin)
+		}
+		ptr, err := update.MarshalOverflow(next, p.BlockSize())
+		if err != nil {
+			return err
+		}
+		if err := p.writeUnit(logBlock, directUpdateSlots+1, p.sealUnit(ptr)); err != nil {
+			return err
+		}
+		p.overflow[logBlock] = next
+		p.nextOverflow--
+		p.written[next] = true
+		p.versions[next] = -1
+	}
+	return p.writeLog(next, unitData, origin)
+}
+
+// BlockVersions holds the decoded raw units of one block retrieval.
+type BlockVersions struct {
+	// Data is the original (version 0) unit payload, BlockSize bytes.
+	Data []byte
+	// Patches are the update patches in application order, with any
+	// overflow chain already resolved.
+	Patches []update.Patch
+	// Decode carries pipeline statistics for the access.
+	Decode decode.BlockResult
+}
+
+// retrieve runs the physical read protocol for one block: elongated PCR
+// against the tube, sequencing, decoding. Log-block retrievals pass
+// asPatch to interpret version 0 as a patch.
+func (p *Partition) retrieve(block int, depth int) (*decode.BlockResult, error) {
+	if p.cache != nil {
+		if !p.cache.Access(block) {
+			p.store.costs.ElongatedPrimersSynthesized++
+		}
+	} else {
+		p.store.costs.ElongatedPrimersSynthesized++
+	}
+	ep, err := p.ElongatedPrimer(block)
+	if err != nil {
+		return nil, err
+	}
+	primers := []pcr.Primer{{Fwd: ep, Rev: p.rev, Conc: 1}}
+	if c := p.store.cfg.CarryoverConc; c > 0 {
+		primers = append(primers, pcr.Primer{Fwd: p.fwd, Rev: p.rev, Conc: c})
+	}
+	amplified, _, err := p.store.runPCR(primers)
+	if err != nil {
+		return nil, err
+	}
+	reads, err := p.store.sequence(p.noise, amplified, p.store.readBudget(depth))
+	if err != nil {
+		return nil, err
+	}
+	seqs := make([]dna.Seq, len(reads))
+	for i, r := range reads {
+		seqs[i] = r.Seq
+	}
+	return p.pipeline.DecodeBlock(seqs, block)
+}
+
+// ReadBlockVersions performs one wet retrieval of the block and returns
+// its data and the full ordered patch list (resolving overflow chains
+// with additional retrievals as needed).
+func (p *Partition) ReadBlockVersions(block int) (*BlockVersions, error) {
+	if err := p.checkBlock(block); err != nil {
+		return nil, err
+	}
+	if !p.written[block] {
+		return nil, fmt.Errorf("%w: block %d", ErrBlockNotFound, block)
+	}
+	res, err := p.retrieve(block, 1+p.versions[block])
+	if err != nil {
+		return nil, err
+	}
+	return p.finishBlock(block, res)
+}
+
+// DecodeReads runs only the software pipeline on externally produced
+// reads (e.g. the Section 8 experiment decoding a 225-read sample),
+// skipping the store's own PCR and sequencing.
+func (p *Partition) DecodeReads(seqs []dna.Seq, block int) (*BlockVersions, error) {
+	if err := p.checkBlock(block); err != nil {
+		return nil, err
+	}
+	res, err := p.pipeline.DecodeBlock(seqs, block)
+	if err != nil {
+		return nil, err
+	}
+	return p.finishBlock(block, res)
+}
+
+// finishBlock turns a decode result into data + ordered patches.
+func (p *Partition) finishBlock(block int, res *decode.BlockResult) (*BlockVersions, error) {
+	raw, ok := res.Versions[0]
+	if !ok {
+		return nil, fmt.Errorf("%w: original version missing for block %d", decode.ErrDecode, block)
+	}
+	out := &BlockVersions{Data: raw[:p.BlockSize()], Decode: *res}
+	patches, err := p.collectPatches(res, false, 8)
+	if err != nil {
+		return nil, err
+	}
+	out.Patches = patches
+	return out, nil
+}
+
+// collectPatches extracts ordered patches from a decode result,
+// following overflow pointers. includeV0 treats version 0 as a patch
+// (log blocks). depthLimit bounds pointer chains.
+func (p *Partition) collectPatches(res *decode.BlockResult, includeV0 bool, depthLimit int) ([]update.Patch, error) {
+	if depthLimit <= 0 {
+		return nil, fmt.Errorf("blockstore: overflow chain too deep")
+	}
+	var versions []int
+	for v := range res.Versions {
+		if v == 0 && !includeV0 {
+			continue
+		}
+		versions = append(versions, v)
+	}
+	sort.Ints(versions)
+	var out []update.Patch
+	for _, v := range versions {
+		data := res.Versions[v]
+		if logBlock, isPtr := update.IsOverflow(data); isPtr {
+			logRes, err := p.retrieve(logBlock, 4)
+			if err != nil {
+				return nil, fmt.Errorf("blockstore: overflow chain: %w", err)
+			}
+			chain, err := p.collectPatches(logRes, true, depthLimit-1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, chain...)
+			continue
+		}
+		patch, err := update.Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, patch)
+	}
+	return out, nil
+}
+
+// ReadBlock retrieves the block and returns its current content with all
+// updates applied. The result length may differ from BlockSize when
+// patches changed the data size.
+func (p *Partition) ReadBlock(block int) ([]byte, error) {
+	bv, err := p.ReadBlockVersions(block)
+	if err != nil {
+		return nil, err
+	}
+	return update.ApplyAll(bv.Data, bv.Patches)
+}
+
+// ReadRange retrieves blocks lo..hi (inclusive) using the minimal prefix
+// cover: one PCR per cover prefix with a partially elongated primer
+// (Section 4's sequential access). Updates are applied per block.
+func (p *Partition) ReadRange(lo, hi int) ([][]byte, error) {
+	if err := p.checkBlock(lo); err != nil {
+		return nil, err
+	}
+	if err := p.checkBlock(hi); err != nil {
+		return nil, err
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("%w: inverted range [%d, %d]", ErrBlockRange, lo, hi)
+	}
+	covers, err := p.tree.Cover(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[int]*decode.BlockResult)
+	for _, c := range covers {
+		ep := p.store.cfg.Geometry.ElongatedPrimer(p.fwd, c.Prefix)
+		primers := []pcr.Primer{{Fwd: ep, Rev: p.rev, Conc: 1}}
+		if cc := p.store.cfg.CarryoverConc; cc > 0 {
+			primers = append(primers, pcr.Primer{Fwd: p.fwd, Rev: p.rev, Conc: cc})
+		}
+		p.store.costs.ElongatedPrimersSynthesized++
+		amplified, _, err := p.store.runPCR(primers)
+		if err != nil {
+			return nil, err
+		}
+		units := 0
+		for b := c.Lo; b <= c.Hi; b++ {
+			if p.written[b] {
+				units += 1 + p.versions[b]
+			}
+		}
+		if units == 0 {
+			continue
+		}
+		reads, err := p.store.sequence(p.noise, amplified, p.store.readBudget(units))
+		if err != nil {
+			return nil, err
+		}
+		seqs := make([]dna.Seq, len(reads))
+		for i, r := range reads {
+			seqs[i] = r.Seq
+		}
+		decoded, err := p.pipeline.DecodeAll(seqs)
+		if err != nil {
+			return nil, err
+		}
+		// A cover's reaction is authoritative only for its own interval:
+		// carryover reads give other blocks fragmentary coverage whose
+		// single-read consensus strands would otherwise overwrite good
+		// results from their own cover.
+		for b, res := range decoded {
+			if b >= c.Lo && b <= c.Hi {
+				results[b] = res
+			}
+		}
+	}
+	return p.assemble(lo, hi, results)
+}
+
+// ReadAll retrieves the entire partition with the main primers (the
+// baseline random access of Figure 9a) and returns all written blocks in
+// order.
+func (p *Partition) ReadAll() ([][]byte, error) {
+	primers := []pcr.Primer{{Fwd: p.fwd, Rev: p.rev, Conc: 1}}
+	amplified, _, err := p.store.runPCR(primers)
+	if err != nil {
+		return nil, err
+	}
+	units := 0
+	lo, hi := -1, -1
+	for b := range p.written {
+		units += 1 + p.versions[b]
+		if lo < 0 || b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	if units == 0 {
+		return nil, ErrBlockNotFound
+	}
+	reads, err := p.store.sequence(p.noise, amplified, p.store.readBudget(units))
+	if err != nil {
+		return nil, err
+	}
+	seqs := make([]dna.Seq, len(reads))
+	for i, r := range reads {
+		seqs[i] = r.Seq
+	}
+	decoded, err := p.pipeline.DecodeAll(seqs)
+	if err != nil {
+		return nil, err
+	}
+	return p.assemble(lo, hi, decoded)
+}
+
+// assemble turns per-block decode results into ordered block contents
+// with patches applied, for written blocks in [lo, hi].
+func (p *Partition) assemble(lo, hi int, results map[int]*decode.BlockResult) ([][]byte, error) {
+	var out [][]byte
+	for b := lo; b <= hi; b++ {
+		if !p.written[b] {
+			continue
+		}
+		if p.isLogBlock(b) {
+			continue // overflow storage, not user data
+		}
+		res, ok := results[b]
+		if !ok {
+			return nil, fmt.Errorf("%w: block %d not recovered", decode.ErrDecode, b)
+		}
+		raw, ok := res.Versions[0]
+		if !ok {
+			return nil, fmt.Errorf("%w: block %d original version missing", decode.ErrDecode, b)
+		}
+		patches, err := p.collectPatches(res, false, 8)
+		if err != nil {
+			return nil, err
+		}
+		content, err := update.ApplyAll(raw[:p.BlockSize()], patches)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, content)
+	}
+	return out, nil
+}
+
+// isLogBlock reports whether the block is an allocated overflow log.
+func (p *Partition) isLogBlock(b int) bool {
+	for _, log := range p.overflow {
+		if log == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,252 @@
+// Package blockstore implements the paper's block-storage architecture
+// on top of the simulated wet lab: partitions defined by primer pairs,
+// each internally organized by a PCR-navigable index tree into fixed-size
+// blocks that can be independently written, read, updated and range-read
+// (Sections 3-5).
+//
+// A Store models one DNA tube plus the digital front-end metadata the
+// paper assumes (tree seeds, randomizer seeds, update version counters).
+// Every read operation performs the full wet protocol: PCR with an
+// (elongated) primer on the tube, sequencing at a configured depth, and
+// the software decoding pipeline.
+package blockstore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/codec"
+	"dnastore/internal/decode"
+	"dnastore/internal/dna"
+	"dnastore/internal/indextree"
+	"dnastore/internal/layout"
+	"dnastore/internal/pcr"
+	"dnastore/internal/pool"
+	"dnastore/internal/rng"
+	"dnastore/internal/seqsim"
+)
+
+// Errors returned by store operations.
+var (
+	ErrBlockRange    = errors.New("blockstore: block number out of range")
+	ErrBlockSize     = errors.New("blockstore: block data too large")
+	ErrBlockNotFound = errors.New("blockstore: block not written")
+	ErrNoPrimers     = errors.New("blockstore: primer budget exhausted")
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	Geometry  layout.Geometry
+	TreeDepth int    // blocks per partition = 4^TreeDepth
+	Seed      uint64 // master seed for trees, randomizers, noise
+
+	// Variant selects the index scheme (paper: Sparse). The Dense
+	// variant exists for the prior-work baseline and ablations.
+	Variant indextree.Variant
+
+	// PadBytes is the per-unit random padding (paper: 8, making a
+	// 256-byte block inside the 264-byte unit).
+	PadBytes int
+
+	Synthesis pool.SynthesisParams
+	PCR       pcr.Params
+	Rates     channel.Rates
+	Decode    decode.Config
+
+	// CoverageDepth is the target sequencing depth per molecule.
+	CoverageDepth float64
+	// WasteFactor over-provisions reads for the expected fraction of
+	// off-target output (misprimes and carryover).
+	WasteFactor float64
+	// CapacityFactor sets each reaction's reagent capacity as a multiple
+	// of the input pool size; it controls how far a PCR can enrich the
+	// target over the background.
+	CapacityFactor float64
+	// CarryoverConc is the relative concentration of leftover main
+	// primers participating in elongated-primer reactions.
+	CarryoverConc float64
+}
+
+// DefaultConfig returns the paper's wetlab configuration.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:       layout.PaperGeometry(),
+		TreeDepth:      5,
+		Seed:           1,
+		Variant:        indextree.Sparse,
+		PadBytes:       8,
+		Synthesis:      pool.DefaultTwist(),
+		PCR:            pcr.DefaultParams(),
+		Rates:          channel.Illumina(),
+		Decode:         decode.DefaultConfig(),
+		CoverageDepth:  10,
+		WasteFactor:    2.5,
+		CapacityFactor: 6,
+		CarryoverConc:  0.02,
+	}
+}
+
+// Costs accumulates the physical-cost counters that Section 7 compares.
+type Costs struct {
+	StrandsSynthesized          int
+	PrimerPairsUsed             int
+	ElongatedPrimersSynthesized int
+	ReadsSequenced              int
+	PCRReactions                int
+}
+
+// Store is one DNA tube with its partitions and digital metadata.
+type Store struct {
+	cfg        Config
+	tube       *pool.Pool
+	partitions map[string]*Partition
+	primers    []dna.Seq // available main primers, consumed in pairs
+	nextPair   int
+	src        *rng.Source
+	costs      Costs
+}
+
+// New creates a store. primers supplies the mutually compatible main
+// primer library (two are consumed per partition); it must contain at
+// least two primers.
+func New(cfg Config, primers []dna.Seq) (*Store, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TreeDepth < 1 || cfg.TreeDepth > indextree.MaxDepth {
+		return nil, fmt.Errorf("blockstore: tree depth %d", cfg.TreeDepth)
+	}
+	wantIndex := 2 * cfg.TreeDepth
+	if cfg.Variant == indextree.Dense {
+		wantIndex = cfg.TreeDepth
+	}
+	if cfg.Geometry.IndexLen != wantIndex {
+		return nil, fmt.Errorf("blockstore: geometry index length %d incompatible with depth %d (%v needs %d)",
+			cfg.Geometry.IndexLen, cfg.TreeDepth, cfg.Variant, wantIndex)
+	}
+	if cfg.PadBytes < 0 {
+		return nil, fmt.Errorf("blockstore: negative pad")
+	}
+	if len(primers) < 2 {
+		return nil, fmt.Errorf("blockstore: need at least 2 primers, have %d", len(primers))
+	}
+	for i, p := range primers {
+		if len(p) != cfg.Geometry.PrimerLen {
+			return nil, fmt.Errorf("blockstore: primer %d has length %d, want %d",
+				i, len(p), cfg.Geometry.PrimerLen)
+		}
+	}
+	if cfg.CoverageDepth <= 0 || cfg.WasteFactor < 1 || cfg.CapacityFactor <= 1 {
+		return nil, fmt.Errorf("blockstore: invalid read/capacity parameters")
+	}
+	cp := make([]dna.Seq, len(primers))
+	for i, p := range primers {
+		cp[i] = p.Clone()
+	}
+	return &Store{
+		cfg:        cfg,
+		tube:       pool.New(),
+		partitions: make(map[string]*Partition),
+		primers:    cp,
+		src:        rng.New(cfg.Seed),
+	}, nil
+}
+
+// Costs returns the accumulated physical-cost counters.
+func (s *Store) Costs() Costs { return s.costs }
+
+// Tube exposes the underlying pool for experiments that inspect or
+// manipulate the physical sample directly (e.g. the mixing protocols).
+func (s *Store) Tube() *pool.Pool { return s.tube }
+
+// Config returns the store configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Partition returns a previously created partition by name.
+func (s *Store) Partition(name string) (*Partition, bool) {
+	p, ok := s.partitions[name]
+	return p, ok
+}
+
+// CreatePartition allocates the next primer pair and creates an empty
+// partition with its own index tree and randomizer seeds (Section 4.4:
+// different partitions use different seeds).
+func (s *Store) CreatePartition(name string) (*Partition, error) {
+	if _, dup := s.partitions[name]; dup {
+		return nil, fmt.Errorf("blockstore: partition %q exists", name)
+	}
+	if 2*s.nextPair+1 >= len(s.primers) {
+		return nil, ErrNoPrimers
+	}
+	fwd := s.primers[2*s.nextPair]
+	rev := s.primers[2*s.nextPair+1]
+	s.nextPair++
+	s.costs.PrimerPairsUsed++
+
+	treeSeed := s.src.Uint64()
+	randSeed := s.src.Uint64()
+	tree, err := indextree.NewVariant(s.cfg.TreeDepth, treeSeed, s.cfg.Variant)
+	if err != nil {
+		return nil, err
+	}
+	rand := codec.NewRandomizer(randSeed)
+	unit, err := layout.NewUnitCodec(s.cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	p := &Partition{
+		store:    s,
+		name:     name,
+		fwd:      fwd,
+		rev:      rev,
+		tree:     tree,
+		rand:     rand,
+		unit:     unit,
+		versions: make(map[int]int),
+		written:  make(map[int]bool),
+		overflow: make(map[int]int),
+		noise:    s.src.Fork(),
+	}
+	dcfg := s.cfg.Decode
+	dcfg.Geometry = s.cfg.Geometry
+	dcfg.VerifyUnit = p.verifyUnit
+	pipeline, err := decode.New(dcfg, tree, fwd, rev, rand)
+	if err != nil {
+		return nil, err
+	}
+	p.pipeline = pipeline
+	// Overflow log blocks are allocated from the top of the address
+	// space, growing downward toward the data (Figure 7's two-stacks
+	// organization).
+	p.nextOverflow = tree.Leaves() - 1
+	s.partitions[name] = p
+	return p, nil
+}
+
+// pcrCapacity computes the reagent capacity for a reaction on the tube.
+func (s *Store) pcrCapacity() float64 {
+	return s.cfg.CapacityFactor * s.tube.Total()
+}
+
+// readBudget returns the sequencing read count for retrieving the given
+// number of encoding units.
+func (s *Store) readBudget(units int) int {
+	molecules := float64(units * 15)
+	return int(math.Ceil(molecules * s.cfg.CoverageDepth * s.cfg.WasteFactor))
+}
+
+// runPCR executes a reaction against the tube and counts it.
+func (s *Store) runPCR(primers []pcr.Primer) (*pool.Pool, pcr.Stats, error) {
+	params := s.cfg.PCR
+	params.Capacity = s.pcrCapacity()
+	s.costs.PCRReactions++
+	return pcr.Run(s.tube, primers, params)
+}
+
+// sequence samples reads from an amplified pool and counts them.
+func (s *Store) sequence(r *rng.Source, amplified *pool.Pool, n int) ([]seqsim.Read, error) {
+	s.costs.ReadsSequenced += n
+	return seqsim.Sample(r, amplified, n, seqsim.Profile{Rates: s.cfg.Rates})
+}

@@ -1,0 +1,74 @@
+// Package channel injects insertion, deletion and substitution (IDS)
+// errors into DNA sequences, modeling the combined noise of synthesis,
+// storage, PCR and sequencing (Section 2.1.2; error characterization
+// follows Keoliya et al. [18]).
+package channel
+
+import (
+	"fmt"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// Rates holds per-base error probabilities.
+type Rates struct {
+	Sub float64 // substitution probability per base
+	Ins float64 // insertion probability per position
+	Del float64 // deletion probability per base
+}
+
+// Total returns the aggregate per-base error rate.
+func (r Rates) Total() float64 { return r.Sub + r.Ins + r.Del }
+
+// Validate checks the rates are usable probabilities.
+func (r Rates) Validate() error {
+	if r.Sub < 0 || r.Ins < 0 || r.Del < 0 {
+		return fmt.Errorf("channel: negative rate %+v", r)
+	}
+	if r.Total() >= 1 {
+		return fmt.Errorf("channel: total rate %.3f >= 1", r.Total())
+	}
+	return nil
+}
+
+// Illumina returns rates typical for Illumina sequencing of synthesized
+// DNA (dominated by synthesis deletions), matching published
+// characterizations of end-to-end DNA storage error rates.
+func Illumina() Rates { return Rates{Sub: 0.004, Ins: 0.001, Del: 0.005} }
+
+// Nanopore returns rates typical for nanopore sequencing, an order of
+// magnitude noisier than Illumina.
+func Nanopore() Rates { return Rates{Sub: 0.03, Ins: 0.02, Del: 0.04} }
+
+// Noiseless returns zero error rates.
+func Noiseless() Rates { return Rates{} }
+
+// Corrupt returns a noisy copy of seq under the given rates. The
+// original is not modified. Each position independently suffers a
+// deletion, a substitution to a uniformly random different base, or is
+// preceded by an insertion of a uniformly random base.
+func Corrupt(r *rng.Source, seq dna.Seq, rates Rates) dna.Seq {
+	out := make(dna.Seq, 0, len(seq)+4)
+	for _, b := range seq {
+		// Insertion before this base.
+		for rates.Ins > 0 && r.Float64() < rates.Ins {
+			out = append(out, dna.Base(r.Intn(4)))
+		}
+		roll := r.Float64()
+		switch {
+		case roll < rates.Del:
+			// base dropped
+		case roll < rates.Del+rates.Sub:
+			// substitute with one of the three other bases
+			out = append(out, dna.Base((int(b)+1+r.Intn(3))%4))
+		default:
+			out = append(out, b)
+		}
+	}
+	// Possible insertion at the very end.
+	for rates.Ins > 0 && r.Float64() < rates.Ins {
+		out = append(out, dna.Base(r.Intn(4)))
+	}
+	return out
+}

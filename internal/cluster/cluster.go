@@ -1,0 +1,156 @@
+// Package cluster groups noisy sequencing reads by their origin strand.
+//
+// This is the role played by Rashtchian et al.'s distributed clustering
+// in the paper's pipeline (Sections 2.1.2 and 6.6): reads are clustered
+// under edit distance so that each cluster ideally holds all reads of one
+// original molecule. The implementation bins reads by q-gram min-hash
+// signatures and then runs greedy leader clustering with a banded edit
+// distance check, which keeps the comparison count near-linear for the
+// read volumes the simulator produces.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"dnastore/internal/dna"
+)
+
+// Config tunes the clustering.
+type Config struct {
+	// Q is the q-gram length used for signatures.
+	Q int
+	// NumHashes is the number of independent min-hash signatures; a read
+	// joins a candidate bucket if any signature matches.
+	NumHashes int
+	// MaxDist is the maximum edit distance between a read and a cluster
+	// representative for the read to join the cluster.
+	MaxDist int
+}
+
+// DefaultConfig returns parameters suited to 150-base reads at ~1%
+// combined error rates.
+func DefaultConfig() Config {
+	return Config{Q: 12, NumHashes: 4, MaxDist: 20}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Q < 4 || c.Q > 32 {
+		return fmt.Errorf("cluster: q-gram length %d outside [4, 32]", c.Q)
+	}
+	if c.NumHashes < 1 || c.NumHashes > 16 {
+		return fmt.Errorf("cluster: hash count %d outside [1, 16]", c.NumHashes)
+	}
+	if c.MaxDist < 0 {
+		return fmt.Errorf("cluster: negative MaxDist")
+	}
+	return nil
+}
+
+// hashSeeds provides up to 16 fixed multipliers for the signature hashes.
+var hashSeeds = [16]uint64{
+	0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb, 0x2545f4914f6cdd1d,
+	0xd6e8feb86659fd93, 0xa5a5a5a5a5a5a5a5, 0xc2b2ae3d27d4eb4f, 0x165667b19e3779f9,
+	0x27d4eb2f165667c5, 0x85ebca6b27d4eb4f, 0x9e3779b185ebca87, 0xc2b2ae35d6e8feb8,
+	0xff51afd7ed558ccd, 0xc4ceb9fe1a85ec53, 0x2127599bf4325c37, 0x880355f21e6d1965,
+}
+
+// signatures returns the min-hash values of the read's q-gram set under
+// each hash function.
+func signatures(read dna.Seq, cfg Config) []uint64 {
+	sigs := make([]uint64, cfg.NumHashes)
+	for i := range sigs {
+		sigs[i] = ^uint64(0)
+	}
+	if len(read) < cfg.Q {
+		// Degenerate short read: hash the whole read.
+		var acc uint64 = 1
+		for _, b := range read {
+			acc = acc*4 + uint64(b) + 1
+		}
+		for i := range sigs {
+			h := acc * hashSeeds[i]
+			h ^= h >> 29
+			sigs[i] = h
+		}
+		return sigs
+	}
+	// Rolling 2-bit packing of q-grams.
+	mask := uint64(1)<<(2*uint(cfg.Q)) - 1
+	var gram uint64
+	for i, b := range read {
+		gram = (gram<<2 | uint64(b)) & mask
+		if i < cfg.Q-1 {
+			continue
+		}
+		for j := 0; j < cfg.NumHashes; j++ {
+			h := (gram + 1) * hashSeeds[j]
+			h ^= h >> 31
+			if h < sigs[j] {
+				sigs[j] = h
+			}
+		}
+	}
+	return sigs
+}
+
+// Group clusters the reads and returns clusters as index lists into the
+// input slice. The first index of each cluster is its representative.
+// Clusters are returned sorted by size, largest first, which is the
+// order the paper's decoding procedure consumes them in (Section 8,
+// step 3).
+func Group(reads []dna.Seq, cfg Config) ([][]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	type clusterState struct {
+		members []int
+	}
+	var clusters []*clusterState
+	// bucket key: hash function index in the high bits + min-hash value.
+	buckets := make(map[uint64][]int) // -> cluster indexes
+	bucketKey := func(hashIdx int, v uint64) uint64 {
+		return uint64(hashIdx)<<58 ^ v&(1<<58-1)
+	}
+	for ri, read := range reads {
+		sigs := signatures(read, cfg)
+		// Collect candidate clusters from all matching buckets.
+		seen := map[int]bool{}
+		joined := -1
+		for hi, sig := range sigs {
+			for _, ci := range buckets[bucketKey(hi, sig)] {
+				if seen[ci] {
+					continue
+				}
+				seen[ci] = true
+				rep := reads[clusters[ci].members[0]]
+				if dna.LevenshteinAtMost(rep, read, cfg.MaxDist) {
+					joined = ci
+					break
+				}
+			}
+			if joined >= 0 {
+				break
+			}
+		}
+		if joined >= 0 {
+			clusters[joined].members = append(clusters[joined].members, ri)
+			continue
+		}
+		// New cluster with this read as representative; register its
+		// signatures.
+		ci := len(clusters)
+		clusters = append(clusters, &clusterState{members: []int{ri}})
+		for hi, sig := range sigs {
+			k := bucketKey(hi, sig)
+			buckets[k] = append(buckets[k], ci)
+		}
+	}
+	out := make([][]int, len(clusters))
+	for i, c := range clusters {
+		out[i] = c.members
+	}
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) > len(out[j]) })
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dnastore/internal/dna"
+)
+
+func TestBytesBasesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		seq := BytesToBases(data)
+		if len(seq) != len(data)*4 {
+			return false
+		}
+		back, err := BasesToBytes(seq)
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesToBasesKnown(t *testing.T) {
+	// 0b00011011 = A C G T
+	seq := BytesToBases([]byte{0x1b})
+	if seq.String() != "ACGT" {
+		t.Errorf("0x1b -> %q want ACGT", seq.String())
+	}
+	seq = BytesToBases([]byte{0x00, 0xff})
+	if seq.String() != "AAAATTTT" {
+		t.Errorf("got %q want AAAATTTT", seq.String())
+	}
+}
+
+func TestBasesToBytesRejectsBadLength(t *testing.T) {
+	if _, err := BasesToBytes(dna.MustFromString("ACG")); err == nil {
+		t.Error("length 3 should fail")
+	}
+}
+
+func TestNibblesBasesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		nibbles := make([]byte, len(data))
+		for i, v := range data {
+			nibbles[i] = v & 0x0f
+		}
+		seq := NibblesToBases(nibbles)
+		back, err := BasesToNibbles(seq)
+		if err != nil || len(back) != len(nibbles) {
+			return false
+		}
+		return bytes.Equal(back, nibbles)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesNibblesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		n := BytesToNibbles(data)
+		for _, v := range n {
+			if v > 15 {
+				return false
+			}
+		}
+		back, err := NibblesToBytes(n)
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := NibblesToBytes([]byte{1}); err == nil {
+		t.Error("odd nibble count should fail")
+	}
+}
+
+func TestBasesToNibblesRejectsOdd(t *testing.T) {
+	if _, err := BasesToNibbles(dna.MustFromString("ACG")); err == nil {
+		t.Error("odd length should fail")
+	}
+}
+
+func TestRandomizerInvolution(t *testing.T) {
+	r := NewRandomizer(12345)
+	f := func(data []byte) bool {
+		once := r.Apply(data)
+		twice := r.Apply(once)
+		return bytes.Equal(twice, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomizerWhitens(t *testing.T) {
+	// A run of zero bytes should become base sequences without extreme
+	// homopolymers, which is the whole point of randomization.
+	r := NewRandomizer(777)
+	data := make([]byte, 1000)
+	whitened := r.Apply(data)
+	seq := BytesToBases(whitened)
+	if hp := seq.MaxHomopolymer(); hp > 12 {
+		t.Errorf("homopolymer run %d after randomization; keystream is not random", hp)
+	}
+	gc := seq.GCContent()
+	if gc < 0.45 || gc > 0.55 {
+		t.Errorf("GC content %v far from 0.5 after randomization", gc)
+	}
+}
+
+func TestRandomizerSeedsDiffer(t *testing.T) {
+	data := make([]byte, 64)
+	a := NewRandomizer(1).Apply(data)
+	b := NewRandomizer(2).Apply(data)
+	if bytes.Equal(a, b) {
+		t.Error("different seeds produced identical keystreams")
+	}
+	if NewRandomizer(5).Seed() != 5 {
+		t.Error("Seed() accessor wrong")
+	}
+}
+
+func TestRandomizerDeterministic(t *testing.T) {
+	data := []byte("the same data every time")
+	a := NewRandomizer(99).Apply(data)
+	b := NewRandomizer(99).Apply(data)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different keystreams")
+	}
+}

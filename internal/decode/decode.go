@@ -1,0 +1,454 @@
+// Package decode implements the read-to-data pipeline of Sections 6.6
+// and 8: primer location and trimming, clustering, trace reconstruction
+// in descending cluster-size order, address placement, Reed-Solomon unit
+// decoding, and the candidate-recursion fallback that recovers from
+// misprimed strands masquerading as target strands (Section 8.1).
+package decode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dnastore/internal/cluster"
+	"dnastore/internal/codec"
+	"dnastore/internal/dna"
+	"dnastore/internal/indextree"
+	"dnastore/internal/layout"
+	"dnastore/internal/trace"
+)
+
+// ErrDecode is returned when a block cannot be reconstructed from the
+// given reads.
+var ErrDecode = errors.New("decode: cannot reconstruct block")
+
+// Config tunes the pipeline.
+type Config struct {
+	Geometry layout.Geometry
+	Cluster  cluster.Config
+	// MaxPrimerDist is the edit-distance tolerance when locating the
+	// main primers inside a read.
+	MaxPrimerDist int
+	// MaxIndexDist is the tolerance when resolving a reconstructed
+	// index against the index tree.
+	MaxIndexDist int
+	// MaxCandidates bounds per-address alternative strands kept for the
+	// Section 8.1 recursive retry, and MaxCombinations bounds how many
+	// alternative assignments are attempted per unit.
+	MaxCandidates   int
+	MaxCombinations int
+	// VerifyUnit, when non-nil, validates a candidate unit after
+	// de-randomization. It is the correctness oracle Section 8.1's
+	// recursive retry assumes ("until we correctly recover our data"):
+	// candidate assignments that decode to a consistent-but-wrong RS
+	// codeword are rejected and the search continues. Package blockstore
+	// installs a CRC check over the unit padding.
+	VerifyUnit func(data []byte) bool
+}
+
+// DefaultConfig returns a configuration matched to the paper's geometry.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:        layout.PaperGeometry(),
+		Cluster:         cluster.DefaultConfig(),
+		MaxPrimerDist:   3,
+		MaxIndexDist:    2,
+		MaxCandidates:   3,
+		MaxCombinations: 64,
+	}
+}
+
+// Pipeline decodes sequencing reads of one partition.
+type Pipeline struct {
+	cfg  Config
+	unit *layout.UnitCodec
+	tree *indextree.Tree
+	rand *codec.Randomizer
+	fwd  dna.Seq
+	rev  dna.Seq
+}
+
+// New constructs a pipeline for a partition defined by its primer pair,
+// index tree and randomization seed.
+func New(cfg Config, tree *indextree.Tree, fwd, rev dna.Seq, rand *codec.Randomizer) (*Pipeline, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if tree == nil || rand == nil {
+		return nil, fmt.Errorf("decode: nil tree or randomizer")
+	}
+	if tree.IndexLen() != cfg.Geometry.IndexLen {
+		return nil, fmt.Errorf("decode: tree index length %d != geometry %d",
+			tree.IndexLen(), cfg.Geometry.IndexLen)
+	}
+	if len(fwd) != cfg.Geometry.PrimerLen || len(rev) != cfg.Geometry.PrimerLen {
+		return nil, fmt.Errorf("decode: primer lengths %d/%d, want %d",
+			len(fwd), len(rev), cfg.Geometry.PrimerLen)
+	}
+	unit, err := layout.NewUnitCodec(cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{cfg: cfg, unit: unit, tree: tree, rand: rand, fwd: fwd.Clone(), rev: rev.Clone()}, nil
+}
+
+// Unit returns the pipeline's unit codec (shared with the encoder).
+func (p *Pipeline) Unit() *layout.UnitCodec { return p.unit }
+
+// keep reports whether a read contains both partition primers within
+// the configured tolerance (Section 8's step 1: "we first search for
+// the ... forward primer and reverse primer of our target block in our
+// reads"). Unlike a per-read trim, the read is kept whole: reads are
+// naturally anchored at the strand start, and consensus over full reads
+// avoids the start-position jitter that approximate trimming introduces.
+func (p *Pipeline) keep(read dna.Seq) bool {
+	if len(read) < p.cfg.Geometry.StrandLen/2 {
+		return false
+	}
+	fwdEnd, d := dna.FindApprox(p.fwd, read, p.cfg.MaxPrimerDist)
+	if fwdEnd < 0 || d > p.cfg.MaxPrimerDist {
+		return false
+	}
+	revEnd, d2 := dna.FindApproxRight(p.rev, read, p.cfg.MaxPrimerDist)
+	if revEnd < 0 || d2 > p.cfg.MaxPrimerDist {
+		return false
+	}
+	return true
+}
+
+// strandCandidate is a reconstructed strand with its resolved address.
+type strandCandidate struct {
+	block       int
+	version     int
+	intra       int
+	payload     []byte
+	clusterSize int
+	indexDist   int
+}
+
+// reconstruct turns one cluster of full reads into a candidate strand.
+// Large clusters use the ensemble consensus, which suppresses BMA's
+// residual mid-strand errors on noisy channels; iterative refinement
+// then re-votes every position against the aligned reads.
+func (p *Pipeline) reconstruct(reads []dna.Seq, size int) (strandCandidate, bool) {
+	g := p.cfg.Geometry
+	strandLen := g.StrandLen
+	var cons dna.Seq
+	var err error
+	if len(reads) >= 15 {
+		cons, err = trace.Ensemble(reads, strandLen, 3)
+	} else {
+		cons, err = trace.DoubleSided(reads, strandLen)
+	}
+	if err != nil {
+		return strandCandidate{}, false
+	}
+	if len(reads) >= 3 {
+		cons = trace.Refine(reads, cons, 2)
+		cons = fitLength(cons, strandLen)
+	}
+	// Field offsets within the full strand: fwd primer, sync, index,
+	// version, intra, payload.
+	pos := g.PrimerLen + 1 // skip forward primer and sync base
+	idx := cons[pos : pos+g.IndexLen]
+	pos += g.IndexLen
+	// Fast path: a strict tree decode succeeds for the vast majority of
+	// consensus strands; only corrupted indexes pay for the tolerant
+	// nearest-leaf scan.
+	block, dist := 0, 0
+	if b, err := p.tree.Decode(idx); err == nil {
+		block = b
+	} else {
+		b, d, err := p.tree.NearestLeaf(idx, p.cfg.MaxIndexDist)
+		if err != nil {
+			return strandCandidate{}, false
+		}
+		block, dist = b, d
+	}
+	version := 0
+	for i := 0; i < g.VersionBases; i++ {
+		version = version<<2 | int(cons[pos])
+		pos++
+	}
+	intra := 0
+	for i := 0; i < g.IntraLen; i++ {
+		intra = intra<<2 | int(cons[pos])
+		pos++
+	}
+	if intra >= p.unit.Molecules() {
+		return strandCandidate{}, false
+	}
+	payload, err := codec.BasesToBytes(cons[pos : pos+g.PayloadBases()])
+	if err != nil {
+		return strandCandidate{}, false
+	}
+	return strandCandidate{
+		block:       block,
+		version:     version,
+		intra:       intra,
+		payload:     payload,
+		clusterSize: size,
+		indexDist:   dist,
+	}, true
+}
+
+// fitLength pads (with A) or truncates a consensus to the expected
+// strand length; residual length errors land in the payload tail where
+// the Reed-Solomon code absorbs them.
+func fitLength(s dna.Seq, n int) dna.Seq {
+	if len(s) == n {
+		return s
+	}
+	if len(s) > n {
+		return s[:n]
+	}
+	out := make(dna.Seq, n)
+	copy(out, s)
+	return out
+}
+
+// BlockResult is the outcome of decoding one block.
+type BlockResult struct {
+	Block int
+	// Versions maps version number to the de-randomized unit bytes
+	// (DataBytes() long). Version 0 is the original data unit; higher
+	// versions are update-patch units.
+	Versions map[int][]byte
+	// Corrected is the total number of RS symbol corrections applied.
+	Corrected int
+	// ClustersUsed is how many clusters were consumed before every
+	// address was filled, the quantity Section 8 reports as 31 for 30
+	// strands.
+	ClustersUsed int
+	// CandidateRetries counts Section 8.1 recursive retries performed.
+	CandidateRetries int
+}
+
+// addrKey identifies one strand slot.
+type addrKey struct {
+	block, version, intra int
+}
+
+// DecodeAll reconstructs every block visible in the reads. Blocks whose
+// units fail to decode are omitted; an error is returned only when the
+// read set is unusable.
+func (p *Pipeline) DecodeAll(reads []dna.Seq) (map[int]*BlockResult, error) {
+	return p.decode(reads, -1)
+}
+
+// DecodeBlock reconstructs one target block (original version and any
+// updates). It consumes clusters in descending size order and stops as
+// soon as the target's observed versions are complete, mirroring the
+// paper's procedure of sequencing only ~225 reads.
+func (p *Pipeline) DecodeBlock(reads []dna.Seq, block int) (*BlockResult, error) {
+	results, err := p.decode(reads, block)
+	if err != nil {
+		return nil, err
+	}
+	res, ok := results[block]
+	if !ok {
+		return nil, fmt.Errorf("%w: block %d not recovered", ErrDecode, block)
+	}
+	return res, nil
+}
+
+func (p *Pipeline) decode(reads []dna.Seq, target int) (map[int]*BlockResult, error) {
+	// Step 1: keep only reads carrying both partition primers.
+	var kept []dna.Seq
+	for _, r := range reads {
+		if p.keep(r) {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("%w: no reads contain the partition primers", ErrDecode)
+	}
+	// Step 2: cluster the full reads.
+	clusters, err := cluster.Group(kept, p.cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	// Step 3: reconstruct in descending cluster-size order, keeping the
+	// first strand per address and up to MaxCandidates alternates.
+	primary := make(map[addrKey]strandCandidate)
+	alternates := make(map[addrKey][]strandCandidate)
+	clustersUsed := 0
+	for _, members := range clusters {
+		seqs := make([]dna.Seq, len(members))
+		for i, m := range members {
+			seqs[i] = kept[m]
+		}
+		cand, ok := p.reconstruct(seqs, len(members))
+		if !ok {
+			continue
+		}
+		clustersUsed++
+		k := addrKey{cand.block, cand.version, cand.intra}
+		if _, dup := primary[k]; dup {
+			if len(alternates[k]) < p.cfg.MaxCandidates {
+				alternates[k] = append(alternates[k], cand)
+			}
+			continue
+		}
+		primary[k] = cand
+		if target >= 0 && p.targetComplete(primary, target) {
+			break
+		}
+	}
+	// Step 4: assemble units and RS-decode, with candidate recursion on
+	// failure.
+	byUnit := make(map[int]map[int]bool) // block -> versions seen
+	for k := range primary {
+		if byUnit[k.block] == nil {
+			byUnit[k.block] = make(map[int]bool)
+		}
+		byUnit[k.block][k.version] = true
+	}
+	results := make(map[int]*BlockResult)
+	for block, versions := range byUnit {
+		if target >= 0 && block != target {
+			continue
+		}
+		res := &BlockResult{Block: block, Versions: make(map[int][]byte), ClustersUsed: clustersUsed}
+		for version := range versions {
+			data, corrected, retries, err := p.decodeUnit(primary, alternates, block, version)
+			if err != nil {
+				continue
+			}
+			res.Versions[version] = data
+			res.Corrected += corrected
+			res.CandidateRetries += retries
+		}
+		if len(res.Versions) > 0 {
+			results[block] = res
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%w: no unit decoded", ErrDecode)
+	}
+	return results, nil
+}
+
+// targetComplete reports whether every intra slot of every observed
+// version of the target block is filled.
+func (p *Pipeline) targetComplete(primary map[addrKey]strandCandidate, target int) bool {
+	versions := make(map[int]int)
+	for k := range primary {
+		if k.block == target {
+			versions[k.version]++
+		}
+	}
+	if len(versions) == 0 {
+		return false
+	}
+	for _, n := range versions {
+		if n < p.unit.Molecules() {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeUnit attempts the RS decode of one (block, version) unit. On
+// failure it retries with alternate candidates (Section 8.1's
+// "recursively try to decode the original data using each of these
+// candidates"), and finally treats the lowest-confidence slots (smallest
+// clusters, whose consensus is least reliable) as erasures.
+func (p *Pipeline) decodeUnit(primary map[addrKey]strandCandidate, alternates map[addrKey][]strandCandidate, block, version int) (data []byte, corrected, retries int, err error) {
+	n := p.unit.Molecules()
+	payloads := make([][]byte, n)
+	missing := 0
+	var alternateSlots []addrKey
+	var filled []strandCandidate
+	for intra := 0; intra < n; intra++ {
+		k := addrKey{block, version, intra}
+		if cand, ok := primary[k]; ok {
+			payloads[intra] = cand.payload
+			filled = append(filled, cand)
+			if len(alternates[k]) > 0 {
+				alternateSlots = append(alternateSlots, k)
+			}
+		} else {
+			missing++
+		}
+	}
+	try := func(pl [][]byte) ([]byte, int, error) {
+		raw, corr, err := p.unit.Decode(pl)
+		if err != nil {
+			return nil, 0, err
+		}
+		unitRand := p.rand.Derive(unitSeed(block, version))
+		out := unitRand.Apply(raw)
+		if p.cfg.VerifyUnit != nil && !p.cfg.VerifyUnit(out) {
+			return nil, 0, fmt.Errorf("%w: unit integrity check failed", ErrDecode)
+		}
+		return out, corr, nil
+	}
+	if out, corr, err := try(payloads); err == nil {
+		return out, corr, 0, nil
+	}
+	// Candidate recursion: substitute alternates one slot at a time, then
+	// in pairs, bounded by MaxCombinations.
+	sort.Slice(alternateSlots, func(i, j int) bool {
+		return alternateSlots[i].intra < alternateSlots[j].intra
+	})
+	combos := 0
+	for _, k := range alternateSlots {
+		for _, alt := range alternates[k] {
+			if combos >= p.cfg.MaxCombinations {
+				break
+			}
+			combos++
+			pl := make([][]byte, n)
+			copy(pl, payloads)
+			pl[k.intra] = alt.payload
+			if out, corr, err := try(pl); err == nil {
+				return out, corr, combos, nil
+			}
+		}
+	}
+	// Erase suspicious slots (the ones that had competing candidates) and
+	// let the RS erasure capability fill them in.
+	parity := p.unit.Molecules() - p.unit.DataMolecules()
+	if len(alternateSlots) > 0 && missing+len(alternateSlots) <= parity {
+		pl := make([][]byte, n)
+		copy(pl, payloads)
+		for _, k := range alternateSlots {
+			pl[k.intra] = nil
+		}
+		combos++
+		if out, corr, err := try(pl); err == nil {
+			return out, corr, combos, nil
+		}
+	}
+	// Last resort for low-coverage retrievals: the consensus of a 1- or
+	// 2-read cluster is the least trustworthy, so progressively erase
+	// the smallest-cluster slots within the remaining erasure budget.
+	sort.Slice(filled, func(i, j int) bool { return filled[i].clusterSize < filled[j].clusterSize })
+	budget := parity - missing
+	for k := 1; k <= budget && k <= len(filled); k++ {
+		if combos >= p.cfg.MaxCombinations {
+			break
+		}
+		pl := make([][]byte, n)
+		copy(pl, payloads)
+		for i := 0; i < k; i++ {
+			pl[filled[i].intra] = nil
+		}
+		combos++
+		if out, corr, err := try(pl); err == nil {
+			return out, corr, combos, nil
+		}
+	}
+	return nil, 0, combos, fmt.Errorf("%w: block %d version %d", ErrDecode, block, version)
+}
+
+// unitSeed derives the per-unit randomizer stream id.
+func unitSeed(block, version int) uint64 {
+	return uint64(block)<<8 | uint64(version)
+}
+
+// UnitSeed exposes the per-unit randomizer stream id for encoders, so
+// the write path in package blockstore whitens with the exact stream the
+// decoder expects.
+func UnitSeed(block, version int) uint64 { return unitSeed(block, version) }

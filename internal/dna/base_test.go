@@ -1,0 +1,187 @@
+package dna
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseRoundTrip(t *testing.T) {
+	for _, b := range []Base{A, C, G, T} {
+		got, err := ParseBase(byte(b.Rune()))
+		if err != nil {
+			t.Fatalf("ParseBase(%v): %v", b, err)
+		}
+		if got != b {
+			t.Errorf("round trip %v -> %v", b, got)
+		}
+	}
+	if _, err := ParseBase('X'); err == nil {
+		t.Error("ParseBase('X') should fail")
+	}
+}
+
+func TestBaseComplement(t *testing.T) {
+	pairs := map[Base]Base{A: T, C: G, G: C, T: A}
+	for b, want := range pairs {
+		if got := b.Complement(); got != want {
+			t.Errorf("Complement(%v) = %v want %v", b, got, want)
+		}
+		if b.Complement().Complement() != b {
+			t.Errorf("double complement of %v not identity", b)
+		}
+	}
+}
+
+func TestIsGC(t *testing.T) {
+	if A.IsGC() || T.IsGC() {
+		t.Error("A/T reported as GC")
+	}
+	if !G.IsGC() || !C.IsGC() {
+		t.Error("G/C not reported as GC")
+	}
+}
+
+func TestFromString(t *testing.T) {
+	s, err := FromString("ACGTacgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "ACGTACGT" {
+		t.Errorf("got %q", s.String())
+	}
+	if _, err := FromString("ACGN"); err == nil {
+		t.Error("expected error for N")
+	}
+}
+
+func TestSeqEqualAndClone(t *testing.T) {
+	s := MustFromString("ACGT")
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c[0] = T
+	if s.Equal(c) {
+		t.Fatal("mutating clone affected original comparison")
+	}
+	if s[0] != A {
+		t.Fatal("clone aliases original")
+	}
+	if s.Equal(MustFromString("ACG")) {
+		t.Error("different lengths compared equal")
+	}
+}
+
+func TestPrefixSuffix(t *testing.T) {
+	s := MustFromString("ACGTAC")
+	if !s.HasPrefix(MustFromString("ACG")) {
+		t.Error("prefix not detected")
+	}
+	if s.HasPrefix(MustFromString("CG")) {
+		t.Error("false prefix")
+	}
+	if !s.HasSuffix(MustFromString("TAC")) {
+		t.Error("suffix not detected")
+	}
+	if s.HasSuffix(MustFromString("ACGTACG")) {
+		t.Error("over-long suffix accepted")
+	}
+	if !s.HasPrefix(nil) || !s.HasSuffix(nil) {
+		t.Error("empty prefix/suffix should match")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat(MustFromString("AC"), nil, MustFromString("GT"))
+	if got.String() != "ACGT" {
+		t.Errorf("Concat = %q", got)
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	s := MustFromString("AACG")
+	if got := s.ReverseComplement().String(); got != "CGTT" {
+		t.Errorf("RC = %q want CGTT", got)
+	}
+	// Property: reverse complement is an involution.
+	f := func(raw []byte) bool {
+		seq := make(Seq, len(raw))
+		for i, v := range raw {
+			seq[i] = Base(v % 4)
+		}
+		return seq.ReverseComplement().ReverseComplement().Equal(seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCContent(t *testing.T) {
+	cases := []struct {
+		s    string
+		want float64
+	}{
+		{"", 0},
+		{"AT", 0},
+		{"GC", 1},
+		{"ACGT", 0.5},
+		{"GGGA", 0.75},
+	}
+	for _, c := range cases {
+		if got := MustFromString(c.s).GCContent(); got != c.want {
+			t.Errorf("GCContent(%q) = %v want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestMaxHomopolymer(t *testing.T) {
+	cases := []struct {
+		s    string
+		want int
+	}{
+		{"", 0},
+		{"A", 1},
+		{"ACGT", 1},
+		{"AACGT", 2},
+		{"ACGGGT", 3},
+		{"TTTT", 4},
+	}
+	for _, c := range cases {
+		if got := MustFromString(c.s).MaxHomopolymer(); got != c.want {
+			t.Errorf("MaxHomopolymer(%q) = %d want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestIndex(t *testing.T) {
+	s := MustFromString("ACGTACGT")
+	if got := s.Index(MustFromString("GTA")); got != 2 {
+		t.Errorf("Index = %d want 2", got)
+	}
+	if got := s.Index(MustFromString("TTT")); got != -1 {
+		t.Errorf("Index of absent = %d want -1", got)
+	}
+	if got := s.Index(nil); got != 0 {
+		t.Errorf("Index of empty = %d want 0", got)
+	}
+}
+
+func TestMeltingTempMonotoneInGC(t *testing.T) {
+	// For a fixed length, more GC means higher Tm under both formulas.
+	low := MustFromString("ATATATATATATATATATAT")
+	high := MustFromString("GCGCGCGCGCATATATATAT")
+	if low.MeltingTemp() >= high.MeltingTemp() {
+		t.Errorf("Tm not monotone: %v >= %v", low.MeltingTemp(), high.MeltingTemp())
+	}
+	short := MustFromString("ACGT")
+	if got := short.MeltingTemp(); got != 2*2+4*2 {
+		t.Errorf("Wallace rule for ACGT = %v want 12", got)
+	}
+	// The paper's elongated 31-base primers melt at 63-64C with ~50% GC;
+	// our estimate should be in a plausible window for such a primer.
+	p := MustFromString("ACGTACGTACGTACGTACGTACGTACGTACG")
+	tm := p.MeltingTemp()
+	if tm < 55 || tm > 75 {
+		t.Errorf("31-mer Tm %v outside plausible window", tm)
+	}
+}

@@ -1,0 +1,296 @@
+package dna
+
+// This file implements the distance metrics used across the system:
+// Hamming distance for primer-library screening (Section 1), and
+// Levenshtein (edit) distance for read clustering (Section 2.1.2) and for
+// the PCR mispriming model (Section 8.1: "the incorrectly amplified strands
+// largely had indexes that were very close to the indexes of our target
+// block in edit distance ... usually 2 or 3 edit distance apart").
+
+// Hamming returns the Hamming distance between equal-length sequences.
+// It panics if the lengths differ, since a Hamming distance between
+// different-length sequences is undefined.
+func Hamming(a, b Seq) int {
+	if len(a) != len(b) {
+		panic("dna: Hamming distance requires equal lengths")
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// HammingAtMost reports whether Hamming(a, b) <= k, short-circuiting as
+// soon as the bound is exceeded. Used in the primer-library greedy search
+// where most pairs fail the threshold early.
+func HammingAtMost(a, b Seq, k int) bool {
+	if len(a) != len(b) {
+		panic("dna: Hamming distance requires equal lengths")
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+			if d > k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Levenshtein returns the edit distance between a and b: the minimum
+// number of insertions, deletions, and substitutions transforming one
+// into the other. O(len(a)*len(b)) time, O(min) space.
+func Levenshtein(a, b Seq) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	// b is the shorter sequence; keep one row of the DP matrix.
+	n := len(b)
+	row := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := row[0] // row[i-1][0]
+		row[0] = i
+		for j := 1; j <= n; j++ {
+			cur := row[j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev + cost
+			if v := row[j] + 1; v < best {
+				best = v
+			}
+			if v := row[j-1] + 1; v < best {
+				best = v
+			}
+			row[j] = best
+			prev = cur
+		}
+	}
+	return row[n]
+}
+
+// LevenshteinAtMost reports whether the edit distance between a and b is
+// at most k, using a banded dynamic program that runs in O(k*max(len))
+// time. This is the workhorse of read clustering, where reads from the
+// same strand are within a small radius and most cross-strand pairs are
+// rejected cheaply.
+func LevenshteinAtMost(a, b Seq, k int) bool {
+	if k < 0 {
+		return false
+	}
+	la, lb := len(a), len(b)
+	if la-lb > k || lb-la > k {
+		return false
+	}
+	if la < lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	// Band of width 2k+1 around the diagonal.
+	const inf = 1 << 30
+	width := 2*k + 1
+	prev := make([]int, width)
+	cur := make([]int, width)
+	// prev[d] corresponds to cell (i-1, j) with j = (i-1) + (d - k).
+	for d := 0; d < width; d++ {
+		j := 0 + (d - k)
+		if j < 0 || j > lb {
+			prev[d] = inf
+		} else {
+			prev[d] = j // first row: distance from empty prefix
+		}
+	}
+	for i := 1; i <= la; i++ {
+		for d := 0; d < width; d++ {
+			j := i + (d - k)
+			if j < 0 || j > lb {
+				cur[d] = inf
+				continue
+			}
+			best := inf
+			if j > 0 && d > 0 {
+				// deletion from b / insertion into a: cell (i, j-1)
+				if v := cur[d-1]; v < inf {
+					best = v + 1
+				}
+			}
+			// cell (i-1, j): same j means band offset d+1 in prev row.
+			if d+1 < width {
+				if v := prev[d+1]; v < inf && v+1 < best {
+					best = v + 1
+				}
+			}
+			if j > 0 {
+				// cell (i-1, j-1): same band offset d in prev row.
+				if v := prev[d]; v < inf {
+					cost := 1
+					if a[i-1] == b[j-1] {
+						cost = 0
+					}
+					if v+cost < best {
+						best = v + cost
+					}
+				}
+			} else {
+				best = i
+			}
+			cur[d] = best
+		}
+		prev, cur = cur, prev
+		// Early exit: if the whole band exceeds k the distance must too.
+		minRow := inf
+		for _, v := range prev {
+			if v < minRow {
+				minRow = v
+			}
+		}
+		if minRow > k {
+			return false
+		}
+	}
+	d := lb - la + k // band offset of cell (la, lb)
+	return d >= 0 && d < width && prev[d] <= k
+}
+
+// PrefixAlignment returns the minimum edit distance between pattern and
+// any prefix of text, along with the end position of the best-matching
+// prefix. This is the binding model for a PCR primer annealing to the
+// start of a template: the primer (pattern) must align against the
+// template's leading bases, but synthesis and sequencing indels mean the
+// matching region may be slightly shorter or longer than the primer.
+func PrefixAlignment(pattern, text Seq) (dist, end int) {
+	m, n := len(pattern), len(text)
+	if m == 0 {
+		return 0, 0
+	}
+	// DP over pattern prefix (rows) vs text prefix (cols); free end in text.
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j // insertions before pattern start are charged
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if pattern[i-1] == text[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	bestDist, bestEnd := prev[0], 0
+	for j := 1; j <= n; j++ {
+		if prev[j] < bestDist {
+			bestDist, bestEnd = prev[j], j
+		}
+	}
+	return bestDist, bestEnd
+}
+
+// FindApprox searches text for an approximate occurrence of pattern with
+// edit distance at most k, returning the end index of the leftmost best
+// match and its distance, or (-1, k+1) if none exists. It is used to
+// locate primers inside noisy sequencing reads before trimming.
+func FindApprox(pattern, text Seq, k int) (end, dist int) {
+	m, n := len(pattern), len(text)
+	if m == 0 {
+		return 0, 0
+	}
+	// Sellers' algorithm: semi-global alignment, free start in text.
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	// first row all zeros: match may start anywhere in text.
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if pattern[i-1] == text[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	bestEnd, bestDist := -1, k+1
+	for j := 1; j <= n; j++ {
+		if prev[j] < bestDist {
+			bestDist, bestEnd = prev[j], j
+		}
+	}
+	if bestDist > k {
+		return -1, k + 1
+	}
+	return bestEnd, bestDist
+}
+
+// FindApproxRight is FindApprox preferring the rightmost best match.
+// Use it to locate a primer that is expected near the end of a read:
+// with periodic primers, a payload that coincidentally extends the
+// primer's period would otherwise produce an equally good earlier match.
+func FindApproxRight(pattern, text Seq, k int) (end, dist int) {
+	m, n := len(pattern), len(text)
+	if m == 0 {
+		return n, 0
+	}
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if pattern[i-1] == text[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	bestEnd, bestDist := -1, k+1
+	for j := 1; j <= n; j++ {
+		if prev[j] <= bestDist && prev[j] <= k {
+			bestDist, bestEnd = prev[j], j
+		}
+	}
+	if bestEnd < 0 {
+		return -1, k + 1
+	}
+	return bestEnd, bestDist
+}

@@ -1,0 +1,235 @@
+package dna
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dnastore/internal/rng"
+)
+
+func randomSeq(r *rng.Source, n int) Seq {
+	s := make(Seq, n)
+	for i := range s {
+		s[i] = Base(r.Intn(4))
+	}
+	return s
+}
+
+func TestHamming(t *testing.T) {
+	a := MustFromString("ACGT")
+	b := MustFromString("ACGA")
+	if got := Hamming(a, b); got != 1 {
+		t.Errorf("Hamming = %d want 1", got)
+	}
+	if got := Hamming(a, a); got != 0 {
+		t.Errorf("self distance %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unequal lengths")
+		}
+	}()
+	Hamming(a, MustFromString("ACG"))
+}
+
+func TestHammingAtMost(t *testing.T) {
+	a := MustFromString("AAAAAA")
+	b := MustFromString("AATTAA")
+	if !HammingAtMost(a, b, 2) {
+		t.Error("distance 2 should satisfy k=2")
+	}
+	if HammingAtMost(a, b, 1) {
+		t.Error("distance 2 should fail k=1")
+	}
+}
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"A", "", 1},
+		{"", "ACG", 3},
+		{"ACGT", "ACGT", 0},
+		{"ACGT", "AGT", 1},   // deletion
+		{"ACGT", "ACGTA", 1}, // insertion
+		{"ACGT", "ACTT", 1},  // substitution
+		{"ACGT", "TGCA", 4},
+		{"GATTACA", "GCATGCT", 4},
+	}
+	for _, c := range cases {
+		got := Levenshtein(MustFromString(c.a), MustFromString(c.b))
+		if got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetric(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		a := randomSeq(r, r.Intn(20))
+		b := randomSeq(r, r.Intn(20))
+		if Levenshtein(a, b) != Levenshtein(b, a) {
+			t.Fatalf("asymmetric for %v / %v", a, b)
+		}
+	}
+}
+
+func TestLevenshteinTriangleInequality(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 200; i++ {
+		a := randomSeq(r, 5+r.Intn(15))
+		b := randomSeq(r, 5+r.Intn(15))
+		c := randomSeq(r, 5+r.Intn(15))
+		ab, bc, ac := Levenshtein(a, b), Levenshtein(b, c), Levenshtein(a, c)
+		if ac > ab+bc {
+			t.Fatalf("triangle violated: d(a,c)=%d > %d+%d", ac, ab, bc)
+		}
+	}
+}
+
+func TestLevenshteinBoundedBySingleEdit(t *testing.T) {
+	// Property: mutating one position changes edit distance by at most 1.
+	r := rng.New(3)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		s := randomSeq(rr, 10+rr.Intn(20))
+		m := s.Clone()
+		i := rr.Intn(len(m))
+		m[i] = Base((int(m[i]) + 1 + rr.Intn(3)) % 4)
+		return Levenshtein(s, m) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: nil}); err != nil {
+		t.Error(err)
+	}
+	_ = r
+}
+
+func TestLevenshteinAtMostAgreesWithExact(t *testing.T) {
+	r := rng.New(4)
+	for i := 0; i < 500; i++ {
+		a := randomSeq(r, r.Intn(25))
+		b := randomSeq(r, r.Intn(25))
+		d := Levenshtein(a, b)
+		for _, k := range []int{0, 1, 2, 3, 5, 8} {
+			got := LevenshteinAtMost(a, b, k)
+			want := d <= k
+			if got != want {
+				t.Fatalf("LevenshteinAtMost(%v,%v,%d) = %v, exact distance %d",
+					a, b, k, got, d)
+			}
+		}
+	}
+}
+
+func TestLevenshteinAtMostNegativeK(t *testing.T) {
+	if LevenshteinAtMost(MustFromString("A"), MustFromString("A"), -1) {
+		t.Error("negative k should always be false")
+	}
+}
+
+func TestPrefixAlignment(t *testing.T) {
+	pattern := MustFromString("ACGTAC")
+	text := MustFromString("ACGTACGGGGTTTT")
+	d, end := PrefixAlignment(pattern, text)
+	if d != 0 || end != 6 {
+		t.Errorf("exact prefix: d=%d end=%d want 0,6", d, end)
+	}
+	// One substitution in the prefix region.
+	text2 := MustFromString("ACTTACGGGG")
+	d2, _ := PrefixAlignment(pattern, text2)
+	if d2 != 1 {
+		t.Errorf("one substitution: d=%d want 1", d2)
+	}
+	// Deletion in the text.
+	text3 := MustFromString("ACGAC" + "GGGG")
+	d3, _ := PrefixAlignment(pattern, text3)
+	if d3 != 1 {
+		t.Errorf("one deletion: d=%d want 1", d3)
+	}
+	// Totally unrelated prefix has high distance.
+	d4, _ := PrefixAlignment(pattern, MustFromString("TTTTTTTTTT"))
+	if d4 < 4 {
+		t.Errorf("unrelated prefix distance %d too low", d4)
+	}
+	if d, end := PrefixAlignment(nil, text); d != 0 || end != 0 {
+		t.Errorf("empty pattern: d=%d end=%d", d, end)
+	}
+}
+
+func TestFindApprox(t *testing.T) {
+	text := MustFromString("TTTTACGTACGTTTTT")
+	pattern := MustFromString("ACGTACGT")
+	end, d := FindApprox(pattern, text, 1)
+	if d != 0 {
+		t.Errorf("exact occurrence: d=%d", d)
+	}
+	if end != 12 {
+		t.Errorf("end=%d want 12", end)
+	}
+	// With one error in the text.
+	text2 := MustFromString("TTTTACGAACGTTTTT")
+	_, d2 := FindApprox(pattern, text2, 2)
+	if d2 != 1 {
+		t.Errorf("one error: d=%d want 1", d2)
+	}
+	// Absent pattern.
+	end3, d3 := FindApprox(MustFromString("GGGGGGGG"), MustFromString("ATATATAT"), 2)
+	if end3 != -1 || d3 != 3 {
+		t.Errorf("absent pattern: end=%d d=%d", end3, d3)
+	}
+}
+
+func TestFindApproxRight(t *testing.T) {
+	// A periodic pattern occurring twice: the rightmost match must win.
+	text := MustFromString("TTTTACGAACGTTTACGAACGTT")
+	pattern := MustFromString("ACGAACG")
+	end, d := FindApproxRight(pattern, text, 1)
+	if d != 0 {
+		t.Errorf("d=%d want 0", d)
+	}
+	if end != 21 {
+		t.Errorf("end=%d want 21 (rightmost)", end)
+	}
+	// The failure mode that motivated this function: periodic primer
+	// TGCA x5 preceded by a payload that happens to end in TGCA.
+	primer := MustFromString("TGCATGCATGCATGCATGCA")
+	read := Concat(MustFromString("GGCCTGCA"), primer)
+	end, d = FindApproxRight(primer, read, 3)
+	if end != len(read) || d != 0 {
+		t.Errorf("periodic primer: end=%d d=%d want %d,0", end, d, len(read))
+	}
+	// Absent pattern.
+	if end, _ := FindApproxRight(MustFromString("GGGGGGGG"), MustFromString("ATATATAT"), 2); end != -1 {
+		t.Errorf("absent pattern end=%d", end)
+	}
+	// Empty pattern matches at the very end.
+	if end, d := FindApproxRight(nil, text, 0); end != len(text) || d != 0 {
+		t.Errorf("empty pattern: %d %d", end, d)
+	}
+}
+
+func BenchmarkLevenshtein150(b *testing.B) {
+	r := rng.New(1)
+	x := randomSeq(r, 150)
+	y := randomSeq(r, 150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Levenshtein(x, y)
+	}
+}
+
+func BenchmarkLevenshteinAtMost150(b *testing.B) {
+	r := rng.New(1)
+	x := randomSeq(r, 150)
+	y := x.Clone()
+	y[10] = Base((int(y[10]) + 1) % 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LevenshteinAtMost(x, y, 8)
+	}
+}

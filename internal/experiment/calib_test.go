@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestCalibration prints the fig9 shapes for manual parameter calibration.
+func TestCalibration(t *testing.T) {
+	if os.Getenv("CALIB") == "" {
+		t.Skip("set CALIB=1 to run")
+	}
+	t0 := time.Now()
+	w, err := Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("build: %v, tube species=%d alice strands=%d\n", time.Since(t0), w.Store.Tube().Len(), w.AliceStrands())
+
+	t1 := time.Now()
+	a, err := Fig9a(w, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("fig9a took %v\n", time.Since(t1))
+	PrintFig9a(os.Stdout, a)
+
+	t2 := time.Now()
+	b, err := Fig9Elongated(w, a.Amplified, 531, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("fig9b took %v\n", time.Since(t2))
+	PrintFig9b(os.Stdout, b)
+
+	c, err := Fig9Elongated(w, a.Amplified, 144, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig9b(os.Stdout, c)
+}

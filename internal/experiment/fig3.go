@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"dnastore/internal/layout"
+)
+
+// Fig3Result carries the Figure 3 series: capacity and density of one
+// partition as a function of index length, for 20- and 30-base primers.
+type Fig3Result struct {
+	Primer20 []layout.CapacityPoint
+	Primer30 []layout.CapacityPoint
+	// WorldDataLog2Bytes marks the "world's data in 2023" reference line
+	// (~120 ZB).
+	WorldDataLog2Bytes float64
+}
+
+// Fig3 computes the capacity/density curves for 150-base strands.
+func Fig3() (*Fig3Result, error) {
+	c20, err := layout.CapacityCurve(150, 20)
+	if err != nil {
+		return nil, err
+	}
+	c30, err := layout.CapacityCurve(150, 30)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{
+		Primer20:           c20,
+		Primer30:           c30,
+		WorldDataLog2Bytes: 76.7, // 120 ZB
+	}, nil
+}
+
+// PrintFig3 writes the Figure 3 table: one row per index length.
+func PrintFig3(out io.Writer, r *Fig3Result) {
+	fmt.Fprintln(out, "Figure 3: partition capacity and information density vs index length (strand 150)")
+	fmt.Fprintf(out, "%6s  %22s  %22s\n", "", "primer length 20", "primer length 30")
+	fmt.Fprintf(out, "%6s  %12s %9s  %12s %9s\n",
+		"L", "log2(bytes)", "bits/base", "log2(bytes)", "bits/base")
+	for i := 0; i < len(r.Primer20); i += 5 {
+		p20 := r.Primer20[i]
+		row := fmt.Sprintf("%6d  %12.1f %9.3f", p20.IndexLen, p20.CapacityLog2Bytes, p20.BitsPerBase)
+		if i < len(r.Primer30) {
+			p30 := r.Primer30[i]
+			row += fmt.Sprintf("  %12.1f %9.3f", p30.CapacityLog2Bytes, p30.BitsPerBase)
+		}
+		fmt.Fprintln(out, row)
+	}
+	last := r.Primer20[len(r.Primer20)-1]
+	fmt.Fprintf(out, "  max capacity: 2^%.0f bytes (paper: ~2^217); world's 2023 data: 2^%.1f bytes\n",
+		last.CapacityLog2Bytes, r.WorldDataLog2Bytes)
+}

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRelatedComparison(t *testing.T) {
+	r := Related()
+	if r.NestedExtraBases != 4*r.ElongationExtraBases {
+		t.Errorf("per-level overhead %d vs %d: paper says nested is 4x",
+			r.ElongationExtraBases, r.NestedExtraBases)
+	}
+	if r.ElongationAddresses != 1024 {
+		t.Errorf("10-base elongation addresses %d want 1024", r.ElongationAddresses)
+	}
+	if r.NestedDensityLossRatio < 10 {
+		t.Errorf("nested 6-level density gap %.1fx, paper says >=10x", r.NestedDensityLossRatio)
+	}
+	var buf bytes.Buffer
+	PrintRelated(&buf, r)
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestAllocStudy(t *testing.T) {
+	r, err := Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AlignedPrefixes >= r.NaivePrefixes {
+		t.Errorf("aligned %d prefixes not below naive %d",
+			r.AlignedPrefixes, r.NaivePrefixes)
+	}
+	// Power-of-four files are always 1 prefix when aligned; the mixed
+	// workload has 4 such files, so the total must be close to the file
+	// count plus cover costs of the odd-sized ones.
+	if r.AlignedPrefixes > 4*len(r.FileBlocks) {
+		t.Errorf("aligned prefixes %d implausibly high", r.AlignedPrefixes)
+	}
+	var buf bytes.Buffer
+	PrintAlloc(&buf, r)
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}

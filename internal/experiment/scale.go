@@ -1,0 +1,311 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"dnastore/internal/blockstore"
+	"dnastore/internal/dna"
+	"dnastore/internal/indextree"
+	"dnastore/internal/layout"
+	"dnastore/internal/pcr"
+	"dnastore/internal/pool"
+	"dnastore/internal/primer"
+	"dnastore/internal/rng"
+	"dnastore/internal/stats"
+)
+
+// PrimerYieldResult reproduces the Section 1 empirical claim: the
+// number of mutually compatible primers grows roughly linearly with
+// primer length (a scaled-down greedy search).
+type PrimerYieldResult struct {
+	Yield20, Yield30 int
+	Ratio            float64
+}
+
+// PrimerYield runs the scaled-down library searches.
+func PrimerYield(candidates int) PrimerYieldResult {
+	run := func(length, minDist int) int {
+		c := primer.DefaultConstraints()
+		c.Length = length
+		c.MinPairDistance = minDist
+		c.TmMin, c.TmMax = 0, 200
+		lib := primer.NewLibrary(c)
+		lib.Search(rng.New(7), 1<<30, candidates)
+		return lib.Len()
+	}
+	res := PrimerYieldResult{
+		Yield20: run(20, 10),
+		Yield30: run(30, 15),
+	}
+	if res.Yield20 > 0 {
+		res.Ratio = float64(res.Yield30) / float64(res.Yield20)
+	}
+	return res
+}
+
+// PrintPrimerYield writes the scaling comparison.
+func PrintPrimerYield(out io.Writer, r PrimerYieldResult) {
+	fmt.Fprintln(out, "Primer library scaling (Section 1, scaled-down search)")
+	fmt.Fprintf(out, "  length 20: %d primers; length 30: %d primers; ratio %.2fx\n",
+		r.Yield20, r.Yield30, r.Ratio)
+	fmt.Fprintln(out, "  (paper: ~1000-3000 at length 20, ~10K at length 30 — roughly linear, far from 4^10x)")
+}
+
+// misprimeFraction builds a one-strand-per-block pool over the given
+// tree and measures the misprimed mass fraction of an elongated access.
+func misprimeFraction(tree *indextree.Tree, blocks, payloadBases, target int, seed uint64) (float64, error) {
+	fwd := dna.MustFromString("ACGGATCTAGCTACGGTCAA")
+	rev := dna.MustFromString("GGCATCAATCGGTACGTCTA")
+	r := rng.New(seed)
+	p := pool.New()
+	for b := 0; b < blocks; b++ {
+		idx, err := tree.Encode(b)
+		if err != nil {
+			return 0, err
+		}
+		payload := make(dna.Seq, payloadBases)
+		for i := range payload {
+			payload[i] = dna.Base(r.Intn(4))
+		}
+		seq := dna.Concat(fwd, dna.Seq{dna.A}, idx, payload, rev)
+		p.Add(seq, 1000, pool.Meta{Block: b, OriginBlock: b})
+	}
+	idx, err := tree.Encode(target)
+	if err != nil {
+		return 0, err
+	}
+	ep := dna.Concat(fwd, dna.Seq{dna.A}, idx)
+	params := pcr.DefaultParams()
+	params.Capacity = 6 * p.Total()
+	out, st, err := pcr.Run(p, []pcr.Primer{{Fwd: ep, Rev: rev, Conc: 1}}, params)
+	if err != nil {
+		return 0, err
+	}
+	return st.MisprimedMass / out.Total(), nil
+}
+
+// ScaleResult reproduces Section 7.7.1-2: mispriming depends on block
+// count, not block size; two-sided elongation scales the address space
+// to ~10^6 blocks.
+type ScaleResult struct {
+	// MisprimeByBlockCount maps tree depth -> misprime fraction.
+	MisprimeByBlockCount map[int]float64
+	// MisprimeByPayload maps payload bases -> misprime fraction at a
+	// fixed depth.
+	MisprimeByPayload map[int]float64
+	// TwoSidedBlocks is the address count from extending both primers by
+	// 10 bases (paper: 1024^2).
+	TwoSidedBlocks int
+	// TwoSidedOK reports a deep tree round-trip at that scale.
+	TwoSidedOK bool
+}
+
+// Scale runs the block-count and block-size sweeps.
+func Scale() (*ScaleResult, error) {
+	res := &ScaleResult{
+		MisprimeByBlockCount: make(map[int]float64),
+		MisprimeByPayload:    make(map[int]float64),
+	}
+	for _, depth := range []int{3, 4, 5} {
+		tree, err := indextree.New(depth, 42)
+		if err != nil {
+			return nil, err
+		}
+		blocks := tree.Leaves()
+		if blocks > 512 {
+			blocks = 512 // cap the pool size; fraction saturates well before
+		}
+		f, err := misprimeFraction(tree, blocks, 96, blocks/2, uint64(depth))
+		if err != nil {
+			return nil, err
+		}
+		res.MisprimeByBlockCount[depth] = f
+	}
+	tree, err := indextree.New(4, 42)
+	if err != nil {
+		return nil, err
+	}
+	for _, payload := range []int{48, 96, 192} {
+		f, err := misprimeFraction(tree, tree.Leaves(), payload, 100, uint64(payload))
+		if err != nil {
+			return nil, err
+		}
+		res.MisprimeByPayload[payload] = f
+	}
+	// Two-sided elongation: 10 bases on each primer = a depth-10 sparse
+	// tree's address space.
+	deep, err := indextree.New(10, 7)
+	if err != nil {
+		return nil, err
+	}
+	res.TwoSidedBlocks = deep.Leaves()
+	leaf := 1<<20 - 12345
+	idx, err := deep.Encode(leaf)
+	if err != nil {
+		return nil, err
+	}
+	back, err := deep.Decode(idx)
+	res.TwoSidedOK = err == nil && back == leaf
+	return res, nil
+}
+
+// PrintScale writes the Section 7.7 analysis.
+func PrintScale(out io.Writer, r *ScaleResult) {
+	fmt.Fprintln(out, "Scalability (Section 7.7)")
+	for _, d := range []int{3, 4, 5} {
+		blocks := 1 << (2 * uint(d))
+		fmt.Fprintf(out, "  %5d blocks (depth %d): misprime fraction %5.1f%%\n",
+			blocks, d, 100*r.MisprimeByBlockCount[d])
+	}
+	for _, p := range []int{48, 96, 192} {
+		fmt.Fprintf(out, "  payload %3d bases (fixed 256 blocks): misprime fraction %5.1f%%\n",
+			p, 100*r.MisprimeByPayload[p])
+	}
+	fmt.Fprintln(out, "  (paper: mispriming depends on block count, not block size)")
+	fmt.Fprintf(out, "  two-sided elongation: %d addressable blocks (paper: 1024^2 ~ 10^6), round-trip ok: %v\n",
+		r.TwoSidedBlocks, r.TwoSidedOK)
+}
+
+// TreeAblationResult isolates the contribution of each index-tree design
+// choice (Section 4.3) to PCR precision.
+type TreeAblationResult struct {
+	// MisprimeByVariant maps variant name -> misprime fraction on the
+	// same workload.
+	MisprimeByVariant map[string]float64
+	// GCBalanced and MaxHomopolymer report index-quality metrics per
+	// variant.
+	GCDeviation    map[string]float64 // mean |GC-0.5| over full indexes
+	MaxHomopolymer map[string]int
+}
+
+// TreeAblation measures misprime fractions for the paper's scheme, the
+// random-spacer ablation, and the dense baseline.
+func TreeAblation() (*TreeAblationResult, error) {
+	res := &TreeAblationResult{
+		MisprimeByVariant: make(map[string]float64),
+		GCDeviation:       make(map[string]float64),
+		MaxHomopolymer:    make(map[string]int),
+	}
+	for _, v := range []indextree.Variant{indextree.Sparse, indextree.SparseRandom, indextree.Dense} {
+		tree, err := indextree.NewVariant(4, 42, v)
+		if err != nil {
+			return nil, err
+		}
+		f, err := misprimeFraction(tree, tree.Leaves(), 96, 100, 11)
+		if err != nil {
+			return nil, err
+		}
+		name := v.String()
+		res.MisprimeByVariant[name] = f
+		var dev float64
+		maxHP := 0
+		for b := 0; b < tree.Leaves(); b++ {
+			idx, err := tree.Encode(b)
+			if err != nil {
+				return nil, err
+			}
+			d := idx.GCContent() - 0.5
+			if d < 0 {
+				d = -d
+			}
+			dev += d
+			if hp := idx.MaxHomopolymer(); hp > maxHP {
+				maxHP = hp
+			}
+		}
+		res.GCDeviation[name] = dev / float64(tree.Leaves())
+		res.MaxHomopolymer[name] = maxHP
+	}
+	return res, nil
+}
+
+// PrintTreeAblation writes the ablation table.
+func PrintTreeAblation(out io.Writer, r *TreeAblationResult) {
+	fmt.Fprintln(out, "Index-tree ablation (Section 4.3 design choices)")
+	fmt.Fprintf(out, "  %-14s %10s %12s %8s\n", "variant", "misprime", "mean|GC-.5|", "maxHP")
+	for _, name := range []string{"sparse", "sparse-random", "dense"} {
+		fmt.Fprintf(out, "  %-14s %9.1f%% %12.3f %8d\n",
+			name, 100*r.MisprimeByVariant[name], r.GCDeviation[name], r.MaxHomopolymer[name])
+	}
+	fmt.Fprintln(out, "  (sparse must have exact GC balance, homopolymer <= 2, lowest misprime)")
+}
+
+// DensityResult reproduces the Section 4.3 overhead arithmetic.
+type DensityResult struct {
+	Loss150  float64 // 10- vs 5-base index on 150-base strands (~3%)
+	Loss1500 float64 // same on 1500-base strands (~0.3%)
+	Primer30 float64 // 30-base primers on 150-base strands (~22%)
+}
+
+// Density computes the information-density overheads.
+func Density() DensityResult {
+	return DensityResult{
+		Loss150:  layout.DensityLoss(150, 20, 5, 10),
+		Loss1500: layout.DensityLoss(1500, 20, 5, 10),
+		Primer30: layout.PrimerDensityLoss(150, 20, 30),
+	}
+}
+
+// PrintDensity writes the Section 4.3 overheads.
+func PrintDensity(out io.Writer, d DensityResult) {
+	fmt.Fprintln(out, "Index density overhead (Section 4.3)")
+	fmt.Fprintf(out, "  sparse 10-base index, 150-base strands:  %4.1f%% (paper: ~3%%)\n", 100*d.Loss150)
+	fmt.Fprintf(out, "  sparse 10-base index, 1500-base strands: %4.2f%% (paper: ~0.3%%)\n", 100*d.Loss1500)
+	fmt.Fprintf(out, "  30-base primers instead, 150-base strands: %4.1f%% (paper: ~22%%)\n", 100*d.Primer30)
+}
+
+// CacheResult reproduces the Section 7.7.4 elongated-primer management
+// study.
+type CacheResult struct {
+	// HitRate maps "<policy>/<capacity>" to the hit rate under a
+	// Zipf(1.0) block-popularity workload.
+	HitRate  map[string]float64
+	Blocks   int
+	Accesses int
+}
+
+// Cache sweeps cache capacities and policies.
+func Cache(blocks, accesses int) (*CacheResult, error) {
+	z, err := stats.NewZipf(blocks, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	res := &CacheResult{HitRate: make(map[string]float64), Blocks: blocks, Accesses: accesses}
+	for _, policy := range []blockstore.CachePolicy{blockstore.LRU, blockstore.LFU} {
+		for _, capFrac := range []int{16, 64, 256} {
+			c, err := blockstore.NewPrimerCache(capFrac, policy)
+			if err != nil {
+				return nil, err
+			}
+			r := rng.New(uint64(capFrac) * uint64(policy+1))
+			for i := 0; i < accesses; i++ {
+				c.Access(z.Draw(r))
+			}
+			name := fmt.Sprintf("%s/%d", policyName(policy), capFrac)
+			res.HitRate[name] = c.HitRate()
+		}
+	}
+	return res, nil
+}
+
+func policyName(p blockstore.CachePolicy) string {
+	if p == blockstore.LFU {
+		return "LFU"
+	}
+	return "LRU"
+}
+
+// PrintCache writes the cache study.
+func PrintCache(out io.Writer, r *CacheResult) {
+	fmt.Fprintf(out, "Elongated-primer cache (Section 7.7.4; Zipf(1.0), %d blocks, %d accesses)\n",
+		r.Blocks, r.Accesses)
+	for _, policy := range []string{"LRU", "LFU"} {
+		for _, capacity := range []int{16, 64, 256} {
+			key := fmt.Sprintf("%s/%d", policy, capacity)
+			fmt.Fprintf(out, "  %-3s capacity %3d: hit rate %5.1f%%\n",
+				policy, capacity, 100*r.HitRate[key])
+		}
+	}
+	fmt.Fprintln(out, "  (hot blocks pay primer synthesis once and amortize it)")
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestBuildOptions(t *testing.T) {
+	// A reduced build for fast setups: no unrelated files, fewer blocks.
+	w, err := Build(Options{Seed: 5, SkipUnrelated: true, Blocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Book) != 64*BlockBytes {
+		t.Errorf("book size %d", len(w.Book))
+	}
+	// Only blocks below 64 exist, so only the in-range update targets
+	// are patched (none of the paper's six fall below 64... block 531
+	// etc. are skipped).
+	for b := range w.Patches {
+		if b >= 64 {
+			t.Errorf("patch for out-of-range block %d", b)
+		}
+	}
+	if w.Store.Costs().PrimerPairsUsed != 1 {
+		t.Errorf("primer pairs %d want 1 (no unrelated files)", w.Store.Costs().PrimerPairsUsed)
+	}
+}
+
+func TestMixIDTBalancesTube(t *testing.T) {
+	w, err := Build(Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tubeBefore := w.Store.Tube().Len()
+	w.MixIDT(0.03)
+	tube := w.Store.Tube()
+	if tube.Len() != tubeBefore+45 {
+		t.Fatalf("tube species %d want %d", tube.Len(), tubeBefore+45)
+	}
+	// After mixing, the IDT update strands sit near the tube's
+	// per-molecule average rather than 50000x above it.
+	perMol := tube.Total() / float64(tube.Len())
+	var worst float64
+	for _, s := range tube.Species() {
+		if s.Meta.Version > 0 {
+			for _, b := range IDTUpdateBlocks {
+				if s.Meta.Block == b {
+					ratio := s.Abundance / perMol
+					if ratio > worst {
+						worst = ratio
+					}
+				}
+			}
+		}
+	}
+	if worst == 0 || worst > 3 {
+		t.Errorf("IDT strand concentration %.2fx the tube average after mixing", worst)
+	}
+}
+
+func TestMixIDTNoPoolIsNoop(t *testing.T) {
+	w, err := Build(Options{Seed: 7, Blocks: 32, SkipUnrelated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := w.Store.Tube().Len()
+	w.MixIDT(0.03) // IDT pool is empty at 32 blocks (targets out of range)
+	if w.Store.Tube().Len() != before {
+		t.Error("empty IDT mix changed the tube")
+	}
+}

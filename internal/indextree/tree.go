@@ -1,0 +1,365 @@
+// Package indextree implements the paper's primary contribution: the
+// PCR-navigable index tree (Section 4) that turns the internal address
+// space of a partition into a PCR-compatible indexing scheme.
+//
+// The address space of an index of depth d is a 4-ary prefix tree with
+// 4^d leaves, one per block (Section 3.1). Three transformations make the
+// indexes usable as extensions of a PCR primer (Section 4.3):
+//
+//  1. The order of the four edges out of every node is randomized, so
+//     degenerate trees do not produce all-A prefixes.
+//  2. A sparsity letter is inserted after every edge letter, chosen from
+//     the opposite GC class, which balances GC content in every prefix of
+//     every index and caps homopolymer runs at 2.
+//  3. Sparsity letters are assigned to maximize the Hamming distance
+//     between sibling subtrees, breaking ties randomly.
+//
+// The construction is entirely derived from a 64-bit seed, so the tree is
+// never stored (Section 4.4): every node's parameters are recomputed on
+// demand from the seed and the node's path.
+package indextree
+
+import (
+	"errors"
+	"fmt"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// ErrInvalidIndex is returned by Decode for sequences that are not valid
+// indexes of the tree.
+var ErrInvalidIndex = errors.New("indextree: not a valid index")
+
+// Variant selects the indexing scheme, enabling the ablations that
+// motivate the paper's design (Section 4.1 and our `tree` experiment).
+type Variant int
+
+const (
+	// Sparse is the paper's scheme: randomized edges + GC-balancing
+	// spacers assigned for maximum sibling distance. Index length 2d.
+	Sparse Variant = iota
+	// SparseRandom keeps the GC-balancing spacers but assigns them
+	// randomly (ties and collisions allowed), isolating the benefit of
+	// the max-distance assignment. Index length 2d.
+	SparseRandom
+	// Dense is the prior-work maximum-density scheme: base-4 digits of
+	// the block number, no randomization, no spacers. Index length d.
+	Dense
+)
+
+// String implements fmt.Stringer for Variant.
+func (v Variant) String() string {
+	switch v {
+	case Sparse:
+		return "sparse"
+	case SparseRandom:
+		return "sparse-random"
+	case Dense:
+		return "dense"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// MaxDepth bounds tree depth so that leaf counts fit in an int.
+const MaxDepth = 15
+
+// Tree is a PCR-navigable index tree of a fixed depth. The zero value is
+// not usable; construct with New.
+type Tree struct {
+	depth   int
+	seed    uint64
+	variant Variant
+}
+
+// New constructs a tree of the given depth (blocks = 4^depth) for the
+// paper's sparse scheme. The tree is a pure function of (depth, seed).
+func New(depth int, seed uint64) (*Tree, error) {
+	return NewVariant(depth, seed, Sparse)
+}
+
+// NewVariant constructs a tree with an explicit scheme variant.
+func NewVariant(depth int, seed uint64, v Variant) (*Tree, error) {
+	if depth < 1 || depth > MaxDepth {
+		return nil, fmt.Errorf("indextree: depth %d outside [1, %d]", depth, MaxDepth)
+	}
+	if v != Sparse && v != SparseRandom && v != Dense {
+		return nil, fmt.Errorf("indextree: unknown variant %d", int(v))
+	}
+	return &Tree{depth: depth, seed: seed, variant: v}, nil
+}
+
+// MustNew is New that panics on error, for known-good parameters.
+func MustNew(depth int, seed uint64) *Tree {
+	t, err := New(depth, seed)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Depth returns the number of tree levels.
+func (t *Tree) Depth() int { return t.depth }
+
+// Seed returns the construction seed (the only persistent state).
+func (t *Tree) Seed() uint64 { return t.seed }
+
+// Variant returns the indexing scheme.
+func (t *Tree) Variant() Variant { return t.variant }
+
+// Leaves returns the number of addressable blocks, 4^depth.
+func (t *Tree) Leaves() int { return 1 << (2 * uint(t.depth)) }
+
+// IndexLen returns the length in bases of a full leaf index:
+// 2*depth for sparse variants, depth for the dense baseline.
+func (t *Tree) IndexLen() int {
+	if t.variant == Dense {
+		return t.depth
+	}
+	return 2 * t.depth
+}
+
+// nodeParams holds the randomized parameters of one internal node:
+// the edge letter and the sparsity letter for each child rank.
+type nodeParams struct {
+	edge   [4]dna.Base
+	spacer [4]dna.Base
+}
+
+// mix64 is a splitmix64-style finalizer for deriving node seeds.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// node computes the parameters of the internal node identified by its
+// path. The path is encoded as base-4 digits with a leading 1 marker so
+// that distinct paths of different lengths have distinct ids.
+func (t *Tree) node(pathID uint64) nodeParams {
+	r := rng.New(mix64(t.seed ^ mix64(pathID)))
+	var p nodeParams
+	perm := r.Perm(4)
+	for rank := 0; rank < 4; rank++ {
+		p.edge[rank] = dna.Base(perm[rank])
+	}
+	// Partition child ranks by the GC class of their edge letter.
+	var at, gc []int
+	for rank := 0; rank < 4; rank++ {
+		if p.edge[rank].IsGC() {
+			gc = append(gc, rank)
+		} else {
+			at = append(at, rank)
+		}
+	}
+	switch t.variant {
+	case Sparse:
+		// Max-distance assignment: the two A/T children receive C and G
+		// in random order, the two G/C children receive A and T in random
+		// order, guaranteeing sibling Hamming distance >= 2.
+		cg := [2]dna.Base{dna.C, dna.G}
+		ta := [2]dna.Base{dna.A, dna.T}
+		if r.Bool() {
+			cg[0], cg[1] = cg[1], cg[0]
+		}
+		if r.Bool() {
+			ta[0], ta[1] = ta[1], ta[0]
+		}
+		p.spacer[at[0]], p.spacer[at[1]] = cg[0], cg[1]
+		p.spacer[gc[0]], p.spacer[gc[1]] = ta[0], ta[1]
+	case SparseRandom:
+		// Ablation: independently random opposite-class spacer per child;
+		// siblings may collide in the spacer position.
+		for rank := 0; rank < 4; rank++ {
+			if p.edge[rank].IsGC() {
+				p.spacer[rank] = [2]dna.Base{dna.A, dna.T}[r.Intn(2)]
+			} else {
+				p.spacer[rank] = [2]dna.Base{dna.C, dna.G}[r.Intn(2)]
+			}
+		}
+	case Dense:
+		// Dense trees have fixed edge order and no spacers.
+		for rank := 0; rank < 4; rank++ {
+			p.edge[rank] = dna.Base(rank)
+		}
+	}
+	return p
+}
+
+// childID extends a path id with one more base-4 digit.
+func childID(pathID uint64, rank int) uint64 { return pathID<<2 | uint64(rank) }
+
+// rootID is the path id of the root (just the length marker).
+const rootID uint64 = 1
+
+// Encode returns the DNA index of the given leaf (block number).
+func (t *Tree) Encode(leaf int) (dna.Seq, error) {
+	if leaf < 0 || leaf >= t.Leaves() {
+		return nil, fmt.Errorf("indextree: leaf %d outside [0, %d)", leaf, t.Leaves())
+	}
+	out := make(dna.Seq, 0, t.IndexLen())
+	id := rootID
+	for level := t.depth - 1; level >= 0; level-- {
+		rank := (leaf >> (2 * uint(level))) & 3
+		p := t.node(id)
+		out = append(out, p.edge[rank])
+		if t.variant != Dense {
+			out = append(out, p.spacer[rank])
+		}
+		id = childID(id, rank)
+	}
+	return out, nil
+}
+
+// Prefix returns the index prefix identifying the subtree that contains
+// leaf at the given level (0 < levels <= depth): the first 2*levels bases
+// of the leaf's full index (levels bases for the dense variant). Partial
+// prefixes drive PCR with partially elongated primers for sequential
+// access (Figure 4).
+func (t *Tree) Prefix(leaf, levels int) (dna.Seq, error) {
+	if levels < 1 || levels > t.depth {
+		return nil, fmt.Errorf("indextree: levels %d outside [1, %d]", levels, t.depth)
+	}
+	full, err := t.Encode(leaf)
+	if err != nil {
+		return nil, err
+	}
+	per := 2
+	if t.variant == Dense {
+		per = 1
+	}
+	return full[:levels*per], nil
+}
+
+// Decode maps a full DNA index back to its leaf number, validating both
+// the edge letters and the sparsity letters. It returns ErrInvalidIndex
+// for sequences that are not produced by Encode.
+func (t *Tree) Decode(seq dna.Seq) (int, error) {
+	if len(seq) != t.IndexLen() {
+		return 0, fmt.Errorf("%w: length %d, want %d", ErrInvalidIndex, len(seq), t.IndexLen())
+	}
+	leaf := 0
+	id := rootID
+	pos := 0
+	for level := 0; level < t.depth; level++ {
+		p := t.node(id)
+		edge := seq[pos]
+		pos++
+		rank := -1
+		for rk := 0; rk < 4; rk++ {
+			if p.edge[rk] == edge {
+				rank = rk
+				break
+			}
+		}
+		if rank < 0 {
+			return 0, fmt.Errorf("%w: no edge %v at level %d", ErrInvalidIndex, edge, level)
+		}
+		if t.variant != Dense {
+			if spacer := seq[pos]; spacer != p.spacer[rank] {
+				return 0, fmt.Errorf("%w: spacer %v at level %d, want %v",
+					ErrInvalidIndex, spacer, level, p.spacer[rank])
+			}
+			pos++
+		}
+		leaf = leaf<<2 | rank
+		id = childID(id, rank)
+	}
+	return leaf, nil
+}
+
+// CoverRange is one element of a range cover: a subtree prefix and the
+// leaf interval it spans.
+type CoverRange struct {
+	Prefix dna.Seq
+	Lo, Hi int // inclusive leaf range covered by Prefix
+}
+
+// Cover returns the minimal set of subtree prefixes that exactly covers
+// the leaf range [lo, hi] (inclusive). This is the paper's observation
+// that "any contiguous index-range can be precisely described with a few
+// prefixes" (Section 3.1); each prefix becomes one elongated primer in a
+// sequential access.
+func (t *Tree) Cover(lo, hi int) ([]CoverRange, error) {
+	if lo < 0 || hi >= t.Leaves() || lo > hi {
+		return nil, fmt.Errorf("indextree: invalid range [%d, %d] for %d leaves", lo, hi, t.Leaves())
+	}
+	var out []CoverRange
+	var walk func(id uint64, prefix dna.Seq, base, size int)
+	walk = func(id uint64, prefix dna.Seq, base, size int) {
+		if base > hi || base+size-1 < lo {
+			return
+		}
+		if base >= lo && base+size-1 <= hi {
+			out = append(out, CoverRange{
+				Prefix: append(dna.Seq(nil), prefix...),
+				Lo:     base,
+				Hi:     base + size - 1,
+			})
+			return
+		}
+		p := t.node(id)
+		quarter := size / 4
+		for rank := 0; rank < 4; rank++ {
+			child := append(prefix, p.edge[rank])
+			if t.variant != Dense {
+				child = append(child, p.spacer[rank])
+			}
+			walk(childID(id, rank), child, base+rank*quarter, quarter)
+		}
+	}
+	walk(rootID, make(dna.Seq, 0, t.IndexLen()), 0, t.Leaves())
+	return out, nil
+}
+
+// NearestLeaf scans all leaf indexes and returns the leaf whose index is
+// closest in edit distance to seq, together with that distance. maxDist
+// bounds the search; if no leaf is within maxDist the function returns
+// ErrInvalidIndex. Intended for misprime analysis and tolerant decoding
+// on trees of moderate depth (the scan is linear in the leaf count).
+func (t *Tree) NearestLeaf(seq dna.Seq, maxDist int) (leaf, dist int, err error) {
+	bestLeaf, bestDist := -1, maxDist+1
+	for l := 0; l < t.Leaves(); l++ {
+		idx, err := t.Encode(l)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !dna.LevenshteinAtMost(idx, seq, bestDist-1) {
+			continue
+		}
+		d := dna.Levenshtein(idx, seq)
+		if d < bestDist {
+			bestLeaf, bestDist = l, d
+			if d == 0 {
+				break
+			}
+		}
+	}
+	if bestLeaf < 0 {
+		return 0, 0, fmt.Errorf("%w: no leaf within distance %d", ErrInvalidIndex, maxDist)
+	}
+	return bestLeaf, bestDist, nil
+}
+
+// LeavesWithin returns all leaves whose index is within edit distance
+// maxDist of the given index, excluding the exact leaf itself when
+// excludeExact is set. Used by the Section 8.1 misprime analysis.
+func (t *Tree) LeavesWithin(seq dna.Seq, maxDist int, excludeExact bool) []int {
+	var out []int
+	for l := 0; l < t.Leaves(); l++ {
+		idx, err := t.Encode(l)
+		if err != nil {
+			continue
+		}
+		if excludeExact && idx.Equal(seq) {
+			continue
+		}
+		if dna.LevenshteinAtMost(idx, seq, maxDist) {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package layout
+
+import (
+	"bytes"
+	"testing"
+
+	"dnastore/internal/gf"
+	"dnastore/internal/rng"
+)
+
+// bigGeometry is a scaled-up deployment: 1500-base strands (Section 3
+// notes the sparse-index overhead falls to 0.3% there) and a 4-base
+// intra field addressing up to 256 molecules per unit.
+func bigGeometry() Geometry {
+	return Geometry{StrandLen: 1500, PrimerLen: 20, IndexLen: 10, VersionBases: 1, IntraLen: 4}
+}
+
+func TestBigUnitRoundTrip(t *testing.T) {
+	g := bigGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// RS(255, 223) over GF(256): 255 molecules, 223 data.
+	u, err := NewUnitCodecRS(g, gf.GF256, 255, 223)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Molecules() != 255 || u.DataMolecules() != 223 {
+		t.Fatalf("unit shape %d/%d", u.Molecules(), u.DataMolecules())
+	}
+	perMol := g.PayloadBytes() // (1500-40-1-10-1-4)/4 = 361 bytes
+	if u.DataBytes() != 223*perMol {
+		t.Fatalf("unit capacity %d", u.DataBytes())
+	}
+	r := rng.New(1)
+	data := make([]byte, u.DataBytes())
+	for i := range data {
+		data[i] = byte(r.Intn(256))
+	}
+	payloads, err := u.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lose 32 molecules (the full RS(255,223) erasure budget).
+	damaged := make([][]byte, 255)
+	copy(damaged, payloads)
+	for _, j := range r.Perm(255)[:32] {
+		damaged[j] = nil
+	}
+	got, _, err := u.Decode(damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("scaled-up unit erasure recovery failed")
+	}
+	// 16 symbol errors (half the budget as errors).
+	damaged = make([][]byte, 255)
+	for j := range payloads {
+		damaged[j] = append([]byte(nil), payloads[j]...)
+	}
+	for _, j := range r.Perm(255)[:16] {
+		damaged[j][5] ^= 0x5a
+	}
+	got, corrected, err := u.Decode(damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected == 0 {
+		t.Error("no corrections reported")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("scaled-up unit error correction failed")
+	}
+}
+
+func TestNewUnitCodecRSValidation(t *testing.T) {
+	g := PaperGeometry()
+	// 255 molecules do not fit a 2-base intra address.
+	if _, err := NewUnitCodecRS(g, gf.GF256, 255, 223); err == nil {
+		t.Error("255 molecules accepted with 2-base intra field")
+	}
+	if _, err := NewUnitCodecRS(g, gf.GF16, 17, 11); err == nil {
+		t.Error("n > field limit accepted")
+	}
+}
+
+func BenchmarkBigUnitEncode(b *testing.B) {
+	u, err := NewUnitCodecRS(bigGeometry(), gf.GF256, 255, 223)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, u.DataBytes())
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

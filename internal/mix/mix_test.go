@@ -1,0 +1,147 @@
+package mix
+
+import (
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/pcr"
+	"dnastore/internal/pool"
+	"dnastore/internal/rng"
+)
+
+var (
+	fwdP = dna.MustFromString("ACGTACGTACGTACGTACGA")
+	revP = dna.MustFromString("TGCATGCATGCATGCATGCA")
+)
+
+// buildPools creates an original pool (Twist-like, many strands, low
+// concentration) and an update pool (IDT-like, few strands, 50000x more
+// concentrated), all sharing the partition's main primers.
+func buildPools(t *testing.T, r *rng.Source) (orig, upd *pool.Pool, origN, updN int) {
+	t.Helper()
+	origN, updN = 200, 15
+	mkStrand := func(i int, seed uint64) dna.Seq {
+		rr := rng.New(seed)
+		body := make(dna.Seq, 109)
+		for j := range body {
+			body[j] = dna.Base(rr.Intn(4))
+		}
+		return dna.Concat(fwdP, dna.Seq{dna.A}, body, revP)
+	}
+	var origOrders, updOrders []pool.SynthesisOrder
+	for i := 0; i < origN; i++ {
+		origOrders = append(origOrders, pool.SynthesisOrder{
+			Seq:  mkStrand(i, uint64(i)+1),
+			Meta: pool.Meta{Partition: "alice", Block: i, OriginBlock: i, Version: 0},
+		})
+	}
+	for i := 0; i < updN; i++ {
+		updOrders = append(updOrders, pool.SynthesisOrder{
+			Seq:  mkStrand(i, uint64(i)+10_000),
+			Meta: pool.Meta{Partition: "alice", Block: i, OriginBlock: i, Version: 1},
+		})
+	}
+	var err error
+	orig, err = pool.Synthesize(r, origOrders, pool.DefaultTwist())
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, err = pool.Synthesize(r, updOrders, pool.DefaultIDT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, upd, origN, updN
+}
+
+func options() Options {
+	params := pcr.DefaultParams()
+	params.Cycles = 15 // Section 6.4.2 protocols use 15 cycles
+	params.TouchdownStart = 0
+	return Options{
+		MeasurementCV: 0.03,
+		Primers:       []pcr.Primer{{Fwd: fwdP, Rev: revP, Conc: 1}},
+		PCR:           params,
+	}
+}
+
+func TestMeasureThenAmplifyBalances(t *testing.T) {
+	r := rng.New(1)
+	orig, upd, origN, updN := buildPools(t, r)
+	// Sanity: the raw vendor gap is enormous before mixing.
+	rawGap := (upd.Total() / float64(updN)) / (orig.Total() / float64(origN))
+	if rawGap < 10_000 {
+		t.Fatalf("test setup: vendor gap only %.0fx", rawGap)
+	}
+	res, err := MeasureThenAmplify(r, orig, upd, origN, updN, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Imbalance(); got > 2.0 {
+		t.Errorf("Measure-then-Amplify imbalance %.2fx, want <= 2x (Figure 10)", got)
+	}
+	if res.Mixed.Len() < origN+updN {
+		t.Errorf("mixed pool has %d species, want >= %d", res.Mixed.Len(), origN+updN)
+	}
+}
+
+func TestAmplifyThenMeasureBalances(t *testing.T) {
+	r := rng.New(2)
+	orig, upd, origN, updN := buildPools(t, r)
+	res, err := AmplifyThenMeasure(r, orig, upd, origN, updN, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Imbalance(); got > 2.0 {
+		t.Errorf("Amplify-then-Measure imbalance %.2fx, want <= 2x (Figure 10)", got)
+	}
+}
+
+func TestProtocolsAgree(t *testing.T) {
+	// Both protocols should land in the same neighborhood; the paper says
+	// "the Measure-then-Amplify numbers are similar and thus omitted".
+	r := rng.New(3)
+	orig, upd, origN, updN := buildPools(t, r)
+	a, err := MeasureThenAmplify(r, orig, upd, origN, updN, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AmplifyThenMeasure(r, orig, upd, origN, updN, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Imbalance() > 3 || b.Imbalance() > 3 {
+		t.Errorf("imbalances diverge: %v vs %v", a.Imbalance(), b.Imbalance())
+	}
+}
+
+func TestMeasurementNoiseDegradesGracefully(t *testing.T) {
+	// Large measurement error should widen the imbalance but not break
+	// the protocol.
+	r := rng.New(4)
+	orig, upd, origN, updN := buildPools(t, r)
+	opt := options()
+	opt.MeasurementCV = 0.3
+	res, err := MeasureThenAmplify(r, orig, upd, origN, updN, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imbalance() == 0 || res.Imbalance() > 10 {
+		t.Errorf("noisy measurement imbalance %.2f", res.Imbalance())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := rng.New(5)
+	orig, upd, origN, updN := buildPools(t, r)
+	if _, err := MeasureThenAmplify(r, pool.New(), upd, 1, updN, options()); err == nil {
+		t.Error("empty original pool accepted")
+	}
+	if _, err := AmplifyThenMeasure(r, orig, upd, 0, updN, options()); err == nil {
+		t.Error("zero uniques accepted")
+	}
+	bad := options()
+	bad.Primers = nil
+	if _, err := MeasureThenAmplify(r, orig, upd, origN, updN, bad); err == nil {
+		t.Error("no primers accepted")
+	}
+}

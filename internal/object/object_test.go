@@ -1,0 +1,142 @@
+package object
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dnastore/internal/primer"
+	"dnastore/internal/rng"
+)
+
+func newTestStore(t testing.TB) *Store {
+	t.Helper()
+	lib := primer.NewLibrary(primer.DefaultConstraints())
+	lib.Search(rng.New(4321), 10, 400000)
+	if lib.Len() < 6 {
+		t.Fatalf("primer search found %d", lib.Len())
+	}
+	s, err := New(DefaultConfig(), lib.Primers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	data := bytes.Repeat([]byte("object store baseline value. "), 30) // ~870B, 4 units
+	if err := s.Put("doc", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	units, err := s.Units("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units != 4 {
+		t.Errorf("units %d want 4", units)
+	}
+	if s.Costs().StrandsSynthesized != 4*15 {
+		t.Errorf("strands %d want 60", s.Costs().StrandsSynthesized)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing object: %v", err)
+	}
+	if _, err := s.Units("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing units: %v", err)
+	}
+}
+
+func TestPutDuplicate(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.Put("x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("x", []byte("2")); err == nil {
+		t.Error("duplicate Put accepted")
+	}
+}
+
+func TestNaiveUpdateCosts(t *testing.T) {
+	// Section 5.1 / 7.5: a naïve update resynthesizes the whole object
+	// and wastes a primer pair; the update's synthesis cost equals the
+	// full object size regardless of how small the change is.
+	s := newTestStore(t)
+	data := bytes.Repeat([]byte("v1 "), 200) // 600B -> 3 units -> 45 strands
+	if err := s.Put("doc", data); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Costs()
+	updated := append([]byte("v2 "), data[3:]...) // tiny logical change
+	if err := s.Update("doc", updated); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Costs()
+	if delta := after.StrandsSynthesized - before.StrandsSynthesized; delta != 45 {
+		t.Errorf("naïve update synthesized %d strands, want full copy 45", delta)
+	}
+	if after.PrimerPairsUsed != before.PrimerPairsUsed+1 {
+		t.Error("update did not consume a fresh primer pair")
+	}
+	if after.PrimerPairsWasted != 1 {
+		t.Errorf("wasted pairs %d want 1", after.PrimerPairsWasted)
+	}
+	gen, _ := s.Generation("doc")
+	if gen != 1 {
+		t.Errorf("generation %d want 1", gen)
+	}
+	got, err := s.Get("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, updated) {
+		t.Fatal("updated content not returned")
+	}
+	// The old copy still pollutes the tube: total strands present exceed
+	// one object's worth.
+	if s.Tube().Len() != 90 {
+		t.Errorf("tube species %d want 90 (old + new copy)", s.Tube().Len())
+	}
+}
+
+func TestPrimerExhaustion(t *testing.T) {
+	lib := primer.NewLibrary(primer.DefaultConstraints())
+	lib.Search(rng.New(4321), 2, 400000)
+	s, err := New(DefaultConfig(), lib.Primers()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("y")); !errors.Is(err, ErrNoPrimers) {
+		t.Errorf("expected ErrNoPrimers, got %v", err)
+	}
+	if err := s.Update("a", []byte("z")); !errors.Is(err, ErrNoPrimers) {
+		t.Errorf("update without primers: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("no primers accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Geometry.StrandLen = 10
+	lib := primer.NewLibrary(primer.DefaultConstraints())
+	lib.Search(rng.New(1), 2, 300000)
+	if _, err := New(cfg, lib.Primers()); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}

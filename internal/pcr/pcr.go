@@ -1,0 +1,291 @@
+// Package pcr simulates the polymerase chain reaction on a DNA pool.
+//
+// The simulator is mechanistic rather than curve-fit: each cycle, every
+// primer may bind every species with a probability that decays
+// exponentially with the edit distance between the primer and the
+// species' prefix, scaled by annealing stringency (temperature) and
+// reagent saturation. Three consequences of this mechanism reproduce the
+// paper's observations without hard-coding them:
+//
+//   - Perfectly matching species double (nearly) every cycle until the
+//     reaction saturates (Section 2.1.4).
+//   - A primer that binds a near-matching template with d > 0 produces a
+//     product whose prefix is the primer itself: the index is overwritten
+//     while the payload is retained. The product then amplifies at full
+//     efficiency, which is exactly the mispriming dynamic of Section 8.1.
+//   - Touchdown PCR (Section 6.5) raises the annealing temperature for
+//     the first cycles, increasing stringency when mispriming would
+//     compound the most.
+package pcr
+
+import (
+	"fmt"
+	"math"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/pool"
+)
+
+// Primer is one primer pair participating in a reaction. Conc is the
+// relative primer concentration; a multiplexed reaction splits the total
+// concentration across pairs (Section 6.5), and residual primers left
+// over from a previous reaction are modeled as an extra pair with a
+// small Conc.
+type Primer struct {
+	Fwd  dna.Seq
+	Rev  dna.Seq
+	Conc float64
+}
+
+// Params are the reaction parameters.
+type Params struct {
+	Cycles int // total thermal cycles
+
+	// Efficiency is the per-cycle duplication probability of a perfectly
+	// matched, unsaturated template (~0.95 for a healthy reaction).
+	Efficiency float64
+
+	// AnnealTemp is the steady annealing temperature in Celsius.
+	// TouchdownStart > AnnealTemp enables touchdown: the first
+	// TouchdownCycles cycles ramp from TouchdownStart down by 1 degree
+	// per cycle (Section 6.5's protocol: 65C down-ramp for 10 cycles,
+	// then 55C for the remainder).
+	AnnealTemp      float64
+	TouchdownStart  float64
+	TouchdownCycles int
+
+	// MismatchPenalty is the exponential penalty per unit of edit
+	// distance at ReferenceTemp; TempSlope adds penalty per degree above
+	// ReferenceTemp. Binding probability for distance d at temperature T:
+	//
+	//	P = Efficiency * Conc * exp(-(MismatchPenalty + TempSlope*(T-ReferenceTemp)) * d)
+	MismatchPenalty float64
+	TempSlope       float64
+	ReferenceTemp   float64
+
+	// Capacity is the reagent-limited total molecule count: per-cycle
+	// growth scales by (1 - total/Capacity), producing the plateau that
+	// every real PCR exhibits.
+	Capacity float64
+
+	// MaxBindDist bounds the edit distance at which binding is
+	// considered at all; beyond it the probability is treated as zero.
+	MaxBindDist int
+}
+
+// DefaultParams returns parameters calibrated to the paper's wetlab
+// protocol (touchdown 65->55 over 10 cycles plus 18 cycles at 55).
+func DefaultParams() Params {
+	return Params{
+		Cycles:          28,
+		Efficiency:      0.95,
+		AnnealTemp:      55,
+		TouchdownStart:  65,
+		TouchdownCycles: 10,
+		MismatchPenalty: 0.78,
+		TempSlope:       0.08,
+		ReferenceTemp:   55,
+		Capacity:        0, // must be set relative to the input pool
+		MaxBindDist:     5,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Cycles <= 0 {
+		return fmt.Errorf("pcr: cycles %d", p.Cycles)
+	}
+	if p.Efficiency <= 0 || p.Efficiency > 1 {
+		return fmt.Errorf("pcr: efficiency %v outside (0, 1]", p.Efficiency)
+	}
+	if p.Capacity <= 0 {
+		return fmt.Errorf("pcr: capacity must be positive (set it relative to the input pool)")
+	}
+	if p.MaxBindDist < 0 {
+		return fmt.Errorf("pcr: negative MaxBindDist")
+	}
+	return nil
+}
+
+// annealTemp returns the annealing temperature for 0-based cycle c.
+func (p Params) annealTemp(c int) float64 {
+	if p.TouchdownStart > p.AnnealTemp && c < p.TouchdownCycles {
+		t := p.TouchdownStart - float64(c)
+		if t < p.AnnealTemp {
+			t = p.AnnealTemp
+		}
+		return t
+	}
+	return p.AnnealTemp
+}
+
+// penalty returns the per-edit-unit penalty at temperature t.
+func (p Params) penalty(t float64) float64 {
+	pen := p.MismatchPenalty + p.TempSlope*(t-p.ReferenceTemp)
+	if pen < 0 {
+		pen = 0
+	}
+	return pen
+}
+
+// Stats summarizes a reaction.
+type Stats struct {
+	Cycles          int
+	InitialTotal    float64
+	FinalTotal      float64
+	MisprimeSpecies int     // distinct misprimed product species created
+	MisprimedMass   float64 // total abundance of misprimed products at the end
+}
+
+// binding holds the cached alignment of one primer against one species.
+type binding struct {
+	dist int // combined forward+reverse edit distance
+	end  int // template position where the forward primer's match ends
+	ok   bool
+}
+
+// alignSlack is how many extra template bases beyond the primer length
+// the aligner may consume, accommodating indels.
+const alignSlack = 6
+
+// bind aligns a primer pair against a template.
+func bind(pr Primer, template dna.Seq, maxDist int) binding {
+	fn := len(pr.Fwd) + alignSlack
+	if fn > len(template) {
+		fn = len(template)
+	}
+	dFwd, end := dna.PrefixAlignment(pr.Fwd, template[:fn])
+	if dFwd > maxDist {
+		return binding{}
+	}
+	rn := len(pr.Rev) + alignSlack
+	if rn > len(template) {
+		rn = len(template)
+	}
+	dRev := suffixDistance(pr.Rev, template[len(template)-rn:])
+	if dFwd+dRev > maxDist {
+		return binding{}
+	}
+	return binding{dist: dFwd + dRev, end: end, ok: true}
+}
+
+// suffixDistance returns the edit distance between pattern and the
+// best-matching suffix of text.
+func suffixDistance(pattern, text dna.Seq) int {
+	d, _ := dna.PrefixAlignment(reverse(pattern), reverse(text))
+	return d
+}
+
+func reverse(s dna.Seq) dna.Seq {
+	out := make(dna.Seq, len(s))
+	for i, b := range s {
+		out[len(s)-1-i] = b
+	}
+	return out
+}
+
+// Run executes the reaction on a copy of the input pool and returns the
+// amplified pool. The input pool is not modified.
+func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, error) {
+	if err := params.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if len(primers) == 0 {
+		return nil, Stats{}, fmt.Errorf("pcr: no primers")
+	}
+	for i, pr := range primers {
+		if len(pr.Fwd) == 0 || len(pr.Rev) == 0 {
+			return nil, Stats{}, fmt.Errorf("pcr: primer %d has empty sequence", i)
+		}
+		if pr.Conc <= 0 {
+			return nil, Stats{}, fmt.Errorf("pcr: primer %d has non-positive concentration", i)
+		}
+	}
+
+	out := input.Clone()
+	stats := Stats{Cycles: params.Cycles, InitialTotal: out.Total()}
+
+	// Binding cache: species index x primer index. Species are appended,
+	// never removed, so indexes are stable.
+	type cacheKey struct{ species, primer int }
+	cache := make(map[cacheKey]binding)
+	lookup := func(si, pi int, seq dna.Seq) binding {
+		k := cacheKey{si, pi}
+		if b, ok := cache[k]; ok {
+			return b
+		}
+		b := bind(primers[pi], seq, params.MaxBindDist)
+		cache[k] = b
+		return b
+	}
+
+	// negligible products below this absolute abundance are dropped to
+	// bound the species count.
+	negligible := params.Capacity * 1e-12
+
+	type delta struct {
+		species int // existing species receiving growth, or -1
+		seq     dna.Seq
+		meta    pool.Meta
+		amount  float64
+	}
+
+	for c := 0; c < params.Cycles; c++ {
+		total := out.Total()
+		sat := 1 - total/params.Capacity
+		if sat <= 0 {
+			break
+		}
+		pen := params.penalty(params.annealTemp(c))
+		species := out.Species()
+		n := len(species)
+		var deltas []delta
+		for si := 0; si < n; si++ {
+			s := species[si]
+			if s.Abundance <= 0 {
+				continue
+			}
+			for pi := range primers {
+				b := lookup(si, pi, s.Seq)
+				if !b.ok {
+					continue
+				}
+				prob := params.Efficiency * primers[pi].Conc * math.Exp(-pen*float64(b.dist))
+				amount := s.Abundance * prob * sat
+				if amount < negligible {
+					continue
+				}
+				if b.dist == 0 {
+					deltas = append(deltas, delta{species: si, amount: amount})
+					continue
+				}
+				// Misprime: product carries the primer as its prefix and
+				// the template's remainder (index overwritten, payload
+				// kept).
+				prod := dna.Concat(primers[pi].Fwd, s.Seq[b.end:])
+				meta := s.Meta
+				meta.Misprimed = true
+				deltas = append(deltas, delta{species: -1, seq: prod, meta: meta, amount: amount})
+			}
+		}
+		for _, d := range deltas {
+			if d.species >= 0 {
+				species[d.species].Abundance += d.amount
+			} else {
+				before := out.Len()
+				out.Add(d.seq, d.amount, d.meta)
+				if out.Len() > before {
+					stats.MisprimeSpecies++
+				}
+			}
+		}
+	}
+
+	stats.FinalTotal = out.Total()
+	for _, s := range out.Species() {
+		if s.Meta.Misprimed {
+			stats.MisprimedMass += s.Abundance
+		}
+	}
+	return out, stats, nil
+}

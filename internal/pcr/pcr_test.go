@@ -1,0 +1,339 @@
+package pcr
+
+import (
+	"strings"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/pool"
+	"dnastore/internal/rng"
+)
+
+var (
+	fwdP = dna.MustFromString("ACGTACGTACGTACGTACGA")
+	revP = dna.MustFromString("TGCATGCATGCATGCATGCA")
+)
+
+// strand fabricates a 150-base strand: fwd + sync A + index + filler + rev.
+func strand(index string, fillerSeed uint64) dna.Seq {
+	idx := dna.MustFromString(index)
+	fillerLen := 150 - len(fwdP) - 1 - len(idx) - len(revP)
+	r := rng.New(fillerSeed)
+	filler := make(dna.Seq, fillerLen)
+	for i := range filler {
+		filler[i] = dna.Base(r.Intn(4))
+	}
+	return dna.Concat(fwdP, dna.Seq{dna.A}, idx, filler, revP)
+}
+
+// elongated returns the elongated forward primer for an index.
+func elongated(index string) dna.Seq {
+	return dna.Concat(fwdP, dna.Seq{dna.A}, dna.MustFromString(index))
+}
+
+func params(capacity float64) Params {
+	p := DefaultParams()
+	p.Capacity = capacity
+	return p
+}
+
+func TestValidation(t *testing.T) {
+	p := pool.New()
+	p.Add(strand("ACGTACGTAC", 1), 100, pool.Meta{})
+	good := []Primer{{Fwd: fwdP, Rev: revP, Conc: 1}}
+	if _, _, err := Run(p, good, DefaultParams()); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, _, err := Run(p, nil, params(1e6)); err == nil {
+		t.Error("no primers accepted")
+	}
+	if _, _, err := Run(p, []Primer{{Fwd: fwdP, Rev: revP, Conc: 0}}, params(1e6)); err == nil {
+		t.Error("zero concentration accepted")
+	}
+	if _, _, err := Run(p, []Primer{{Fwd: nil, Rev: revP, Conc: 1}}, params(1e6)); err == nil {
+		t.Error("empty primer accepted")
+	}
+	bad := params(1e6)
+	bad.Cycles = 0
+	if _, _, err := Run(p, good, bad); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	bad = params(1e6)
+	bad.Efficiency = 1.5
+	if _, _, err := Run(p, good, bad); err == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+}
+
+func TestPerfectMatchAmplifiesExponentially(t *testing.T) {
+	p := pool.New()
+	p.Add(strand("ACGTACGTAC", 1), 100, pool.Meta{Block: 0, OriginBlock: 0})
+	pr := []Primer{{Fwd: fwdP, Rev: revP, Conc: 1}}
+	pm := params(1e12) // effectively unlimited
+	pm.Cycles = 10
+	out, stats, err := Run(p, pr, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 cycles at 0.95 efficiency: gain ~(1.95)^10 ~ 790x.
+	gain := out.Total() / 100
+	if gain < 400 || gain > 1000 {
+		t.Errorf("gain %.0fx, want ~790x", gain)
+	}
+	if stats.InitialTotal != 100 {
+		t.Errorf("initial total %v", stats.InitialTotal)
+	}
+	if stats.MisprimeSpecies != 0 {
+		t.Errorf("misprimes in a single-species pool: %d", stats.MisprimeSpecies)
+	}
+}
+
+func TestInputPoolUnmodified(t *testing.T) {
+	p := pool.New()
+	p.Add(strand("ACGTACGTAC", 1), 100, pool.Meta{})
+	if _, _, err := Run(p, []Primer{{Fwd: fwdP, Rev: revP, Conc: 1}}, params(1e9)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != 100 {
+		t.Errorf("input pool modified: total %v", p.Total())
+	}
+}
+
+func TestUnrelatedSpeciesDoNotAmplify(t *testing.T) {
+	p := pool.New()
+	p.Add(strand("ACGTACGTAC", 1), 100, pool.Meta{Block: 0, OriginBlock: 0})
+	// A strand with completely different primers.
+	otherFwd := dna.MustFromString("GGTTCCAAGGTTCCAAGGTT")
+	otherRev := dna.MustFromString("CCAATTGGCCAATTGGCCAA")
+	other := dna.Concat(otherFwd, dna.MustFromString("A"), strand("ACGTACGTAC", 2)[21:130], otherRev)
+	p.Add(other, 100, pool.Meta{Block: 5, OriginBlock: 5})
+	pm := params(1e12)
+	pm.Cycles = 10
+	out, _, err := Run(p, []Primer{{Fwd: fwdP, Rev: revP, Conc: 1}}, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targetMass, otherMass float64
+	for _, s := range out.Species() {
+		if s.Meta.Block == 5 {
+			otherMass += s.Abundance
+		} else {
+			targetMass += s.Abundance
+		}
+	}
+	if otherMass > 110 {
+		t.Errorf("unrelated species amplified: %v", otherMass)
+	}
+	if targetMass < 40000 {
+		t.Errorf("target under-amplified: %v", targetMass)
+	}
+}
+
+func TestCapacityPlateau(t *testing.T) {
+	p := pool.New()
+	p.Add(strand("ACGTACGTAC", 1), 1000, pool.Meta{})
+	pm := params(50_000)
+	pm.Cycles = 40
+	out, _, err := Run(p, []Primer{{Fwd: fwdP, Rev: revP, Conc: 1}}, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Total() > pm.Capacity*1.01 {
+		t.Errorf("total %v exceeded capacity %v", out.Total(), pm.Capacity)
+	}
+	if out.Total() < pm.Capacity*0.5 {
+		t.Errorf("total %v far below capacity; plateau too aggressive", out.Total())
+	}
+}
+
+func TestMisprimeOverwritesIndexKeepsPayload(t *testing.T) {
+	// Section 8.1: misprimed strands acquire the target's primer prefix
+	// but retain their original payloads.
+	p := pool.New()
+	target := "ACGTACGTAC"
+	near := "ACGTACGTGA" // edit distance 2 from target
+	p.Add(strand(target, 1), 1000, pool.Meta{Block: 531, OriginBlock: 531})
+	p.Add(strand(near, 2), 1000, pool.Meta{Block: 530, OriginBlock: 530})
+	ep := elongated(target)
+	pm := params(5e7)
+	pm.Cycles = 28
+	out, stats, err := Run(p, []Primer{{Fwd: ep, Rev: revP, Conc: 1}}, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MisprimeSpecies == 0 {
+		t.Fatal("no misprimed species created from a distance-2 neighbor")
+	}
+	var misprimed *pool.Species
+	for _, s := range out.Species() {
+		if s.Meta.Misprimed {
+			misprimed = s
+			break
+		}
+	}
+	if misprimed == nil {
+		t.Fatal("misprimed species not found")
+	}
+	if !misprimed.Seq.HasPrefix(ep) {
+		t.Error("misprimed product does not carry the elongated primer prefix")
+	}
+	if misprimed.Meta.OriginBlock != 530 {
+		t.Errorf("misprimed payload origin %d want 530", misprimed.Meta.OriginBlock)
+	}
+	// The misprimed mass should be visible but the true target dominant.
+	var targetMass float64
+	for _, s := range out.Species() {
+		if s.Meta.OriginBlock == 531 && !s.Meta.Misprimed {
+			targetMass += s.Abundance
+		}
+	}
+	if stats.MisprimedMass <= 0 {
+		t.Error("no misprimed mass")
+	}
+	if targetMass <= stats.MisprimedMass {
+		t.Errorf("target mass %v not dominant over misprimed %v (Section 3.2 requirement)",
+			targetMass, stats.MisprimedMass)
+	}
+}
+
+func TestTouchdownReducesMispriming(t *testing.T) {
+	// Section 6.5 uses touchdown PCR "to increase the specificity of the
+	// amplification process". With the ramp disabled, the misprimed
+	// fraction must grow.
+	build := func() *pool.Pool {
+		p := pool.New()
+		p.Add(strand("ACGTACGTAC", 1), 1000, pool.Meta{Block: 1, OriginBlock: 1})
+		p.Add(strand("ACGTACGTGA", 2), 1000, pool.Meta{Block: 2, OriginBlock: 2})
+		p.Add(strand("ACGTACTGAC", 3), 1000, pool.Meta{Block: 3, OriginBlock: 3})
+		return p
+	}
+	run := func(touchdown bool) float64 {
+		pm := params(1e8)
+		if !touchdown {
+			pm.TouchdownStart = 0
+		}
+		out, stats, err := Run(build(), []Primer{{Fwd: elongated("ACGTACGTAC"), Rev: revP, Conc: 1}}, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MisprimedMass / out.Total()
+	}
+	with := run(true)
+	without := run(false)
+	if with >= without {
+		t.Errorf("touchdown misprime fraction %.4f not below constant-temp %.4f", with, without)
+	}
+	if without == 0 {
+		t.Error("no mispriming even without touchdown; model inert")
+	}
+}
+
+func TestMultiplexAmplifiesAllTargets(t *testing.T) {
+	// Section 6.5: an equal mix of three elongated primers with total
+	// concentration equal to the single-primer case.
+	p := pool.New()
+	idxs := []string{"ACGTACGTAC", "CAGTCAGTCA", "GTCAGTCAGT"}
+	for i, idx := range idxs {
+		p.Add(strand(idx, uint64(i+1)), 1000, pool.Meta{Block: i, OriginBlock: i})
+	}
+	// Plus background blocks.
+	p.Add(strand("TTGACCATGA", 9), 1000, pool.Meta{Block: 99, OriginBlock: 99})
+	var primers []Primer
+	for _, idx := range idxs {
+		primers = append(primers, Primer{Fwd: elongated(idx), Rev: revP, Conc: 1.0 / 3})
+	}
+	pm := params(1e8)
+	out, _, err := Run(p, primers, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := out.AbundanceByBlock("")
+	for i := range idxs {
+		if mass[i] < 100*mass[99] {
+			t.Errorf("multiplex target %d mass %v not dominant over background %v",
+				i, mass[i], mass[99])
+		}
+	}
+}
+
+func TestResidualPrimerCarryover(t *testing.T) {
+	// Leftover main primers from a previous reaction amplify everything
+	// in the partition at low efficiency; they are modeled as an extra
+	// primer pair at low concentration. Their products caused 18% of the
+	// paper's Figure 9b readout.
+	p := pool.New()
+	p.Add(strand("ACGTACGTAC", 1), 1000, pool.Meta{Block: 1, OriginBlock: 1})
+	p.Add(strand("TTGACCATGA", 2), 1000, pool.Meta{Block: 2, OriginBlock: 2})
+	primers := []Primer{
+		{Fwd: elongated("ACGTACGTAC"), Rev: revP, Conc: 1},
+		{Fwd: fwdP, Rev: revP, Conc: 0.05}, // residual main primers
+	}
+	pm := params(1e7)
+	out, _, err := Run(p, primers, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := out.AbundanceByBlock("")
+	if mass[2] <= 1000 {
+		t.Error("carryover primer did not amplify the background at all")
+	}
+	if mass[1] < 5*mass[2] {
+		t.Errorf("target %v not dominant over carryover-amplified background %v",
+			mass[1], mass[2])
+	}
+}
+
+func TestAnnealTempSchedule(t *testing.T) {
+	pm := DefaultParams()
+	if got := pm.annealTemp(0); got != 65 {
+		t.Errorf("cycle 0 temp %v want 65", got)
+	}
+	if got := pm.annealTemp(9); got != 56 {
+		t.Errorf("cycle 9 temp %v want 56", got)
+	}
+	if got := pm.annealTemp(10); got != 55 {
+		t.Errorf("cycle 10 temp %v want 55", got)
+	}
+	if got := pm.annealTemp(27); got != 55 {
+		t.Errorf("cycle 27 temp %v want 55", got)
+	}
+	pm.TouchdownStart = 0
+	if got := pm.annealTemp(0); got != 55 {
+		t.Errorf("touchdown disabled: cycle 0 temp %v want 55", got)
+	}
+}
+
+func TestSuffixDistance(t *testing.T) {
+	if d := suffixDistance(revP, strand("ACGTACGTAC", 1)); d != 0 {
+		t.Errorf("exact suffix distance %d", d)
+	}
+	other := dna.MustFromString("CCAATTGGCCAATTGGCCAA")
+	if d := suffixDistance(other, strand("ACGTACGTAC", 1)); d < 5 {
+		t.Errorf("unrelated suffix distance %d too small", d)
+	}
+}
+
+func TestParamsValidateMessages(t *testing.T) {
+	pm := DefaultParams()
+	pm.Capacity = 0
+	err := pm.Validate()
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Errorf("capacity error: %v", err)
+	}
+}
+
+func BenchmarkRunSmallPool(b *testing.B) {
+	p := pool.New()
+	for i := 0; i < 50; i++ {
+		p.Add(strand("ACGTACGTAC", uint64(i)), 100, pool.Meta{Block: i, OriginBlock: i})
+	}
+	primers := []Primer{{Fwd: elongated("ACGTACGTAC"), Rev: revP, Conc: 1}}
+	pm := params(1e8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(p, primers, pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package pool models a physical DNA pool: a multiset of molecule
+// species, each present at some abundance (copy count).
+//
+// Pools support the wet-lab manipulations the paper performs: synthesis
+// with natural per-strand copy-number skew (within ~2x, Figure 9a),
+// dilution, mixing of separately synthesized pools (Section 6.4.2, with
+// the 50000x concentration gap between vendors), and noisy concentration
+// measurement standing in for the nanodrop.
+package pool
+
+import (
+	"fmt"
+	"sort"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// Meta records the provenance of a species for ground-truth analysis.
+// The decoder never looks at Meta; it exists so experiments can classify
+// sequencing output exactly the way the paper's authors align reads back
+// to known source strands.
+type Meta struct {
+	Partition string // partition (file) name
+	Block     int    // block (encoding unit) number, -1 if unknown
+	Version   int    // 0 = original data, >0 = update number
+	Intra     int    // molecule position within the unit
+	Misprimed bool   // true if this species was created by mispriming
+	// OriginBlock is the block whose payload this species carries. For
+	// regular species it equals Block; for misprimed species Block is the
+	// block whose index was written by the primer while OriginBlock is
+	// the template's block (Section 8.1: misprimed strands "have had
+	// their primers overwritten by the target primer, but they retain
+	// their original payloads").
+	OriginBlock int
+}
+
+// Species is one distinct molecule sequence and its abundance.
+type Species struct {
+	Seq       dna.Seq
+	Abundance float64
+	Meta      Meta
+}
+
+// Pool is a collection of species. The zero value is an empty pool ready
+// to use.
+type Pool struct {
+	species []*Species
+	byKey   map[string]int
+}
+
+// New returns an empty pool.
+func New() *Pool { return &Pool{byKey: make(map[string]int)} }
+
+func (p *Pool) init() {
+	if p.byKey == nil {
+		p.byKey = make(map[string]int)
+	}
+}
+
+func key(seq dna.Seq) string {
+	b := make([]byte, len(seq))
+	for i, v := range seq {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+// Add inserts abundance copies of seq with the given provenance. If an
+// identical sequence already exists its abundance grows; the original
+// metadata is retained (first writer wins), matching physical identity of
+// molecules with the same sequence.
+func (p *Pool) Add(seq dna.Seq, abundance float64, meta Meta) {
+	if abundance <= 0 {
+		return
+	}
+	p.init()
+	k := key(seq)
+	if i, ok := p.byKey[k]; ok {
+		p.species[i].Abundance += abundance
+		return
+	}
+	p.byKey[k] = len(p.species)
+	p.species = append(p.species, &Species{Seq: seq.Clone(), Abundance: abundance, Meta: meta})
+}
+
+// Species returns the pool's species. The slice and the pointed-to
+// entries are owned by the pool; callers must not mutate them.
+func (p *Pool) Species() []*Species { return p.species }
+
+// Len returns the number of distinct species.
+func (p *Pool) Len() int { return len(p.species) }
+
+// Total returns the total molecule count across species.
+func (p *Pool) Total() float64 {
+	t := 0.0
+	for _, s := range p.species {
+		t += s.Abundance
+	}
+	return t
+}
+
+// Scale multiplies every abundance by factor, modeling dilution
+// (factor < 1) or uniform amplification (factor > 1).
+func (p *Pool) Scale(factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	for _, s := range p.species {
+		s.Abundance *= factor
+	}
+}
+
+// Clone returns a deep copy of the pool.
+func (p *Pool) Clone() *Pool {
+	out := New()
+	for _, s := range p.species {
+		out.Add(s.Seq, s.Abundance, s.Meta)
+	}
+	return out
+}
+
+// MixInto adds every species of src, scaled by factor, into p. It models
+// pipetting a volume of one sample into another.
+func (p *Pool) MixInto(src *Pool, factor float64) {
+	for _, s := range src.species {
+		p.Add(s.Seq, s.Abundance*factor, s.Meta)
+	}
+}
+
+// Measure returns a noisy reading of the pool's total concentration,
+// modeling a nanodrop measurement with the given coefficient of
+// variation. A cv of 0 returns the exact total.
+func (p *Pool) Measure(r *rng.Source, cv float64) float64 {
+	t := p.Total()
+	if cv <= 0 {
+		return t
+	}
+	v := t * (1 + cv*r.NormFloat64())
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// AbundanceByBlock aggregates abundance per OriginBlock for species of
+// the given partition, the quantity plotted in Figures 9 and 10.
+func (p *Pool) AbundanceByBlock(partition string) map[int]float64 {
+	out := make(map[int]float64)
+	for _, s := range p.species {
+		if s.Meta.Partition == partition {
+			out[s.Meta.OriginBlock] += s.Abundance
+		}
+	}
+	return out
+}
+
+// TopSpecies returns the n most abundant species, most abundant first.
+func (p *Pool) TopSpecies(n int) []*Species {
+	cp := append([]*Species(nil), p.species...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Abundance > cp[j].Abundance })
+	if n > len(cp) {
+		n = len(cp)
+	}
+	return cp[:n]
+}
+
+// SynthesisOrder describes one strand sent to a synthesis vendor.
+type SynthesisOrder struct {
+	Seq  dna.Seq
+	Meta Meta
+}
+
+// SynthesisParams models a synthesis vendor's output characteristics.
+type SynthesisParams struct {
+	// CopiesPerStrand is the mean number of physical copies produced per
+	// ordered sequence. Vendors differ enormously: the paper's IDT update
+	// pool was 50000x more concentrated than the Twist pool.
+	CopiesPerStrand float64
+	// SkewSigma is the sigma of the lognormal copy-number variation
+	// across strands. Calibrated so that natural bias stays "within 2x"
+	// as in Figure 9a (sigma ~0.18 gives a ~2x max/min ratio over ~10^4
+	// strands).
+	SkewSigma float64
+}
+
+// DefaultTwist returns synthesis parameters modeled on the paper's main
+// (Twist BioScience) pool.
+func DefaultTwist() SynthesisParams {
+	return SynthesisParams{CopiesPerStrand: 1e4, SkewSigma: 0.10}
+}
+
+// DefaultIDT returns synthesis parameters modeled on the paper's update
+// (IDT) pool: 50000x more concentrated than the Twist pool.
+func DefaultIDT() SynthesisParams {
+	return SynthesisParams{CopiesPerStrand: 5e8, SkewSigma: 0.10}
+}
+
+// Synthesize produces a pool from strand orders. Copy numbers vary
+// lognormally around the mean. Per-copy synthesis errors are not
+// materialized as separate species (that would create millions of
+// near-duplicate species); instead the sequencing simulator injects the
+// combined synthesis+sequencing error rate per read, which produces the
+// same observed read error distribution.
+func Synthesize(r *rng.Source, orders []SynthesisOrder, params SynthesisParams) (*Pool, error) {
+	if params.CopiesPerStrand <= 0 {
+		return nil, fmt.Errorf("pool: non-positive copies per strand")
+	}
+	p := New()
+	for _, o := range orders {
+		copies := params.CopiesPerStrand * r.LogNormal(0, params.SkewSigma)
+		p.Add(o.Seq, copies, o.Meta)
+	}
+	return p, nil
+}

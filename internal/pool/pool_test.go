@@ -1,0 +1,167 @@
+package pool
+
+import (
+	"math"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+func TestAddMergesIdenticalSequences(t *testing.T) {
+	p := New()
+	s := dna.MustFromString("ACGT")
+	p.Add(s, 10, Meta{Block: 1, OriginBlock: 1})
+	p.Add(s.Clone(), 5, Meta{Block: 2, OriginBlock: 2})
+	if p.Len() != 1 {
+		t.Fatalf("expected merge, got %d species", p.Len())
+	}
+	if got := p.Total(); got != 15 {
+		t.Errorf("total %v want 15", got)
+	}
+	// First writer's metadata is retained.
+	if p.Species()[0].Meta.Block != 1 {
+		t.Error("metadata overwritten on merge")
+	}
+}
+
+func TestAddIgnoresNonPositive(t *testing.T) {
+	p := New()
+	p.Add(dna.MustFromString("ACGT"), 0, Meta{})
+	p.Add(dna.MustFromString("ACGT"), -5, Meta{})
+	if p.Len() != 0 {
+		t.Error("non-positive abundance created species")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var p Pool
+	p.Add(dna.MustFromString("AC"), 1, Meta{})
+	if p.Len() != 1 {
+		t.Error("zero-value pool not usable")
+	}
+}
+
+func TestScaleAndClone(t *testing.T) {
+	p := New()
+	p.Add(dna.MustFromString("ACGT"), 10, Meta{})
+	p.Add(dna.MustFromString("TGCA"), 20, Meta{})
+	c := p.Clone()
+	p.Scale(0.5)
+	if got := p.Total(); got != 15 {
+		t.Errorf("scaled total %v want 15", got)
+	}
+	if got := c.Total(); got != 30 {
+		t.Errorf("clone affected by scale: %v", got)
+	}
+	p.Scale(-1) // clamps to zero
+	if got := p.Total(); got != 0 {
+		t.Errorf("negative scale: total %v", got)
+	}
+}
+
+func TestMixInto(t *testing.T) {
+	a := New()
+	a.Add(dna.MustFromString("ACGT"), 10, Meta{})
+	b := New()
+	b.Add(dna.MustFromString("ACGT"), 100, Meta{})
+	b.Add(dna.MustFromString("GGCC"), 100, Meta{})
+	a.MixInto(b, 0.1)
+	if got := a.Total(); math.Abs(got-30) > 1e-9 {
+		t.Errorf("mixed total %v want 30", got)
+	}
+	if a.Len() != 2 {
+		t.Errorf("mixed species %d want 2", a.Len())
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	p := New()
+	p.Add(dna.MustFromString("ACGT"), 1000, Meta{})
+	if got := p.Measure(rng.New(1), 0); got != 1000 {
+		t.Errorf("exact measure %v", got)
+	}
+	r := rng.New(2)
+	sum := 0.0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += p.Measure(r, 0.05)
+	}
+	mean := sum / n
+	if math.Abs(mean-1000) > 10 {
+		t.Errorf("measurement mean %v too biased", mean)
+	}
+}
+
+func TestAbundanceByBlock(t *testing.T) {
+	p := New()
+	p.Add(dna.MustFromString("AAAA"), 5, Meta{Partition: "alice", Block: 1, OriginBlock: 1})
+	p.Add(dna.MustFromString("CCCC"), 7, Meta{Partition: "alice", Block: 1, OriginBlock: 1})
+	p.Add(dna.MustFromString("GGGG"), 3, Meta{Partition: "alice", Block: 2, OriginBlock: 2})
+	p.Add(dna.MustFromString("TTTT"), 9, Meta{Partition: "other", Block: 1, OriginBlock: 1})
+	got := p.AbundanceByBlock("alice")
+	if got[1] != 12 || got[2] != 3 {
+		t.Errorf("per-block abundance %v", got)
+	}
+	if _, ok := got[9]; ok {
+		t.Error("phantom block present")
+	}
+}
+
+func TestTopSpecies(t *testing.T) {
+	p := New()
+	p.Add(dna.MustFromString("AAAA"), 1, Meta{})
+	p.Add(dna.MustFromString("CCCC"), 3, Meta{})
+	p.Add(dna.MustFromString("GGGG"), 2, Meta{})
+	top := p.TopSpecies(2)
+	if len(top) != 2 || top[0].Abundance != 3 || top[1].Abundance != 2 {
+		t.Errorf("TopSpecies wrong: %+v", top)
+	}
+	if got := p.TopSpecies(10); len(got) != 3 {
+		t.Errorf("TopSpecies over-count: %d", len(got))
+	}
+}
+
+func TestSynthesizeSkewWithinTwoFold(t *testing.T) {
+	// Figure 9a: synthesis bias keeps strand abundances within ~2x.
+	r := rng.New(3)
+	orders := make([]SynthesisOrder, 1000)
+	base := dna.MustFromString("ACGTACGTACGTACGTACGT")
+	for i := range orders {
+		seq := base.Clone()
+		// make each sequence distinct
+		seq[i%20] = dna.Base((int(seq[i%20]) + 1 + i/20%3) % 4)
+		seq = append(seq, dna.Base(i%4), dna.Base(i/4%4), dna.Base(i/16%4), dna.Base(i/64%4), dna.Base(i/256%4))
+		orders[i] = SynthesisOrder{Seq: seq, Meta: Meta{Block: i}}
+	}
+	p, err := Synthesize(r, orders, DefaultTwist())
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := math.Inf(1), 0.0
+	for _, s := range p.Species() {
+		if s.Abundance < min {
+			min = s.Abundance
+		}
+		if s.Abundance > max {
+			max = s.Abundance
+		}
+	}
+	if ratio := max / min; ratio > 2.5 {
+		t.Errorf("synthesis skew max/min = %.2f, should stay within ~2x", ratio)
+	}
+}
+
+func TestSynthesizeRejectsBadParams(t *testing.T) {
+	if _, err := Synthesize(rng.New(1), nil, SynthesisParams{}); err == nil {
+		t.Error("zero copies per strand accepted")
+	}
+}
+
+func TestVendorConcentrationGap(t *testing.T) {
+	// Section 6.4.1: the IDT pool was 50000x more concentrated.
+	gap := DefaultIDT().CopiesPerStrand / DefaultTwist().CopiesPerStrand
+	if gap < 10000 || gap > 100000 {
+		t.Errorf("vendor concentration gap %v, want ~50000x", gap)
+	}
+}

@@ -1,0 +1,162 @@
+package primer
+
+import (
+	"strings"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+func TestCheckAcceptsGoodPrimer(t *testing.T) {
+	c := DefaultConstraints()
+	// 20 bases, 50% GC, no homopolymer > 2, non-palindromic tail.
+	p := dna.MustFromString("ACGTACGTACGTACGTACGA")
+	if err := c.Check(p); err != nil {
+		t.Errorf("good primer rejected: %v", err)
+	}
+}
+
+func TestCheckRejectsLength(t *testing.T) {
+	c := DefaultConstraints()
+	if err := c.Check(dna.MustFromString("ACGT")); err == nil {
+		t.Error("short primer accepted")
+	}
+}
+
+func TestCheckRejectsGC(t *testing.T) {
+	c := DefaultConstraints()
+	allAT := dna.MustFromString("ATATATATATATATATATAT")
+	if err := c.Check(allAT); err == nil {
+		t.Error("0% GC primer accepted")
+	}
+	allGC := dna.MustFromString("GCGCGCGCGCGCGCGCGCGC")
+	if err := c.Check(allGC); err == nil {
+		t.Error("100% GC primer accepted")
+	}
+}
+
+func TestCheckRejectsHomopolymer(t *testing.T) {
+	c := DefaultConstraints()
+	p := dna.MustFromString("AAAAACGTGCGTACGTACGT")
+	if err := c.Check(p); err == nil || !strings.Contains(err.Error(), "homopolymer") {
+		t.Errorf("homopolymer primer: %v", err)
+	}
+}
+
+func TestCheckRejectsSelfComplementaryTail(t *testing.T) {
+	c := DefaultConstraints()
+	// Tail ACGT is its own reverse complement.
+	p := dna.MustFromString("ACGTACGTACGTACGTACGT")
+	if err := c.Check(p); err == nil || !strings.Contains(err.Error(), "self-complementary") {
+		t.Errorf("self-complementary tail: %v", err)
+	}
+	c.NoSelfComplement3 = false
+	if err := c.Check(p); err != nil {
+		t.Errorf("with dimer check off, should pass: %v", err)
+	}
+}
+
+func TestLibraryAddEnforcesDistance(t *testing.T) {
+	c := DefaultConstraints()
+	l := NewLibrary(c)
+	p1 := dna.MustFromString("ACGTACGTACGTACGTACGA")
+	if err := l.Add(p1); err != nil {
+		t.Fatal(err)
+	}
+	// One substitution away: must be rejected (MinPairDistance 6).
+	p2 := p1.Clone()
+	p2[0] = dna.T
+	if err := l.Add(p2); err == nil {
+		t.Error("near-duplicate primer accepted")
+	}
+	if l.Len() != 1 {
+		t.Errorf("library length %d want 1", l.Len())
+	}
+}
+
+func TestLibrarySearchYield(t *testing.T) {
+	c := DefaultConstraints()
+	l := NewLibrary(c)
+	res := l.Search(rng.New(42), 200, 100000)
+	if l.Len() < 100 {
+		t.Fatalf("greedy search found only %d primers", l.Len())
+	}
+	if res.Accepted != l.Len() {
+		t.Errorf("accepted count %d != library length %d", res.Accepted, l.Len())
+	}
+	if got := l.MinPairwiseDistance(); got < c.MinPairDistance {
+		t.Errorf("library min distance %d below constraint %d", got, c.MinPairDistance)
+	}
+	for _, p := range l.Primers() {
+		if err := c.Check(p); err != nil {
+			t.Errorf("library member violates constraints: %v", err)
+		}
+	}
+}
+
+func TestLibraryPair(t *testing.T) {
+	c := DefaultConstraints()
+	l := NewLibrary(c)
+	l.Search(rng.New(7), 6, 100000)
+	if l.Len() < 6 {
+		t.Fatalf("need 6 primers, got %d", l.Len())
+	}
+	f0, r0, err := l.Pair(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, r1, err := l.Pair(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.Equal(f1) || r0.Equal(r1) || f0.Equal(r0) {
+		t.Error("pairs share primers")
+	}
+	if _, _, err := l.Pair(3); err == nil {
+		t.Error("pair beyond library size should fail")
+	}
+}
+
+func TestSearchScalingWithLength(t *testing.T) {
+	// The paper reports that the number of compatible primers scales
+	// roughly linearly with primer length. With a fixed candidate budget
+	// and proportionally scaled distance constraints, a length-30 search
+	// should accept more primers than a length-20 search, not fewer.
+	if testing.Short() {
+		t.Skip("scaling search is slow")
+	}
+	yield := func(length, minDist int) int {
+		c := DefaultConstraints()
+		c.Length = length
+		c.MinPairDistance = minDist
+		c.TmMin, c.TmMax = 0, 200 // isolate the distance effect
+		l := NewLibrary(c)
+		l.Search(rng.New(1), 100000, 40000)
+		return l.Len()
+	}
+	y20 := yield(20, 10)
+	y30 := yield(30, 15)
+	if y30 <= y20 {
+		t.Errorf("length-30 yield %d not above length-20 yield %d", y30, y20)
+	}
+	// Far less than quadratic growth: the gain should be modest.
+	if y30 > y20*4 {
+		t.Errorf("length-30 yield %d implausibly high vs %d", y30, y20)
+	}
+}
+
+func TestMinPairwiseDistanceSmall(t *testing.T) {
+	l := NewLibrary(DefaultConstraints())
+	if l.MinPairwiseDistance() != -1 {
+		t.Error("empty library should report -1")
+	}
+}
+
+func BenchmarkLibrarySearch(b *testing.B) {
+	c := DefaultConstraints()
+	for i := 0; i < b.N; i++ {
+		l := NewLibrary(c)
+		l.Search(rng.New(1), 100, 20000)
+	}
+}

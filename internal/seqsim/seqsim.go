@@ -1,0 +1,158 @@
+// Package seqsim simulates DNA sequencing of a pool.
+//
+// Reads are sampled from the pool proportionally to species abundance
+// and corrupted by the IDS channel — the composition of the sequencing
+// output is what every cost number in Section 7 is computed from. The
+// package also provides the two latency models of Section 7.4: fixed-run
+// next-generation sequencing (Illumina) and streaming Nanopore
+// sequencing with early stopping.
+package seqsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dna"
+	"dnastore/internal/pool"
+	"dnastore/internal/rng"
+)
+
+// Read is one sequencing read. Meta carries the ground-truth provenance
+// of the species the read was sampled from; the decoding pipeline never
+// consults it, but experiments use it to classify the readout exactly as
+// the paper's authors align reads back to known strands.
+type Read struct {
+	Seq  dna.Seq
+	Meta pool.Meta
+}
+
+// Profile configures the read channel.
+type Profile struct {
+	Rates channel.Rates
+}
+
+// IlluminaProfile returns the default Illumina-like error profile.
+func IlluminaProfile() Profile { return Profile{Rates: channel.Illumina()} }
+
+// Sample draws n reads from the pool, each species chosen with
+// probability proportional to its abundance, and corrupts each read
+// through the IDS channel.
+func Sample(r *rng.Source, p *pool.Pool, n int, prof Profile) ([]Read, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("seqsim: negative read count %d", n)
+	}
+	species := p.Species()
+	if len(species) == 0 {
+		return nil, fmt.Errorf("seqsim: empty pool")
+	}
+	if err := prof.Rates.Validate(); err != nil {
+		return nil, err
+	}
+	// Cumulative abundance for weighted sampling.
+	cum := make([]float64, len(species))
+	total := 0.0
+	for i, s := range species {
+		total += s.Abundance
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("seqsim: pool has zero total abundance")
+	}
+	reads := make([]Read, 0, n)
+	for i := 0; i < n; i++ {
+		x := r.Float64() * total
+		idx := sort.SearchFloat64s(cum, x)
+		if idx >= len(species) {
+			idx = len(species) - 1
+		}
+		s := species[idx]
+		reads = append(reads, Read{
+			Seq:  channel.Corrupt(r, s.Seq, prof.Rates),
+			Meta: s.Meta,
+		})
+	}
+	return reads, nil
+}
+
+// --- Sequencing latency and cost models (Section 7.4) -------------------
+
+// NGSConfig models a fixed-run next-generation sequencer: a run takes a
+// fixed time and produces a fixed number of reads, and output is only
+// available when the run completes.
+type NGSConfig struct {
+	ReadsPerRun int     // reads produced by one run
+	HoursPerRun float64 // wall-clock duration of one run
+	CostPerRun  float64 // arbitrary cost units per run
+}
+
+// MiSeqLike returns an NGS configuration modeled on the paper's Illumina
+// MiSeq example ("one run of Illumina MiSeq can only produce around 1GB
+// of user data"): ~6.6M 150-base reads per 24h run.
+func MiSeqLike() NGSConfig {
+	return NGSConfig{ReadsPerRun: 6_600_000, HoursPerRun: 24, CostPerRun: 1000}
+}
+
+// RunsNeeded returns the number of runs to obtain totalReads reads.
+func (c NGSConfig) RunsNeeded(totalReads int) int {
+	if totalReads <= 0 {
+		return 0
+	}
+	return (totalReads + c.ReadsPerRun - 1) / c.ReadsPerRun
+}
+
+// Latency returns the wall-clock hours to obtain totalReads reads.
+// NGS latency is quantized by runs: even one read costs a full run.
+func (c NGSConfig) Latency(totalReads int) float64 {
+	return float64(c.RunsNeeded(totalReads)) * c.HoursPerRun
+}
+
+// Cost returns the sequencing cost for totalReads reads.
+func (c NGSConfig) Cost(totalReads int) float64 {
+	return float64(c.RunsNeeded(totalReads)) * c.CostPerRun
+}
+
+// NanoporeConfig models a streaming sequencer whose output is produced
+// and analyzed continuously, so a retrieval can stop as soon as decoding
+// succeeds (Section 7.4: "runtime of a single sequencing run is always
+// output-size-dependent").
+type NanoporeConfig struct {
+	ReadsPerHour float64
+	CostPerRead  float64
+}
+
+// MinIONLike returns a configuration modeled on an Oxford Nanopore
+// MinION flow cell.
+func MinIONLike() NanoporeConfig {
+	return NanoporeConfig{ReadsPerHour: 400_000, CostPerRead: 0.0002}
+}
+
+// Latency returns hours to produce totalReads reads; streaming output
+// scales continuously with the read count.
+func (c NanoporeConfig) Latency(totalReads int) float64 {
+	if totalReads <= 0 {
+		return 0
+	}
+	return float64(totalReads) / c.ReadsPerHour
+}
+
+// Cost returns the cost of totalReads reads.
+func (c NanoporeConfig) Cost(totalReads int) float64 {
+	return float64(totalReads) * c.CostPerRead
+}
+
+// CoverageReadsNeeded returns how many total reads must be sequenced so
+// that the target species (a fraction usefulFrac of the pool) is covered
+// at the requested depth. This is the arithmetic behind the paper's
+// 293x / 1.08x waste factors (Sections 7.1 and 7.3): reading x amount of
+// a block that makes up fraction f of the pool requires x/f total reads.
+func CoverageReadsNeeded(targetStrands int, depth float64, usefulFrac float64) (int, error) {
+	if usefulFrac <= 0 || usefulFrac > 1 {
+		return 0, fmt.Errorf("seqsim: useful fraction %v outside (0, 1]", usefulFrac)
+	}
+	if targetStrands <= 0 || depth <= 0 {
+		return 0, fmt.Errorf("seqsim: non-positive target/depth")
+	}
+	return int(math.Ceil(float64(targetStrands) * depth / usefulFrac)), nil
+}

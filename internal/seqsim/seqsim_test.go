@@ -1,0 +1,170 @@
+package seqsim
+
+import (
+	"math"
+	"testing"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dna"
+	"dnastore/internal/pool"
+	"dnastore/internal/rng"
+)
+
+func buildPool() *pool.Pool {
+	p := pool.New()
+	p.Add(dna.MustFromString("AAAACCCCGGGGTTTT"), 900, pool.Meta{Block: 0, OriginBlock: 0})
+	p.Add(dna.MustFromString("TTTTGGGGCCCCAAAA"), 100, pool.Meta{Block: 1, OriginBlock: 1})
+	return p
+}
+
+func TestSampleProportionalToAbundance(t *testing.T) {
+	p := buildPool()
+	r := rng.New(1)
+	reads, err := Sample(r, p, 10000, Profile{Rates: channel.Noiseless()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 10000 {
+		t.Fatalf("read count %d", len(reads))
+	}
+	count0 := 0
+	for _, rd := range reads {
+		if rd.Meta.Block == 0 {
+			count0++
+		}
+	}
+	frac := float64(count0) / 10000
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Errorf("block 0 fraction %.3f want ~0.9", frac)
+	}
+}
+
+func TestSampleAppliesChannel(t *testing.T) {
+	p := buildPool()
+	r := rng.New(2)
+	reads, err := Sample(r, p, 500, Profile{Rates: channel.Rates{Sub: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := 0
+	for _, rd := range reads {
+		orig := dna.MustFromString("AAAACCCCGGGGTTTT")
+		if rd.Meta.Block == 1 {
+			orig = dna.MustFromString("TTTTGGGGCCCCAAAA")
+		}
+		if !rd.Seq.Equal(orig) {
+			mutated++
+		}
+	}
+	if mutated < 300 {
+		t.Errorf("only %d/500 reads mutated at 10%% substitution", mutated)
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	p := buildPool()
+	r := rng.New(3)
+	if _, err := Sample(r, p, -1, Profile{}); err == nil {
+		t.Error("negative read count accepted")
+	}
+	if _, err := Sample(r, pool.New(), 10, Profile{}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := Sample(r, p, 10, Profile{Rates: channel.Rates{Sub: 2}}); err == nil {
+		t.Error("invalid rates accepted")
+	}
+	empty := pool.New()
+	empty.Add(dna.MustFromString("ACGT"), 1, pool.Meta{})
+	empty.Scale(0)
+	if _, err := Sample(r, empty, 10, Profile{}); err == nil {
+		t.Error("zero-abundance pool accepted")
+	}
+}
+
+func TestNGSModel(t *testing.T) {
+	c := MiSeqLike()
+	if c.RunsNeeded(0) != 0 {
+		t.Error("zero reads should need zero runs")
+	}
+	if c.RunsNeeded(1) != 1 {
+		t.Error("one read needs a full run")
+	}
+	if got := c.RunsNeeded(c.ReadsPerRun + 1); got != 2 {
+		t.Errorf("runs %d want 2", got)
+	}
+	// Latency quantizes: a single read costs a full run.
+	if c.Latency(1) != c.HoursPerRun {
+		t.Error("NGS latency not quantized by run")
+	}
+	// Section 7.4: a 1TB partition (~6.6B reads at 150 bases) needs ~1000
+	// MiSeq runs; a block 1/141 the size needs proportionally fewer.
+	partitionReads := 6_600_000_000
+	blockReads := partitionReads / 141
+	full := c.RunsNeeded(partitionReads)
+	blk := c.RunsNeeded(blockReads)
+	ratio := float64(full) / float64(blk)
+	if ratio < 100 || ratio > 200 {
+		t.Errorf("run reduction %.0fx, want ~141x", ratio)
+	}
+	if c.Cost(partitionReads) <= c.Cost(blockReads) {
+		t.Error("cost not reduced")
+	}
+}
+
+func TestNanoporeModel(t *testing.T) {
+	c := MinIONLike()
+	if c.Latency(0) != 0 {
+		t.Error("zero reads should have zero latency")
+	}
+	// Streaming latency is strictly linear: 141x fewer reads, 141x less time.
+	l1 := c.Latency(141_000)
+	l2 := c.Latency(1_000)
+	if math.Abs(l1/l2-141) > 1e-9 {
+		t.Errorf("nanopore latency ratio %v want 141", l1/l2)
+	}
+	if c.Cost(100) >= c.Cost(10000) {
+		t.Error("nanopore cost not increasing")
+	}
+}
+
+func TestCoverageReadsNeeded(t *testing.T) {
+	// Paper Section 8: recovering 30 strands at coverage ~7.5 with only
+	// 0.34% useful reads needs ~50000-70000 reads; at 48% useful, a few
+	// hundred suffice (225 observed).
+	baseline, err := CoverageReadsNeeded(30, 7.5, 0.0034)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := CoverageReadsNeeded(30, 7.5, 0.48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline < 40000 || baseline > 90000 {
+		t.Errorf("baseline reads %d, want ~66k", baseline)
+	}
+	if ours < 200 || ours > 700 {
+		t.Errorf("our reads %d, want a few hundred", ours)
+	}
+	reduction := float64(baseline) / float64(ours)
+	if reduction < 100 || reduction > 200 {
+		t.Errorf("read reduction %.0fx, want ~141x", reduction)
+	}
+	if _, err := CoverageReadsNeeded(30, 7.5, 0); err == nil {
+		t.Error("zero useful fraction accepted")
+	}
+	if _, err := CoverageReadsNeeded(0, 1, 0.5); err == nil {
+		t.Error("zero target accepted")
+	}
+}
+
+func BenchmarkSample50k(b *testing.B) {
+	p := buildPool()
+	r := rng.New(9)
+	prof := IlluminaProfile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sample(r, p, 50000, prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dnastore/internal/rng"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("summary %+v", s)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Error("empty sample should be zero summary")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 50} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total %d", h.Total())
+	}
+	if h.Bins[0] != 2 { // 0 and 1.9
+		t.Errorf("bin 0 = %d", h.Bins[0])
+	}
+	if h.Bins[4] != 1 { // 9.99
+		t.Errorf("bin 4 = %d", h.Bins[4])
+	}
+	if h.under != 1 || h.over != 2 {
+		t.Errorf("under/over %d/%d", h.under, h.over)
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestZipfShape(t *testing.T) {
+	z, err := NewZipf(100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	counts := make([]int, 100)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		k := z.Draw(r)
+		if k < 0 || k >= 100 {
+			t.Fatalf("draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Rank 1 should be about 2x rank 2, 10x rank 10.
+	r1, r2, r10 := float64(counts[0]), float64(counts[1]), float64(counts[9])
+	if math.Abs(r1/r2-2) > 0.3 {
+		t.Errorf("rank1/rank2 = %.2f want ~2", r1/r2)
+	}
+	if math.Abs(r1/r10-10) > 2.5 {
+		t.Errorf("rank1/rank10 = %.2f want ~10", r1/r10)
+	}
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Error("s=0 accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Package text deterministically generates English-like book text.
+//
+// The paper's wetlab input is the 150 KB of "Alice's Adventures in
+// Wonderland" split into 587 encoding units of 256 bytes, each about one
+// paragraph (Section 6.1). This repository cannot bundle the book, so a
+// seeded generator produces a corpus with the same statistical role:
+// printable English-like prose of an exact byte length. Every measured
+// quantity in the evaluation depends only on block count and strand
+// counts, not on the corpus content.
+package text
+
+import (
+	"strings"
+
+	"dnastore/internal/rng"
+)
+
+var words = []string{
+	"alice", "rabbit", "queen", "hatter", "cat", "turtle", "garden", "tea",
+	"the", "a", "and", "but", "so", "then", "quite", "rather", "very",
+	"curious", "little", "great", "golden", "white", "small", "grand",
+	"ran", "fell", "said", "thought", "looked", "began", "found", "went",
+	"down", "under", "through", "beside", "across", "into", "beyond",
+	"table", "door", "key", "bottle", "clock", "book", "rose", "crown",
+	"morning", "afternoon", "dream", "story", "riddle", "song", "dance",
+	"wonder", "nonsense", "adventure", "moment", "whisper", "shadow",
+}
+
+// Book generates deterministic prose of exactly size bytes from the
+// given seed. The text consists of sentences grouped into paragraphs
+// separated by blank lines, then truncated or padded with spaces to the
+// exact size.
+func Book(seed uint64, size int) string {
+	if size <= 0 {
+		return ""
+	}
+	r := rng.New(seed)
+	var b strings.Builder
+	b.Grow(size + 128)
+	sentenceInPara := 0
+	for b.Len() < size {
+		// One sentence: 5-14 words, capitalized, period.
+		n := 5 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			w := words[r.Intn(len(words))]
+			if i == 0 {
+				w = strings.ToUpper(w[:1]) + w[1:]
+			}
+			b.WriteString(w)
+			if i < n-1 {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(". ")
+		sentenceInPara++
+		if sentenceInPara >= 3+r.Intn(4) {
+			b.WriteString("\n\n")
+			sentenceInPara = 0
+		}
+	}
+	s := b.String()
+	if len(s) > size {
+		s = s[:size]
+	}
+	for len(s) < size {
+		s += " "
+	}
+	return s
+}
+
+// Blocks splits data into fixed-size blocks, zero-padding the last one.
+// It mirrors how the paper maps the book onto 256-byte encoding units.
+func Blocks(data []byte, blockSize int) [][]byte {
+	if blockSize <= 0 {
+		return nil
+	}
+	var out [][]byte
+	for off := 0; off < len(data); off += blockSize {
+		end := off + blockSize
+		block := make([]byte, blockSize)
+		if end > len(data) {
+			copy(block, data[off:])
+		} else {
+			copy(block, data[off:end])
+		}
+		out = append(out, block)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package text
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBookExactSize(t *testing.T) {
+	for _, size := range []int{1, 100, 256, 150 * 1024} {
+		s := Book(1, size)
+		if len(s) != size {
+			t.Errorf("size %d: got %d bytes", size, len(s))
+		}
+	}
+	if Book(1, 0) != "" || Book(1, -5) != "" {
+		t.Error("non-positive size should be empty")
+	}
+}
+
+func TestBookDeterministic(t *testing.T) {
+	a := Book(42, 10000)
+	b := Book(42, 10000)
+	if a != b {
+		t.Error("same seed produced different text")
+	}
+	c := Book(43, 10000)
+	if a == c {
+		t.Error("different seeds produced identical text")
+	}
+}
+
+func TestBookLooksLikeText(t *testing.T) {
+	s := Book(7, 20000)
+	if !strings.Contains(s, ". ") {
+		t.Error("no sentences")
+	}
+	if !strings.Contains(s, "\n\n") {
+		t.Error("no paragraphs")
+	}
+	for _, r := range s {
+		if r > 127 {
+			t.Fatalf("non-ASCII rune %q", r)
+		}
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	data := []byte("abcdefghij") // 10 bytes
+	blocks := Blocks(data, 4)
+	if len(blocks) != 3 {
+		t.Fatalf("%d blocks want 3", len(blocks))
+	}
+	if string(blocks[0]) != "abcd" || string(blocks[1]) != "efgh" {
+		t.Error("block content wrong")
+	}
+	if string(blocks[2]) != "ij\x00\x00" {
+		t.Errorf("last block %q not zero-padded", blocks[2])
+	}
+	if Blocks(data, 0) != nil {
+		t.Error("zero block size should return nil")
+	}
+	if got := Blocks(nil, 4); len(got) != 0 {
+		t.Error("empty data should produce no blocks")
+	}
+}
+
+func TestPaperScale(t *testing.T) {
+	// 150 KB in 256-byte blocks: the paper's 587-600 encoding units.
+	book := Book(1, 150*1024)
+	blocks := Blocks([]byte(book), 256)
+	if len(blocks) != 600 {
+		t.Errorf("%d blocks for 150KB, want 600", len(blocks))
+	}
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"dnastore/internal/dna"
+)
+
+// colVotes accumulates per-draft-position evidence.
+type colVotes struct {
+	sub [4]int // votes for a base at this draft position
+	del int    // votes to delete this draft position
+}
+
+// Refine polishes a draft consensus by realigning every read against it
+// and re-voting position by position, including insertion and deletion
+// votes — the iterative refinement step used by practical DNA-storage
+// pipelines on high-error channels, where one BMA pass leaves systematic
+// mid-strand errors. rounds of 1-2 are typically sufficient.
+func Refine(reads []dna.Seq, draft dna.Seq, rounds int) dna.Seq {
+	for r := 0; r < rounds; r++ {
+		next := refineOnce(reads, draft)
+		if next.Equal(draft) {
+			break
+		}
+		draft = next
+	}
+	return draft
+}
+
+// refineBand bounds the alignment band half-width.
+const refineBand = 20
+
+// refineOnce realigns all reads to the draft and rebuilds it from the
+// per-position votes.
+func refineOnce(reads []dna.Seq, draft dna.Seq) dna.Seq {
+	n := len(draft)
+	if n == 0 || len(reads) == 0 {
+		return draft
+	}
+	cols := make([]colVotes, n)
+	// ins[j][b] counts insertions of base b before draft position j.
+	ins := make([][4]int, n+1)
+	voters := 0
+	for _, read := range reads {
+		if alignVote(read, draft, cols, ins) {
+			voters++
+		}
+	}
+	if voters == 0 {
+		return draft
+	}
+	half := voters / 2
+	out := make(dna.Seq, 0, n+4)
+	for j := 0; j <= n; j++ {
+		// Majority insertion before position j.
+		bestIns, insCount := dna.A, 0
+		for b := 0; b < 4; b++ {
+			if ins[j][b] > insCount {
+				insCount = ins[j][b]
+				bestIns = dna.Base(b)
+			}
+		}
+		if insCount > half {
+			out = append(out, bestIns)
+		}
+		if j == n {
+			break
+		}
+		if cols[j].del > half {
+			continue // majority says this draft base does not exist
+		}
+		best, bestVotes := draft[j], -1
+		for b := 0; b < 4; b++ {
+			if cols[j].sub[b] > bestVotes {
+				bestVotes = cols[j].sub[b]
+				best = dna.Base(b)
+			}
+		}
+		if bestVotes > 0 {
+			out = append(out, best)
+		} else {
+			out = append(out, draft[j])
+		}
+	}
+	return out
+}
+
+// alignVote computes a banded global alignment of read against draft and
+// adds the read's votes along the traceback path. Returns false when the
+// read's length is too far from the draft for the band.
+func alignVote(read, draft dna.Seq, cols []colVotes, ins [][4]int) bool {
+	m, n := len(read), len(draft)
+	if m == 0 {
+		return false
+	}
+	diff := m - n
+	if diff < -refineBand || diff > refineBand {
+		return false
+	}
+	// DP over (i = read pos, j = draft pos) within |i-j| <= band.
+	// Encode the matrix with rows i and banded columns.
+	band := refineBand
+	width := 2*band + 1
+	const inf = int16(30000)
+	dp := make([]int16, (m+1)*width)
+	dir := make([]int8, (m+1)*width) // 0 diag, 1 up(ins in read), 2 left(del in read)
+	at := func(i, j int) int { return i*width + (j - i + band) }
+	inBand := func(i, j int) bool { d := j - i; return d >= -band && d <= band }
+	for i := 0; i <= m; i++ {
+		for d := 0; d < width; d++ {
+			dp[i*width+d] = inf
+		}
+	}
+	dp[at(0, 0)] = 0
+	for j := 1; j <= n && j <= band; j++ {
+		dp[at(0, j)] = int16(j)
+		dir[at(0, j)] = 2
+	}
+	for i := 1; i <= m; i++ {
+		if inBand(i, 0) {
+			dp[at(i, 0)] = int16(i)
+			dir[at(i, 0)] = 1
+		}
+		lo := i - band
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + band
+		if hi > n {
+			hi = n
+		}
+		for j := lo; j <= hi; j++ {
+			best := int16(inf)
+			var bd int8
+			// diag
+			if inBand(i-1, j-1) && dp[at(i-1, j-1)] < inf {
+				cost := int16(1)
+				if read[i-1] == draft[j-1] {
+					cost = 0
+				}
+				if v := dp[at(i-1, j-1)] + cost; v < best {
+					best, bd = v, 0
+				}
+			}
+			// up: consume read base (insertion relative to draft)
+			if inBand(i-1, j) && dp[at(i-1, j)] < inf {
+				if v := dp[at(i-1, j)] + 1; v < best {
+					best, bd = v, 1
+				}
+			}
+			// left: consume draft base (deletion in read)
+			if inBand(i, j-1) && dp[at(i, j-1)] < inf {
+				if v := dp[at(i, j-1)] + 1; v < best {
+					best, bd = v, 2
+				}
+			}
+			if best < inf {
+				dp[at(i, j)] = best
+				dir[at(i, j)] = bd
+			}
+		}
+	}
+	if !inBand(m, n) || dp[at(m, n)] >= inf {
+		return false
+	}
+	// Traceback, voting along the way.
+	i, j := m, n
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && dir[at(i, j)] == 0:
+			cols[j-1].sub[read[i-1]]++
+			i--
+			j--
+		case i > 0 && dir[at(i, j)] == 1:
+			ins[j][read[i-1]]++
+			i--
+		default:
+			cols[j-1].del++
+			j--
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+// Package trace reconstructs an original DNA strand from a cluster of
+// noisy reads containing insertion, deletion and substitution errors.
+//
+// The algorithm is the double-sided Bitwise Majority Alignment (BMA) the
+// paper's decoder uses (Section 8, step 3, following Lin et al. [20]):
+// a forward BMA pass and a backward BMA pass are stitched at the middle,
+// which contains the error accumulation that plagues one-sided BMA at
+// the far end of the strand.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"dnastore/internal/dna"
+)
+
+// ErrNoReads is returned when reconstruction is attempted on an empty
+// cluster.
+var ErrNoReads = errors.New("trace: no reads to reconstruct from")
+
+// BMA reconstructs a strand of the given length from noisy reads using
+// one-sided (forward) bitwise majority alignment. Each read maintains a
+// cursor; at every output position the reads vote on the current symbol,
+// and cursors advance according to whether each read agrees, appears to
+// contain an insertion (next symbol matches the winner), or appears to
+// have dropped the winner (deletion).
+func BMA(reads []dna.Seq, length int) (dna.Seq, error) {
+	if len(reads) == 0 {
+		return nil, ErrNoReads
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("trace: non-positive length %d", length)
+	}
+	cursors := make([]int, len(reads))
+	stalls := make([]int, len(reads))
+	out := make(dna.Seq, 0, length)
+	for pos := 0; pos < length; pos++ {
+		var votes [4]int
+		voters := 0
+		for i, r := range reads {
+			if cursors[i] < len(r) {
+				votes[r[cursors[i]]]++
+				voters++
+			}
+		}
+		if voters == 0 {
+			// All reads exhausted: pad with A to preserve length; the
+			// outer Reed-Solomon code treats the tail as noise.
+			out = append(out, dna.A)
+			continue
+		}
+		winner := dna.A
+		best := -1
+		for b := 0; b < 4; b++ {
+			if votes[b] > best {
+				best = votes[b]
+				winner = dna.Base(b)
+			}
+		}
+		out = append(out, winner)
+		for i, r := range reads {
+			c := cursors[i]
+			switch {
+			case c >= len(r):
+				// exhausted
+			case r[c] == winner:
+				cursors[i] = c + 1
+				stalls[i] = 0
+			case c+1 < len(r) && r[c+1] == winner:
+				// The read has one extra symbol: insertion before the
+				// winner. Skip both.
+				cursors[i] = c + 2
+				stalls[i] = 0
+			default:
+				// The read is missing the winner (deletion) or carries a
+				// substitution. Assume deletion once; if the read stalls
+				// repeatedly, treat it as a substitution and advance to
+				// avoid desynchronizing the rest of the strand.
+				stalls[i]++
+				if stalls[i] >= 2 {
+					cursors[i] = c + 1
+					stalls[i] = 0
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// reverseSeq returns a reversed copy (no complementing).
+func reverseSeq(s dna.Seq) dna.Seq {
+	out := make(dna.Seq, len(s))
+	for i, b := range s {
+		out[len(s)-1-i] = b
+	}
+	return out
+}
+
+// Ensemble reconstructs a strand by splitting the cluster into groups,
+// running double-sided BMA on each, and voting position-wise across the
+// group consensuses. BMA's residual errors (cursor drift concentrated
+// mid-strand) are largely independent across disjoint read subsets, so
+// the vote suppresses them quadratically — which matters on high-error
+// channels such as nanopore. Clusters too small to split fall back to a
+// single double-sided pass.
+func Ensemble(reads []dna.Seq, length, groups int) (dna.Seq, error) {
+	if groups < 2 || len(reads) < 3*groups {
+		return DoubleSided(reads, length)
+	}
+	consensuses := make([]dna.Seq, 0, groups)
+	for g := 0; g < groups; g++ {
+		var subset []dna.Seq
+		for i := g; i < len(reads); i += groups {
+			subset = append(subset, reads[i])
+		}
+		c, err := DoubleSided(subset, length)
+		if err != nil {
+			return nil, err
+		}
+		consensuses = append(consensuses, c)
+	}
+	out := make(dna.Seq, length)
+	for pos := 0; pos < length; pos++ {
+		var votes [4]int
+		for _, c := range consensuses {
+			votes[c[pos]]++
+		}
+		best := -1
+		for b := 0; b < 4; b++ {
+			if votes[b] > best {
+				best = votes[b]
+				out[pos] = dna.Base(b)
+			}
+		}
+	}
+	return out, nil
+}
+
+// DoubleSided reconstructs a strand of the given length with the
+// two-sided BMA: the first half comes from a forward pass and the second
+// half from a backward pass over reversed reads, confining cursor-drift
+// errors to the middle of the strand.
+func DoubleSided(reads []dna.Seq, length int) (dna.Seq, error) {
+	forward, err := BMA(reads, length)
+	if err != nil {
+		return nil, err
+	}
+	reversed := make([]dna.Seq, len(reads))
+	for i, r := range reads {
+		reversed[i] = reverseSeq(r)
+	}
+	backRev, err := BMA(reversed, length)
+	if err != nil {
+		return nil, err
+	}
+	backward := reverseSeq(backRev)
+	out := make(dna.Seq, length)
+	half := length / 2
+	copy(out[:half], forward[:half])
+	copy(out[half:], backward[half:])
+	return out, nil
+}

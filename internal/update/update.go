@@ -1,0 +1,189 @@
+// Package update implements the paper's data-update mechanism
+// (Section 5): updates are logged as an ordered series of incremental
+// patches, synthesized as ordinary encoding units whose address differs
+// from the data block only in the version base, and applied in software
+// at decode time.
+//
+// The patch wire format follows Section 6.4: a delete offset, a delete
+// count, an insert position (interpreted after the deletion), and the
+// bytes to insert. The paper leaves the insert length implicit in the
+// molecule; since our patches travel inside fixed-size encoding units we
+// carry an explicit one-byte insert length, which is the only deviation.
+// A version slot can also hold an overflow pointer into a shared update
+// log when a block receives more updates than its statically provisioned
+// slots (Section 5.3).
+package update
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPatchFormat is returned when unmarshaling malformed patch bytes.
+var ErrPatchFormat = errors.New("update: malformed patch")
+
+// ErrPatchRange is returned when a patch does not apply to a block
+// (offsets out of range).
+var ErrPatchRange = errors.New("update: patch out of range")
+
+// headerLen is the fixed patch header: delete start, delete count,
+// insert position, insert length — one byte each (blocks are 256 B).
+const headerLen = 4
+
+// MaxBlockSize is the largest block a one-byte-offset patch can address.
+const MaxBlockSize = 256
+
+// Patch is one incremental update to a block.
+type Patch struct {
+	DeleteStart int    // first byte to delete
+	DeleteCount int    // number of bytes to delete (0 = pure insertion)
+	InsertPos   int    // insertion offset, evaluated after the deletion
+	Insert      []byte // bytes to insert (may be empty: pure deletion)
+}
+
+// Validate checks field ranges independent of any particular block.
+func (p Patch) Validate() error {
+	if p.DeleteStart < 0 || p.DeleteStart >= MaxBlockSize {
+		return fmt.Errorf("%w: delete start %d", ErrPatchRange, p.DeleteStart)
+	}
+	if p.DeleteCount < 0 || p.DeleteCount > MaxBlockSize {
+		return fmt.Errorf("%w: delete count %d", ErrPatchRange, p.DeleteCount)
+	}
+	if p.InsertPos < 0 || p.InsertPos >= MaxBlockSize {
+		return fmt.Errorf("%w: insert position %d", ErrPatchRange, p.InsertPos)
+	}
+	if len(p.Insert) > MaxBlockSize-1 {
+		return fmt.Errorf("%w: insert length %d", ErrPatchRange, len(p.Insert))
+	}
+	return nil
+}
+
+// Apply returns the block content after the patch: bytes
+// [DeleteStart, DeleteStart+DeleteCount) are removed, then Insert is
+// spliced in at InsertPos. The input is not modified. The result may
+// differ in length from the input; the block store re-pads to the block
+// size (Section 5.4 notes updates may change data size, which versioning
+// absorbs).
+func (p Patch) Apply(block []byte) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.DeleteStart > len(block) {
+		return nil, fmt.Errorf("%w: delete start %d beyond block size %d",
+			ErrPatchRange, p.DeleteStart, len(block))
+	}
+	delEnd := p.DeleteStart + p.DeleteCount
+	if delEnd > len(block) {
+		return nil, fmt.Errorf("%w: delete end %d beyond block size %d",
+			ErrPatchRange, delEnd, len(block))
+	}
+	afterDelete := make([]byte, 0, len(block)-p.DeleteCount+len(p.Insert))
+	afterDelete = append(afterDelete, block[:p.DeleteStart]...)
+	afterDelete = append(afterDelete, block[delEnd:]...)
+	if p.InsertPos > len(afterDelete) {
+		return nil, fmt.Errorf("%w: insert position %d beyond %d bytes",
+			ErrPatchRange, p.InsertPos, len(afterDelete))
+	}
+	out := make([]byte, 0, len(afterDelete)+len(p.Insert))
+	out = append(out, afterDelete[:p.InsertPos]...)
+	out = append(out, p.Insert...)
+	out = append(out, afterDelete[p.InsertPos:]...)
+	return out, nil
+}
+
+// ApplyAll applies patches in order, the versioning semantics of
+// Section 5.2 ("an ordered series of incremental patches").
+func ApplyAll(block []byte, patches []Patch) ([]byte, error) {
+	cur := append([]byte(nil), block...)
+	for i, p := range patches {
+		next, err := p.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("update: patch %d: %w", i, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Marshal encodes the patch into the paper's wire format, padded with
+// zeros to size bytes (the encoding-unit capacity). size must be at
+// least headerLen+len(Insert).
+func (p Patch) Marshal(size int) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	need := headerLen + len(p.Insert)
+	if size < need {
+		return nil, fmt.Errorf("update: patch needs %d bytes, unit holds %d", need, size)
+	}
+	out := make([]byte, size)
+	out[0] = byte(p.DeleteStart)
+	out[1] = byte(p.DeleteCount)
+	out[2] = byte(p.InsertPos)
+	out[3] = byte(len(p.Insert))
+	copy(out[headerLen:], p.Insert)
+	return out, nil
+}
+
+// Unmarshal decodes a patch from unit bytes produced by Marshal.
+func Unmarshal(data []byte) (Patch, error) {
+	if len(data) < headerLen {
+		return Patch{}, fmt.Errorf("%w: %d bytes", ErrPatchFormat, len(data))
+	}
+	insLen := int(data[3])
+	if headerLen+insLen > len(data) {
+		return Patch{}, fmt.Errorf("%w: insert length %d exceeds payload", ErrPatchFormat, insLen)
+	}
+	p := Patch{
+		DeleteStart: int(data[0]),
+		DeleteCount: int(data[1]),
+		InsertPos:   int(data[2]),
+		Insert:      append([]byte(nil), data[headerLen:headerLen+insLen]...),
+	}
+	if len(p.Insert) == 0 {
+		p.Insert = nil
+	}
+	return p, nil
+}
+
+// --- Overflow pointers ---------------------------------------------------
+
+// overflowMagic marks a version slot that points into the shared update
+// log rather than holding a patch. The magic is an impossible patch
+// header: delete start 255 with delete count 255 cannot be a valid
+// deletion on a 256-byte block.
+var overflowMagic = [2]byte{0xff, 0xff}
+
+// MarshalOverflow encodes a pointer to a block in the common update log
+// (Section 5.3: "the last update block will contain a pointer to an
+// entry in the common update log").
+func MarshalOverflow(logBlock int, size int) ([]byte, error) {
+	if logBlock < 0 || logBlock > 0xffffffff {
+		return nil, fmt.Errorf("update: overflow block %d out of range", logBlock)
+	}
+	if size < 8 {
+		return nil, fmt.Errorf("update: overflow record needs 8 bytes, unit holds %d", size)
+	}
+	out := make([]byte, size)
+	out[0], out[1] = overflowMagic[0], overflowMagic[1]
+	out[2] = 0
+	out[3] = 0
+	out[4] = byte(logBlock >> 24)
+	out[5] = byte(logBlock >> 16)
+	out[6] = byte(logBlock >> 8)
+	out[7] = byte(logBlock)
+	return out, nil
+}
+
+// IsOverflow reports whether unit bytes hold an overflow pointer, and if
+// so the update-log block it references.
+func IsOverflow(data []byte) (logBlock int, ok bool) {
+	if len(data) < 8 {
+		return 0, false
+	}
+	if data[0] != overflowMagic[0] || data[1] != overflowMagic[1] {
+		return 0, false
+	}
+	logBlock = int(data[4])<<24 | int(data[5])<<16 | int(data[6])<<8 | int(data[7])
+	return logBlock, true
+}

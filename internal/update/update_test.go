@@ -1,0 +1,208 @@
+package update
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyDeleteOnly(t *testing.T) {
+	block := []byte("hello world")
+	p := Patch{DeleteStart: 5, DeleteCount: 6}
+	got, err := p.Apply(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("got %q", got)
+	}
+	if string(block) != "hello world" {
+		t.Error("input mutated")
+	}
+}
+
+func TestApplyInsertOnly(t *testing.T) {
+	block := []byte("held")
+	p := Patch{InsertPos: 3, Insert: []byte("lo wor")}
+	got, err := p.Apply(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello word" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestApplyDeleteThenInsert(t *testing.T) {
+	// Section 6.4's semantics: deletion happens first, the insert
+	// position refers to the post-deletion content.
+	block := []byte("the quick brown fox")
+	p := Patch{DeleteStart: 4, DeleteCount: 6, InsertPos: 4, Insert: []byte("slow ")}
+	got, err := p.Apply(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "the slow brown fox" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestApplyRangeErrors(t *testing.T) {
+	block := make([]byte, 10)
+	cases := []Patch{
+		{DeleteStart: 11},                // beyond block
+		{DeleteStart: 5, DeleteCount: 6}, // delete end beyond block
+		{InsertPos: 11},                  // insert beyond block
+		{DeleteStart: -1},                // negative
+		{DeleteCount: -2},                // negative
+		{InsertPos: -3},                  // negative
+	}
+	for i, p := range cases {
+		if _, err := p.Apply(block); !errors.Is(err, ErrPatchRange) {
+			t.Errorf("case %d: err = %v, want ErrPatchRange", i, err)
+		}
+	}
+}
+
+func TestApplyAllOrderMatters(t *testing.T) {
+	block := []byte("aaaa")
+	p1 := Patch{InsertPos: 0, Insert: []byte("bb")}
+	p2 := Patch{DeleteStart: 0, DeleteCount: 2}
+	got12, err := ApplyAll(block, []Patch{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got21, err := ApplyAll(block, []Patch{p2, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got12) != "aaaa" {
+		t.Errorf("p1 then p2: %q", got12)
+	}
+	if string(got21) != "bbaa" {
+		t.Errorf("p2 then p1: %q", got21)
+	}
+}
+
+func TestApplyAllEmpty(t *testing.T) {
+	block := []byte("data")
+	got, err := ApplyAll(block, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, block) {
+		t.Error("no patches should be identity")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := func(ds, dc, ip byte, insert []byte) bool {
+		if len(insert) > 200 {
+			insert = insert[:200]
+		}
+		p := Patch{
+			DeleteStart: int(ds),
+			DeleteCount: int(dc),
+			InsertPos:   int(ip),
+			Insert:      insert,
+		}
+		if p.Validate() != nil {
+			return true // skip invalid combinations
+		}
+		data, err := p.Marshal(264)
+		if err != nil {
+			return false
+		}
+		if len(data) != 264 {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return got.DeleteStart == p.DeleteStart &&
+			got.DeleteCount == p.DeleteCount &&
+			got.InsertPos == p.InsertPos &&
+			bytes.Equal(got.Insert, p.Insert)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalTooSmall(t *testing.T) {
+	p := Patch{Insert: make([]byte, 100)}
+	if _, err := p.Marshal(50); err == nil {
+		t.Error("undersized unit accepted")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2}); !errors.Is(err, ErrPatchFormat) {
+		t.Errorf("short data: %v", err)
+	}
+	bad := []byte{0, 0, 0, 250, 1, 2, 3} // insert length exceeds payload
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrPatchFormat) {
+		t.Errorf("oversize insert length: %v", err)
+	}
+}
+
+func TestPatchMarshalApplyEndToEnd(t *testing.T) {
+	// The paper's wetlab flow: marshal a patch into a 264-byte unit,
+	// recover it, apply it to a 256-byte block.
+	block := bytes.Repeat([]byte("x"), 256)
+	p := Patch{DeleteStart: 10, DeleteCount: 5, InsertPos: 10, Insert: []byte("PATCHED")}
+	unit, err := p.Marshal(264)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := got.Apply(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(applied, []byte("PATCHED")) {
+		t.Error("patch content lost")
+	}
+	if len(applied) != 256-5+7 {
+		t.Errorf("result length %d", len(applied))
+	}
+}
+
+func TestOverflowRoundTrip(t *testing.T) {
+	data, err := MarshalOverflow(123456, 264)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockNum, ok := IsOverflow(data)
+	if !ok || blockNum != 123456 {
+		t.Errorf("overflow round trip: %d %v", blockNum, ok)
+	}
+	// A regular patch is never mistaken for an overflow pointer: delete
+	// start 255 + delete count 255 is not a valid patch on 256-byte
+	// blocks.
+	p := Patch{DeleteStart: 200, DeleteCount: 50, Insert: []byte("x")}
+	unit, err := p.Marshal(264)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := IsOverflow(unit); ok {
+		t.Error("regular patch misread as overflow")
+	}
+	if _, ok := IsOverflow([]byte{1, 2}); ok {
+		t.Error("short data misread as overflow")
+	}
+}
+
+func TestMarshalOverflowErrors(t *testing.T) {
+	if _, err := MarshalOverflow(-1, 264); err == nil {
+		t.Error("negative block accepted")
+	}
+	if _, err := MarshalOverflow(1, 4); err == nil {
+		t.Error("tiny unit accepted")
+	}
+}
