@@ -343,6 +343,66 @@ func BenchmarkBlockWrite(b *testing.B) {
 	}
 }
 
+// benchRangePartition builds a 64-block partition with 44 written
+// blocks whose unaligned range [2, 45] decomposes into ~11 prefix
+// covers — one PCR → sequence → decode reaction each, the unit of
+// read-engine parallelism.
+func benchRangePartition(b *testing.B, workers int) *Partition {
+	b.Helper()
+	sys, err := New(Options{Seed: 9, MaxPartitions: 1, TreeDepth: 3, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := sys.CreatePartition("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for blk := 2; blk <= 45; blk++ {
+		if err := p.WriteBlock(blk, []byte("parallel range benchmark block content")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p
+}
+
+func benchReadRange(b *testing.B, workers int) {
+	p := benchRangePartition(b, workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ReadRange(2, 45); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadRangeSerial is the workers=1 baseline for the parallel
+// read engine.
+func BenchmarkReadRangeSerial(b *testing.B) { benchReadRange(b, 1) }
+
+// BenchmarkReadRangeParallel runs the same multi-cover range read with
+// GOMAXPROCS workers; compare against BenchmarkReadRangeSerial. Outputs
+// are byte-identical (see TestParallelMatchesSequential in package
+// blockstore); only the wall clock changes.
+func BenchmarkReadRangeParallel(b *testing.B) { benchReadRange(b, -1) }
+
+func benchReadBlocks(b *testing.B, workers int) {
+	p := benchRangePartition(b, workers)
+	batch := []int{2, 7, 12, 19, 25, 31, 38, 45}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ReadBlocks(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadBlocksSerial and BenchmarkReadBlocksParallel compare the
+// batched random-access path at workers=1 vs GOMAXPROCS.
+func BenchmarkReadBlocksSerial(b *testing.B)   { benchReadBlocks(b, 1) }
+func BenchmarkReadBlocksParallel(b *testing.B) { benchReadBlocks(b, -1) }
+
 // BenchmarkBlockRead measures the full wet read path (PCR + sequencing
 // + decode) on a small partition.
 func BenchmarkBlockRead(b *testing.B) {

@@ -10,13 +10,14 @@
 //
 // Experiment ids: fig3, fig9a, fig9b, fig9c, multiplex, fig10, cost,
 // latency, updatecost, decode, misprime, scale, tree, density, cache,
-// primers.
+// primers, parallel.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,12 +28,14 @@ var experimentIDs = []string{
 	"fig3", "fig9a", "fig9b", "fig9c", "multiplex", "fig10",
 	"cost", "latency", "updatecost", "decode", "misprime",
 	"scale", "tree", "density", "cache", "primers", "related", "alloc",
+	"parallel",
 }
 
 func main() {
 	run := flag.String("run", "all", "experiment id or 'all'")
 	reads := flag.Int("reads", 50000, "sequencing reads per figure-9 experiment")
 	seed := flag.Uint64("seed", 0, "wetlab seed (0 = default)")
+	workers := flag.Int("workers", runtime.NumCPU(), "read-engine workers for the parallel experiment")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -42,13 +45,13 @@ func main() {
 		}
 		return
 	}
-	if err := runExperiments(*run, *reads, *seed); err != nil {
+	if err := runExperiments(*run, *reads, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "dnabench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(run string, reads int, seed uint64) error {
+func runExperiments(run string, reads int, seed uint64, workers int) error {
 	want := map[string]bool{}
 	if run == "all" {
 		for _, id := range experimentIDs {
@@ -117,6 +120,15 @@ func runExperiments(run string, reads int, seed uint64) error {
 			return err
 		}
 		experiment.PrintCache(out, r)
+		fmt.Fprintln(out)
+	}
+	if want["parallel"] {
+		fmt.Fprintf(out, "running the read-engine scaling study (workers=%d)...\n", workers)
+		r, err := experiment.Parallel(workers)
+		if err != nil {
+			return err
+		}
+		experiment.PrintParallel(out, r)
 		fmt.Fprintln(out)
 	}
 

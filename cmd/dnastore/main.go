@@ -67,9 +67,11 @@ func (j *journal) save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// replay rebuilds the in-memory system from the journal.
-func (j *journal) replay() (*dnastore.System, error) {
-	sys, err := dnastore.New(dnastore.Options{Seed: j.Seed})
+// replay rebuilds the in-memory system from the journal. workers sets
+// the read-engine parallelism; it is a per-invocation runtime knob, not
+// journal state, because results are byte-identical for every setting.
+func (j *journal) replay(workers int) (*dnastore.System, error) {
+	sys, err := dnastore.New(dnastore.Options{Seed: j.Seed, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -110,13 +112,14 @@ func (j *journal) replay() (*dnastore.System, error) {
 
 func main() {
 	journalPath := flag.String("journal", "dnastore.json", "journal file holding the tube's write history")
+	workers := flag.Int("workers", 0, "read-engine workers (0 = serial, -1 = all CPUs)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	if err := runCommand(*journalPath, args); err != nil {
+	if err := runCommand(*journalPath, *workers, args); err != nil {
 		fmt.Fprintln(os.Stderr, "dnastore:", err)
 		os.Exit(1)
 	}
@@ -133,12 +136,12 @@ commands:
   costs`)
 }
 
-func runCommand(journalPath string, args []string) error {
+func runCommand(journalPath string, workers int, args []string) error {
 	j, err := loadJournal(journalPath)
 	if err != nil {
 		return err
 	}
-	sys, err := j.replay()
+	sys, err := j.replay(workers)
 	if err != nil {
 		return err
 	}

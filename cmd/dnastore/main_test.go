@@ -21,7 +21,7 @@ func TestCreateWriteReadRoundTrip(t *testing.T) {
 		{"read", "docs", "3"},
 	}
 	for _, args := range steps {
-		if err := runCommand(j, args); err != nil {
+		if err := runCommand(j, -1, args); err != nil {
 			t.Fatalf("%v: %v", args, err)
 		}
 	}
@@ -45,7 +45,7 @@ func TestUpdateThroughJournal(t *testing.T) {
 		{"costs"},
 	}
 	for _, args := range steps {
-		if err := runCommand(j, args); err != nil {
+		if err := runCommand(j, -1, args); err != nil {
 			t.Fatalf("%v: %v", args, err)
 		}
 	}
@@ -57,7 +57,7 @@ func TestUpdateThroughJournal(t *testing.T) {
 	if len(jj.Entries) != 3 {
 		t.Fatalf("journal entries %d want 3", len(jj.Entries))
 	}
-	sys, err := jj.replay()
+	sys, err := jj.replay(-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestCommandErrors(t *testing.T) {
 		{"explode"},                    // unknown command
 	}
 	for _, args := range cases {
-		if err := runCommand(j, args); err == nil {
+		if err := runCommand(j, -1, args); err == nil {
 			t.Errorf("%v: expected error", args)
 		}
 	}
@@ -97,7 +97,7 @@ func TestCorruptJournal(t *testing.T) {
 	if err := os.WriteFile(j, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCommand(j, []string{"costs"}); err == nil {
+	if err := runCommand(j, -1, []string{"costs"}); err == nil {
 		t.Error("corrupt journal accepted")
 	}
 }
@@ -111,7 +111,7 @@ func TestRangeCommand(t *testing.T) {
 		{"range", "docs", "0", "1"},
 	}
 	for _, args := range steps {
-		if err := runCommand(j, args); err != nil {
+		if err := runCommand(j, -1, args); err != nil {
 			t.Fatalf("%v: %v", args, err)
 		}
 	}

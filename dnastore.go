@@ -69,6 +69,13 @@ type Options struct {
 	// paper's depth 5 (1024 blocks). The strand geometry is adjusted so
 	// the sparse index (2 bases per level) fits.
 	TreeDepth int
+	// Workers sets the read-engine parallelism: how many of a range or
+	// batched read's PCR → sequence → decode reactions, and how many
+	// per-block decodes inside the pipeline, run concurrently. 0 means 1
+	// (serial); negative means GOMAXPROCS. Every reaction draws noise
+	// from its own deterministically forked rng source, so results are
+	// byte-identical for every worker count.
+	Workers int
 }
 
 // System is one simulated DNA tube and its partitions.
@@ -92,6 +99,7 @@ func New(opt Options) (*System, error) {
 	}
 	cfg := blockstore.DefaultConfig()
 	cfg.Seed = opt.Seed
+	cfg.Workers = opt.Workers
 	if opt.TreeDepth != 5 {
 		cfg.TreeDepth = opt.TreeDepth
 		// The payload shrinks or grows with the index field; trim the
@@ -167,9 +175,15 @@ func (p *Partition) Write(data []byte) (int, error) { return p.p.Write(data) }
 // returns its content with all updates applied.
 func (p *Partition) ReadBlock(block int) ([]byte, error) { return p.p.ReadBlock(block) }
 
+// ReadBlocks retrieves several blocks in one batched access, one
+// elongated PCR per block, fanned across the configured workers.
+// Results are returned in request order.
+func (p *Partition) ReadBlocks(blocks []int) ([][]byte, error) { return p.p.ReadBlocks(blocks) }
+
 // ReadRange retrieves blocks lo..hi (inclusive) using the minimal set
 // of index-tree prefixes, one PCR per prefix — the paper's sequential
-// access.
+// access — with the per-prefix reactions fanned across the configured
+// workers.
 func (p *Partition) ReadRange(lo, hi int) ([][]byte, error) { return p.p.ReadRange(lo, hi) }
 
 // ReadAll retrieves every written block with a whole-partition PCR.

@@ -111,6 +111,38 @@ func TestSequentialAndLookup(t *testing.T) {
 	}
 }
 
+func TestReadBlocksBatched(t *testing.T) {
+	sys, err := New(Options{Seed: 7, MaxPartitions: 1, TreeDepth: 3, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.CreatePartition("batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]byte{2: []byte("two"), 5: []byte("five"), 11: []byte("eleven")}
+	for b, content := range want {
+		if err := p.WriteBlock(b, content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := p.ReadBlocks([]int{11, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("batch returned %d blocks", len(got))
+	}
+	for i, b := range []int{11, 2, 5} {
+		if !bytes.HasPrefix(got[i], want[b]) {
+			t.Errorf("slot %d (block %d) content %q", i, b, got[i][:8])
+		}
+	}
+	if _, err := p.ReadBlocks([]int{3}); err == nil {
+		t.Error("unwritten block accepted")
+	}
+}
+
 func TestCacheIntegration(t *testing.T) {
 	sys := newSystem(t)
 	p, err := sys.CreatePartition("hot")

@@ -1,0 +1,3 @@
+module dnastore
+
+go 1.22

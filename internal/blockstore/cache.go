@@ -1,6 +1,12 @@
 package blockstore
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"dnastore/internal/dna"
+)
 
 // CachePolicy selects the eviction policy for the elongated-primer
 // cache.
@@ -18,12 +24,18 @@ const (
 // and a bounded number are retained ("keep up to N most frequently
 // requested elongations per partition, discard the rest"). A hit means
 // the primer is reused; a miss means it must be synthesized again.
+//
+// Entries are keyed by elongation identity, so a cache holds both the
+// fully elongated per-block primers of random accesses and the partially
+// elongated cover-prefix primers of range accesses. All methods are safe
+// for concurrent use.
 type PrimerCache struct {
+	mu       sync.Mutex
 	capacity int
 	policy   CachePolicy
 
 	// LRU state: intrusive doubly-linked list over entries.
-	entries map[int]*cacheEntry
+	entries map[string]*cacheEntry
 	head    *cacheEntry // most recent
 	tail    *cacheEntry // least recent
 
@@ -31,7 +43,7 @@ type PrimerCache struct {
 }
 
 type cacheEntry struct {
-	block      int
+	key        string
 	freq       int
 	prev, next *cacheEntry
 }
@@ -47,39 +59,69 @@ func NewPrimerCache(capacity int, policy CachePolicy) (*PrimerCache, error) {
 	return &PrimerCache{
 		capacity: capacity,
 		policy:   policy,
-		entries:  make(map[int]*cacheEntry),
+		entries:  make(map[string]*cacheEntry),
 	}, nil
 }
 
-// Access records a use of the block's elongated primer and reports
+// blockPrimerKey identifies a block's fully elongated primer.
+func blockPrimerKey(block int) string { return "b" + strconv.Itoa(block) }
+
+// coverPrimerKey identifies a cover prefix's partially elongated primer.
+func coverPrimerKey(prefix dna.Seq) string { return "c" + prefix.String() }
+
+// Access records a use of the block's fully elongated primer and reports
 // whether it was already cached (true = reuse, false = synthesis).
 func (c *PrimerCache) Access(block int) bool {
-	if e, ok := c.entries[block]; ok {
+	return c.AccessKey(blockPrimerKey(block))
+}
+
+// AccessKey records a use of an arbitrary elongation (block primers and
+// cover-prefix primers share the cache) and reports whether it was
+// already cached.
+func (c *PrimerCache) AccessKey(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
 		c.hits++
 		e.freq++
 		c.moveToFront(e)
 		return true
 	}
 	c.misses++
-	e := &cacheEntry{block: block, freq: 1}
+	e := &cacheEntry{key: key, freq: 1}
 	if len(c.entries) >= c.capacity {
 		c.evict()
 	}
-	c.entries[block] = e
+	c.entries[key] = e
 	c.pushFront(e)
 	return false
 }
 
 // Hits and Misses report the access counters; misses equal primer
 // syntheses.
-func (c *PrimerCache) Hits() int   { return c.hits }
-func (c *PrimerCache) Misses() int { return c.misses }
+func (c *PrimerCache) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+func (c *PrimerCache) Misses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
 
 // Len returns the number of cached primers.
-func (c *PrimerCache) Len() int { return len(c.entries) }
+func (c *PrimerCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
 
 // HitRate returns hits / accesses, or 0 with no accesses.
 func (c *PrimerCache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	total := c.hits + c.misses
 	if total == 0 {
 		return 0
@@ -118,14 +160,14 @@ func (c *PrimerCache) moveToFront(e *cacheEntry) {
 	c.pushFront(e)
 }
 
-// evict removes one entry per the policy.
+// evict removes one entry per the policy. The caller holds c.mu.
 func (c *PrimerCache) evict() {
 	switch c.policy {
 	case LRU:
 		if c.tail != nil {
 			victim := c.tail
 			c.unlink(victim)
-			delete(c.entries, victim.block)
+			delete(c.entries, victim.key)
 		}
 	case LFU:
 		// Scan for the minimum frequency, breaking ties toward the least
@@ -138,7 +180,7 @@ func (c *PrimerCache) evict() {
 		}
 		if victim != nil {
 			c.unlink(victim)
-			delete(c.entries, victim.block)
+			delete(c.entries, victim.key)
 		}
 	}
 }

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"sync"
 
 	"dnastore/internal/codec"
 	"dnastore/internal/decode"
 	"dnastore/internal/dna"
 	"dnastore/internal/indextree"
 	"dnastore/internal/layout"
+	"dnastore/internal/parallel"
 	"dnastore/internal/pcr"
 	"dnastore/internal/pool"
 	"dnastore/internal/rng"
@@ -18,6 +20,14 @@ import (
 
 // Partition is one primer pair's address space, internally blocked by a
 // PCR-navigable index tree.
+//
+// Partitions are safe for concurrent use. Reads are the hot path: the
+// digital front-end state (version/written maps, primer cache, noise
+// stream) is consulted briefly under the partition mutex, and the wet
+// work — PCR, sequencing, decoding — runs outside it, fanned across
+// workers for range and batched reads. Writes hold the mutex for the
+// whole operation; DNA synthesis is slow anyway and the paper's system
+// serializes tube mutations.
 type Partition struct {
 	store    *Store
 	name     string
@@ -26,7 +36,13 @@ type Partition struct {
 	rand     *codec.Randomizer
 	unit     *layout.UnitCodec
 	pipeline *decode.Pipeline
+	workers  int
 
+	// mu guards the digital front-end state below. The noise stream is
+	// never consumed directly by a reaction: each reaction forks its own
+	// child source under mu, in deterministic order, so parallel and
+	// serial execution sample identical noise.
+	mu           sync.Mutex
 	versions     map[int]int // block -> updates written so far
 	written      map[int]bool
 	overflow     map[int]int // block -> its overflow log block
@@ -59,10 +75,18 @@ func (p *Partition) Primers() (fwd, rev dna.Seq) { return p.fwd, p.rev }
 
 // SetPrimerCache installs an elongated-primer cache (Section 7.7.4).
 // Without a cache every elongated access synthesizes its primer anew.
-func (p *Partition) SetPrimerCache(c *PrimerCache) { p.cache = c }
+func (p *Partition) SetPrimerCache(c *PrimerCache) {
+	p.mu.Lock()
+	p.cache = c
+	p.mu.Unlock()
+}
 
 // Versions returns how many updates the block has received.
-func (p *Partition) Versions(block int) int { return p.versions[block] }
+func (p *Partition) Versions(block int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.versions[block]
+}
 
 // ElongatedPrimer returns the block's fully elongated forward primer
 // (main primer + sync base + full index), 31 bases in the paper's
@@ -83,9 +107,35 @@ func (p *Partition) checkBlock(block int) error {
 	return nil
 }
 
+// chargeElongated runs one elongated-primer use through the cache (if
+// installed) and charges a synthesis on a miss. The caller must hold
+// p.mu, which keeps cache state deterministic: all charging happens in
+// the serial front-end phase of an access, never inside parallel wet
+// work.
+func (p *Partition) chargeElongated(key string) {
+	if p.cache != nil && p.cache.AccessKey(key) {
+		return
+	}
+	p.store.addCosts(func(c *Costs) { c.ElongatedPrimersSynthesized++ })
+}
+
+// chargeOverflow charges the elongated primers of the block's
+// overflow-log chain. The digital front-end knows the chain without any
+// wet work, so the charging stays in the serial phase even though the
+// chain retrievals themselves run inside (possibly parallel) decode
+// work. The caller must hold p.mu.
+func (p *Partition) chargeOverflow(block int) {
+	hops := 0
+	for log, ok := p.overflow[block]; ok && hops < 16; log, ok = p.overflow[log] {
+		p.chargeElongated(blockPrimerKey(log))
+		hops++
+	}
+}
+
 // writeUnit synthesizes the 15 strands of one (block, version) unit into
 // the tube. data must be exactly unit.DataBytes() long and already
 // include padding; it is whitened with the per-unit randomizer stream.
+// The caller must hold p.mu.
 func (p *Partition) writeUnit(block, version int, data []byte) error {
 	white := p.rand.Derive(decode.UnitSeed(block, version)).Apply(data)
 	payloads, err := p.unit.Encode(white)
@@ -119,8 +169,8 @@ func (p *Partition) writeUnit(block, version int, data []byte) error {
 	if err != nil {
 		return err
 	}
-	p.store.tube.MixInto(synth, 1)
-	p.store.costs.StrandsSynthesized += len(orders)
+	p.store.mixIntoTube(synth, 1)
+	p.store.addCosts(func(c *Costs) { c.StrandsSynthesized += len(orders) })
 	return nil
 }
 
@@ -163,6 +213,8 @@ func (p *Partition) WriteBlock(block int, data []byte) error {
 	if len(data) > p.BlockSize() {
 		return fmt.Errorf("%w: %d > %d", ErrBlockSize, len(data), p.BlockSize())
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.written[block] {
 		return fmt.Errorf("blockstore: block %d already written (DNA is append-only; use UpdateBlock)", block)
 	}
@@ -200,6 +252,8 @@ func (p *Partition) UpdateBlock(block int, patch update.Patch) error {
 	if err := p.checkBlock(block); err != nil {
 		return err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if !p.written[block] {
 		return fmt.Errorf("%w: block %d", ErrBlockNotFound, block)
 	}
@@ -220,6 +274,8 @@ func (p *Partition) UpdateBlockExternal(block int, patch update.Patch, params po
 	if err := p.checkBlock(block); err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if !p.written[block] {
 		return nil, fmt.Errorf("%w: block %d", ErrBlockNotFound, block)
 	}
@@ -264,13 +320,14 @@ func (p *Partition) UpdateBlockExternal(block int, patch update.Patch, params po
 	if err != nil {
 		return nil, err
 	}
-	p.store.costs.StrandsSynthesized += len(orders)
+	p.store.addCosts(func(c *Costs) { c.StrandsSynthesized += len(orders) })
 	p.versions[block] = version
 	return external, nil
 }
 
 // appendVersion writes unit data as the next version of the block,
-// overflowing recursively when the direct slots are exhausted.
+// overflowing recursively when the direct slots are exhausted. The
+// caller must hold p.mu.
 func (p *Partition) appendVersion(block int, unitData []byte) error {
 	n := p.versions[block]
 	if n < directUpdateSlots {
@@ -307,7 +364,8 @@ func (p *Partition) appendVersion(block int, unitData []byte) error {
 }
 
 // writeLog appends patch data into a log block's version slots
-// (including v0, which is a patch rather than data for log blocks).
+// (including v0, which is a patch rather than data for log blocks). The
+// caller must hold p.mu.
 func (p *Partition) writeLog(logBlock int, unitData []byte, origin int) error {
 	n := p.versions[logBlock] // starts at -1: v0 unused
 	if n+1 <= directUpdateSlots {
@@ -351,16 +409,12 @@ type BlockVersions struct {
 }
 
 // retrieve runs the physical read protocol for one block: elongated PCR
-// against the tube, sequencing, decoding. Log-block retrievals pass
-// asPatch to interpret version 0 as a patch.
-func (p *Partition) retrieve(block int, depth int) (*decode.BlockResult, error) {
-	if p.cache != nil {
-		if !p.cache.Access(block) {
-			p.store.costs.ElongatedPrimersSynthesized++
-		}
-	} else {
-		p.store.costs.ElongatedPrimersSynthesized++
-	}
+// against the tube, sequencing, decoding. r is the reaction's private
+// noise source. The elongated primer is never charged here — the
+// access's serial front-end phase has already paid for the block and
+// its overflow chain — so retrievals are free of shared cache state and
+// safe to fan out.
+func (p *Partition) retrieve(r *rng.Source, block, depth int) (*decode.BlockResult, error) {
 	ep, err := p.ElongatedPrimer(block)
 	if err != nil {
 		return nil, err
@@ -373,13 +427,13 @@ func (p *Partition) retrieve(block int, depth int) (*decode.BlockResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	reads, err := p.store.sequence(p.noise, amplified, p.store.readBudget(depth))
+	reads, err := p.store.sequence(r, amplified, p.store.readBudget(depth))
 	if err != nil {
 		return nil, err
 	}
 	seqs := make([]dna.Seq, len(reads))
-	for i, r := range reads {
-		seqs[i] = r.Seq
+	for i, rd := range reads {
+		seqs[i] = rd.Seq
 	}
 	return p.pipeline.DecodeBlock(seqs, block)
 }
@@ -391,14 +445,21 @@ func (p *Partition) ReadBlockVersions(block int) (*BlockVersions, error) {
 	if err := p.checkBlock(block); err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
 	if !p.written[block] {
+		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: block %d", ErrBlockNotFound, block)
 	}
-	res, err := p.retrieve(block, 1+p.versions[block])
+	depth := 1 + p.versions[block]
+	p.chargeElongated(blockPrimerKey(block))
+	p.chargeOverflow(block)
+	r := p.noise.Fork()
+	p.mu.Unlock()
+	res, err := p.retrieve(r, block, depth)
 	if err != nil {
 		return nil, err
 	}
-	return p.finishBlock(block, res)
+	return p.finishBlock(r, block, res)
 }
 
 // DecodeReads runs only the software pipeline on externally produced
@@ -412,17 +473,22 @@ func (p *Partition) DecodeReads(seqs []dna.Seq, block int) (*BlockVersions, erro
 	if err != nil {
 		return nil, err
 	}
-	return p.finishBlock(block, res)
+	p.mu.Lock()
+	p.chargeOverflow(block)
+	r := p.noise.Fork()
+	p.mu.Unlock()
+	return p.finishBlock(r, block, res)
 }
 
-// finishBlock turns a decode result into data + ordered patches.
-func (p *Partition) finishBlock(block int, res *decode.BlockResult) (*BlockVersions, error) {
+// finishBlock turns a decode result into data + ordered patches. r
+// supplies noise for any overflow-chain retrievals.
+func (p *Partition) finishBlock(r *rng.Source, block int, res *decode.BlockResult) (*BlockVersions, error) {
 	raw, ok := res.Versions[0]
 	if !ok {
 		return nil, fmt.Errorf("%w: original version missing for block %d", decode.ErrDecode, block)
 	}
 	out := &BlockVersions{Data: raw[:p.BlockSize()], Decode: *res}
-	patches, err := p.collectPatches(res, false, 8)
+	patches, err := p.collectPatches(r, res, false, 8)
 	if err != nil {
 		return nil, err
 	}
@@ -431,9 +497,10 @@ func (p *Partition) finishBlock(block int, res *decode.BlockResult) (*BlockVersi
 }
 
 // collectPatches extracts ordered patches from a decode result,
-// following overflow pointers. includeV0 treats version 0 as a patch
-// (log blocks). depthLimit bounds pointer chains.
-func (p *Partition) collectPatches(res *decode.BlockResult, includeV0 bool, depthLimit int) ([]update.Patch, error) {
+// following overflow pointers with additional retrievals drawn from r.
+// includeV0 treats version 0 as a patch (log blocks). depthLimit bounds
+// pointer chains.
+func (p *Partition) collectPatches(r *rng.Source, res *decode.BlockResult, includeV0 bool, depthLimit int) ([]update.Patch, error) {
 	if depthLimit <= 0 {
 		return nil, fmt.Errorf("blockstore: overflow chain too deep")
 	}
@@ -449,11 +516,11 @@ func (p *Partition) collectPatches(res *decode.BlockResult, includeV0 bool, dept
 	for _, v := range versions {
 		data := res.Versions[v]
 		if logBlock, isPtr := update.IsOverflow(data); isPtr {
-			logRes, err := p.retrieve(logBlock, 4)
+			logRes, err := p.retrieve(r, logBlock, 4)
 			if err != nil {
 				return nil, fmt.Errorf("blockstore: overflow chain: %w", err)
 			}
-			chain, err := p.collectPatches(logRes, true, depthLimit-1)
+			chain, err := p.collectPatches(r, logRes, true, depthLimit-1)
 			if err != nil {
 				return nil, err
 			}
@@ -480,9 +547,142 @@ func (p *Partition) ReadBlock(block int) ([]byte, error) {
 	return update.ApplyAll(bv.Data, bv.Patches)
 }
 
+// ReadBlocks retrieves several blocks in one batched access, one
+// elongated PCR reaction per block, fanned across the store's workers.
+// Results are returned in the order requested; every block must have
+// been written. Outputs are byte-identical to reading the blocks one by
+// one in order.
+func (p *Partition) ReadBlocks(blocks []int) ([][]byte, error) {
+	for _, b := range blocks {
+		if err := p.checkBlock(b); err != nil {
+			return nil, err
+		}
+	}
+	// Serial front-end phase: validate, charge primers through the
+	// cache, and fork one noise source per reaction in request order.
+	depths := make([]int, len(blocks))
+	srcs := make([]*rng.Source, len(blocks))
+	p.mu.Lock()
+	for i, b := range blocks {
+		if !p.written[b] {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("%w: block %d", ErrBlockNotFound, b)
+		}
+		depths[i] = 1 + p.versions[b]
+		p.chargeElongated(blockPrimerKey(b))
+		p.chargeOverflow(b)
+		srcs[i] = p.noise.Fork()
+	}
+	p.mu.Unlock()
+	out := make([][]byte, len(blocks))
+	err := parallel.Run(p.workers, len(blocks), func(i int) error {
+		res, err := p.retrieve(srcs[i], blocks[i], depths[i])
+		if err != nil {
+			return err
+		}
+		bv, err := p.finishBlock(srcs[i], blocks[i], res)
+		if err != nil {
+			return err
+		}
+		content, err := update.ApplyAll(bv.Data, bv.Patches)
+		if err != nil {
+			return err
+		}
+		out[i] = content
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// coverReaction is one prefix-cover PCR planned by the digital
+// front-end of a range read.
+type coverReaction struct {
+	cover indextree.CoverRange
+	units int
+	src   *rng.Source
+}
+
+// planCovers is the serial front-end phase of a range read: it drops
+// covers with no written blocks before any wet work is charged, routes
+// each remaining cover's partially elongated primer through the cache,
+// and forks the reaction noise sources in cover order.
+func (p *Partition) planCovers(covers []indextree.CoverRange) ([]coverReaction, *rng.Source) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	logBlocks := make(map[int]bool, len(p.overflow))
+	for _, log := range p.overflow {
+		logBlocks[log] = true
+	}
+	reactions := make([]coverReaction, 0, len(covers))
+	for _, c := range covers {
+		units := 0
+		for b := c.Lo; b <= c.Hi; b++ {
+			if !p.written[b] {
+				continue
+			}
+			units += 1 + p.versions[b]
+			if !logBlocks[b] {
+				// Assembly will chase this block's overflow chain with
+				// extra fully elongated retrievals; pay for them here, in
+				// the serial phase.
+				p.chargeOverflow(b)
+			}
+		}
+		if units == 0 {
+			// The digital front-end knows the cover is empty: no primer
+			// synthesis, no PCR, no sequencing.
+			continue
+		}
+		p.chargeElongated(coverPrimerKey(c.Prefix))
+		reactions = append(reactions, coverReaction{cover: c, units: units, src: p.noise.Fork()})
+	}
+	// One extra source for overflow-chain retrievals during assembly.
+	return reactions, p.noise.Fork()
+}
+
+// runCover executes one cover's PCR → sequence → decode reaction.
+func (p *Partition) runCover(cr coverReaction) (map[int]*decode.BlockResult, error) {
+	ep := p.store.cfg.Geometry.ElongatedPrimer(p.fwd, cr.cover.Prefix)
+	primers := []pcr.Primer{{Fwd: ep, Rev: p.rev, Conc: 1}}
+	if cc := p.store.cfg.CarryoverConc; cc > 0 {
+		primers = append(primers, pcr.Primer{Fwd: p.fwd, Rev: p.rev, Conc: cc})
+	}
+	amplified, _, err := p.store.runPCR(primers)
+	if err != nil {
+		return nil, err
+	}
+	reads, err := p.store.sequence(cr.src, amplified, p.store.readBudget(cr.units))
+	if err != nil {
+		return nil, err
+	}
+	seqs := make([]dna.Seq, len(reads))
+	for i, r := range reads {
+		seqs[i] = r.Seq
+	}
+	decoded, err := p.pipeline.DecodeAll(seqs)
+	if err != nil {
+		return nil, err
+	}
+	// A cover's reaction is authoritative only for its own interval:
+	// carryover reads give other blocks fragmentary coverage whose
+	// single-read consensus strands would otherwise overwrite good
+	// results from their own cover.
+	results := make(map[int]*decode.BlockResult)
+	for b, res := range decoded {
+		if b >= cr.cover.Lo && b <= cr.cover.Hi {
+			results[b] = res
+		}
+	}
+	return results, nil
+}
+
 // ReadRange retrieves blocks lo..hi (inclusive) using the minimal prefix
 // cover: one PCR per cover prefix with a partially elongated primer
-// (Section 4's sequential access). Updates are applied per block.
+// (Section 4's sequential access), the reactions fanned across the
+// store's workers. Updates are applied per block.
 func (p *Partition) ReadRange(lo, hi int) ([][]byte, error) {
 	if err := p.checkBlock(lo); err != nil {
 		return nil, err
@@ -497,60 +697,36 @@ func (p *Partition) ReadRange(lo, hi int) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	reactions, assembleSrc := p.planCovers(covers)
+	perCover := make([]map[int]*decode.BlockResult, len(reactions))
+	err = parallel.Run(p.workers, len(reactions), func(i int) error {
+		res, err := p.runCover(reactions[i])
+		if err != nil {
+			return err
+		}
+		perCover[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	results := make(map[int]*decode.BlockResult)
-	for _, c := range covers {
-		ep := p.store.cfg.Geometry.ElongatedPrimer(p.fwd, c.Prefix)
-		primers := []pcr.Primer{{Fwd: ep, Rev: p.rev, Conc: 1}}
-		if cc := p.store.cfg.CarryoverConc; cc > 0 {
-			primers = append(primers, pcr.Primer{Fwd: p.fwd, Rev: p.rev, Conc: cc})
-		}
-		p.store.costs.ElongatedPrimersSynthesized++
-		amplified, _, err := p.store.runPCR(primers)
-		if err != nil {
-			return nil, err
-		}
-		units := 0
-		for b := c.Lo; b <= c.Hi; b++ {
-			if p.written[b] {
-				units += 1 + p.versions[b]
-			}
-		}
-		if units == 0 {
-			continue
-		}
-		reads, err := p.store.sequence(p.noise, amplified, p.store.readBudget(units))
-		if err != nil {
-			return nil, err
-		}
-		seqs := make([]dna.Seq, len(reads))
-		for i, r := range reads {
-			seqs[i] = r.Seq
-		}
-		decoded, err := p.pipeline.DecodeAll(seqs)
-		if err != nil {
-			return nil, err
-		}
-		// A cover's reaction is authoritative only for its own interval:
-		// carryover reads give other blocks fragmentary coverage whose
-		// single-read consensus strands would otherwise overwrite good
-		// results from their own cover.
-		for b, res := range decoded {
-			if b >= c.Lo && b <= c.Hi {
-				results[b] = res
-			}
+	for _, m := range perCover {
+		for b, res := range m {
+			results[b] = res
 		}
 	}
-	return p.assemble(lo, hi, results)
+	return p.assemble(assembleSrc, lo, hi, results)
 }
 
 // ReadAll retrieves the entire partition with the main primers (the
 // baseline random access of Figure 9a) and returns all written blocks in
 // order.
 func (p *Partition) ReadAll() ([][]byte, error) {
-	primers := []pcr.Primer{{Fwd: p.fwd, Rev: p.rev, Conc: 1}}
-	amplified, _, err := p.store.runPCR(primers)
-	if err != nil {
-		return nil, err
+	p.mu.Lock()
+	logBlocks := make(map[int]bool, len(p.overflow))
+	for _, log := range p.overflow {
+		logBlocks[log] = true
 	}
 	units := 0
 	lo, hi := -1, -1
@@ -563,35 +739,59 @@ func (p *Partition) ReadAll() ([][]byte, error) {
 			hi = b
 		}
 	}
+	// Charge overflow chains in block order so the cache sees a
+	// deterministic access sequence.
+	for b := lo; b <= hi && lo >= 0; b++ {
+		if p.written[b] && !logBlocks[b] {
+			p.chargeOverflow(b)
+		}
+	}
+	r := p.noise.Fork()
+	p.mu.Unlock()
 	if units == 0 {
 		return nil, ErrBlockNotFound
 	}
-	reads, err := p.store.sequence(p.noise, amplified, p.store.readBudget(units))
+	primers := []pcr.Primer{{Fwd: p.fwd, Rev: p.rev, Conc: 1}}
+	amplified, _, err := p.store.runPCR(primers)
+	if err != nil {
+		return nil, err
+	}
+	reads, err := p.store.sequence(r, amplified, p.store.readBudget(units))
 	if err != nil {
 		return nil, err
 	}
 	seqs := make([]dna.Seq, len(reads))
-	for i, r := range reads {
-		seqs[i] = r.Seq
+	for i, rd := range reads {
+		seqs[i] = rd.Seq
 	}
 	decoded, err := p.pipeline.DecodeAll(seqs)
 	if err != nil {
 		return nil, err
 	}
-	return p.assemble(lo, hi, decoded)
+	return p.assemble(r, lo, hi, decoded)
 }
 
 // assemble turns per-block decode results into ordered block contents
-// with patches applied, for written blocks in [lo, hi].
-func (p *Partition) assemble(lo, hi int, results map[int]*decode.BlockResult) ([][]byte, error) {
-	var out [][]byte
+// with patches applied, for written blocks in [lo, hi]. r supplies
+// noise for overflow-chain retrievals.
+func (p *Partition) assemble(r *rng.Source, lo, hi int, results map[int]*decode.BlockResult) ([][]byte, error) {
+	// Snapshot the digital metadata; patch collection below may perform
+	// further retrievals and must not hold the mutex.
+	p.mu.Lock()
+	wanted := make([]int, 0, hi-lo+1)
+	logBlocks := make(map[int]bool, len(p.overflow))
+	for _, log := range p.overflow {
+		logBlocks[log] = true
+	}
 	for b := lo; b <= hi; b++ {
-		if !p.written[b] {
-			continue
+		if !p.written[b] || logBlocks[b] {
+			continue // unwritten, or overflow storage rather than user data
 		}
-		if p.isLogBlock(b) {
-			continue // overflow storage, not user data
-		}
+		wanted = append(wanted, b)
+	}
+	p.mu.Unlock()
+	out := make([][]byte, 0, len(wanted))
+	for _, b := range wanted {
 		res, ok := results[b]
 		if !ok {
 			return nil, fmt.Errorf("%w: block %d not recovered", decode.ErrDecode, b)
@@ -600,7 +800,7 @@ func (p *Partition) assemble(lo, hi int, results map[int]*decode.BlockResult) ([
 		if !ok {
 			return nil, fmt.Errorf("%w: block %d original version missing", decode.ErrDecode, b)
 		}
-		patches, err := p.collectPatches(res, false, 8)
+		patches, err := p.collectPatches(r, res, false, 8)
 		if err != nil {
 			return nil, err
 		}
@@ -611,14 +811,4 @@ func (p *Partition) assemble(lo, hi int, results map[int]*decode.BlockResult) ([
 		out = append(out, content)
 	}
 	return out, nil
-}
-
-// isLogBlock reports whether the block is an allocated overflow log.
-func (p *Partition) isLogBlock(b int) bool {
-	for _, log := range p.overflow {
-		if log == b {
-			return true
-		}
-	}
-	return false
 }

@@ -9,12 +9,20 @@
 // Every read operation performs the full wet protocol: PCR with an
 // (elongated) primer on the tube, sequencing at a configured depth, and
 // the software decoding pipeline.
+//
+// Stores and partitions are safe for concurrent use, and with
+// Config.Workers > 1 a single range or batched read fans its
+// independent PCR reactions and block decodes out across a worker pool.
+// Every reaction draws its noise from its own rng.Source forked in
+// deterministic order from the partition's master stream, so results
+// are byte-identical regardless of the worker count.
 package blockstore
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"dnastore/internal/channel"
 	"dnastore/internal/codec"
@@ -22,6 +30,7 @@ import (
 	"dnastore/internal/dna"
 	"dnastore/internal/indextree"
 	"dnastore/internal/layout"
+	"dnastore/internal/parallel"
 	"dnastore/internal/pcr"
 	"dnastore/internal/pool"
 	"dnastore/internal/rng"
@@ -67,6 +76,13 @@ type Config struct {
 	// CarryoverConc is the relative concentration of leftover main
 	// primers participating in elongated-primer reactions.
 	CarryoverConc float64
+
+	// Workers sets the read-engine parallelism: how many PCR → sequence
+	// → decode reactions of one range or batched read, and how many
+	// per-block decodes inside the pipeline, run concurrently. 0 means 1
+	// (serial); negative means GOMAXPROCS. Results are byte-identical
+	// for every setting.
+	Workers int
 }
 
 // DefaultConfig returns the paper's wetlab configuration.
@@ -99,13 +115,25 @@ type Costs struct {
 
 // Store is one DNA tube with its partitions and digital metadata.
 type Store struct {
-	cfg        Config
-	tube       *pool.Pool
+	cfg     Config
+	workers int
+
+	// mu guards the digital front-end state: partitions, the primer
+	// budget, and the store-level seed stream.
+	mu         sync.Mutex
 	partitions map[string]*Partition
 	primers    []dna.Seq // available main primers, consumed in pairs
 	nextPair   int
 	src        *rng.Source
-	costs      Costs
+
+	// tubeMu guards the physical tube. Reads (PCR snapshots the pool)
+	// take the read side so concurrent reactions proceed in parallel;
+	// synthesis mixes take the write side.
+	tubeMu sync.RWMutex
+	tube   *pool.Pool
+
+	costMu sync.Mutex
+	costs  Costs
 }
 
 // New creates a store. primers supplies the mutually compatible main
@@ -147,6 +175,7 @@ func New(cfg Config, primers []dna.Seq) (*Store, error) {
 	}
 	return &Store{
 		cfg:        cfg,
+		workers:    parallel.Resolve(cfg.Workers),
 		tube:       pool.New(),
 		partitions: make(map[string]*Partition),
 		primers:    cp,
@@ -154,18 +183,36 @@ func New(cfg Config, primers []dna.Seq) (*Store, error) {
 	}, nil
 }
 
-// Costs returns the accumulated physical-cost counters.
-func (s *Store) Costs() Costs { return s.costs }
+// Costs returns a snapshot of the accumulated physical-cost counters.
+func (s *Store) Costs() Costs {
+	s.costMu.Lock()
+	defer s.costMu.Unlock()
+	return s.costs
+}
+
+// addCosts applies a mutation to the cost counters.
+func (s *Store) addCosts(f func(*Costs)) {
+	s.costMu.Lock()
+	f(&s.costs)
+	s.costMu.Unlock()
+}
 
 // Tube exposes the underlying pool for experiments that inspect or
 // manipulate the physical sample directly (e.g. the mixing protocols).
+// The returned pool is not synchronized; do not mutate it while store
+// operations run concurrently.
 func (s *Store) Tube() *pool.Pool { return s.tube }
 
 // Config returns the store configuration.
 func (s *Store) Config() Config { return s.cfg }
 
+// Workers returns the resolved read-engine parallelism.
+func (s *Store) Workers() int { return s.workers }
+
 // Partition returns a previously created partition by name.
 func (s *Store) Partition(name string) (*Partition, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p, ok := s.partitions[name]
 	return p, ok
 }
@@ -174,6 +221,8 @@ func (s *Store) Partition(name string) (*Partition, bool) {
 // partition with its own index tree and randomizer seeds (Section 4.4:
 // different partitions use different seeds).
 func (s *Store) CreatePartition(name string) (*Partition, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.partitions[name]; dup {
 		return nil, fmt.Errorf("blockstore: partition %q exists", name)
 	}
@@ -183,7 +232,7 @@ func (s *Store) CreatePartition(name string) (*Partition, error) {
 	fwd := s.primers[2*s.nextPair]
 	rev := s.primers[2*s.nextPair+1]
 	s.nextPair++
-	s.costs.PrimerPairsUsed++
+	s.addCosts(func(c *Costs) { c.PrimerPairsUsed++ })
 
 	treeSeed := s.src.Uint64()
 	randSeed := s.src.Uint64()
@@ -204,6 +253,7 @@ func (s *Store) CreatePartition(name string) (*Partition, error) {
 		tree:     tree,
 		rand:     rand,
 		unit:     unit,
+		workers:  s.workers,
 		versions: make(map[int]int),
 		written:  make(map[int]bool),
 		overflow: make(map[int]int),
@@ -212,6 +262,7 @@ func (s *Store) CreatePartition(name string) (*Partition, error) {
 	dcfg := s.cfg.Decode
 	dcfg.Geometry = s.cfg.Geometry
 	dcfg.VerifyUnit = p.verifyUnit
+	dcfg.Workers = s.cfg.Workers
 	pipeline, err := decode.New(dcfg, tree, fwd, rev, rand)
 	if err != nil {
 		return nil, err
@@ -225,9 +276,11 @@ func (s *Store) CreatePartition(name string) (*Partition, error) {
 	return p, nil
 }
 
-// pcrCapacity computes the reagent capacity for a reaction on the tube.
-func (s *Store) pcrCapacity() float64 {
-	return s.cfg.CapacityFactor * s.tube.Total()
+// mixIntoTube adds a synthesized pool to the tube.
+func (s *Store) mixIntoTube(p *pool.Pool, factor float64) {
+	s.tubeMu.Lock()
+	s.tube.MixInto(p, factor)
+	s.tubeMu.Unlock()
 }
 
 // readBudget returns the sequencing read count for retrieving the given
@@ -237,16 +290,21 @@ func (s *Store) readBudget(units int) int {
 	return int(math.Ceil(molecules * s.cfg.CoverageDepth * s.cfg.WasteFactor))
 }
 
-// runPCR executes a reaction against the tube and counts it.
+// runPCR executes a reaction against the tube and counts it. The tube is
+// held read-locked for the duration: pcr.Run works on its own copy, so
+// concurrent reactions share the lock and only synthesis mixes exclude
+// each other.
 func (s *Store) runPCR(primers []pcr.Primer) (*pool.Pool, pcr.Stats, error) {
+	s.addCosts(func(c *Costs) { c.PCRReactions++ })
+	s.tubeMu.RLock()
+	defer s.tubeMu.RUnlock()
 	params := s.cfg.PCR
-	params.Capacity = s.pcrCapacity()
-	s.costs.PCRReactions++
+	params.Capacity = s.cfg.CapacityFactor * s.tube.Total()
 	return pcr.Run(s.tube, primers, params)
 }
 
 // sequence samples reads from an amplified pool and counts them.
 func (s *Store) sequence(r *rng.Source, amplified *pool.Pool, n int) ([]seqsim.Read, error) {
-	s.costs.ReadsSequenced += n
+	s.addCosts(func(c *Costs) { c.ReadsSequenced += n })
 	return seqsim.Sample(r, amplified, n, seqsim.Profile{Rates: s.cfg.Rates})
 }

@@ -15,6 +15,7 @@ import (
 	"dnastore/internal/dna"
 	"dnastore/internal/indextree"
 	"dnastore/internal/layout"
+	"dnastore/internal/parallel"
 	"dnastore/internal/trace"
 )
 
@@ -44,6 +45,12 @@ type Config struct {
 	// codeword are rejected and the search continues. Package blockstore
 	// installs a CRC check over the unit padding.
 	VerifyUnit func(data []byte) bool
+	// Workers fans the per-read primer filter, per-cluster trace
+	// reconstruction, and per-unit RS decoding out across a worker pool.
+	// 0 means 1 (serial); negative means GOMAXPROCS. Every stage is a
+	// pure function of its inputs, so results are identical for any
+	// worker count.
+	Workers int
 }
 
 // DefaultConfig returns a configuration matched to the paper's geometry.
@@ -58,14 +65,18 @@ func DefaultConfig() Config {
 	}
 }
 
-// Pipeline decodes sequencing reads of one partition.
+// Pipeline decodes sequencing reads of one partition. A Pipeline is
+// immutable after construction and safe for concurrent use; with
+// cfg.Workers > 1 each DecodeAll/DecodeBlock call additionally fans its
+// own internal stages across a worker pool.
 type Pipeline struct {
-	cfg  Config
-	unit *layout.UnitCodec
-	tree *indextree.Tree
-	rand *codec.Randomizer
-	fwd  dna.Seq
-	rev  dna.Seq
+	cfg     Config
+	unit    *layout.UnitCodec
+	tree    *indextree.Tree
+	rand    *codec.Randomizer
+	fwd     dna.Seq
+	rev     dna.Seq
+	workers int
 }
 
 // New constructs a pipeline for a partition defined by its primer pair,
@@ -89,7 +100,15 @@ func New(cfg Config, tree *indextree.Tree, fwd, rev dna.Seq, rand *codec.Randomi
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{cfg: cfg, unit: unit, tree: tree, rand: rand, fwd: fwd.Clone(), rev: rev.Clone()}, nil
+	return &Pipeline{
+		cfg:     cfg,
+		unit:    unit,
+		tree:    tree,
+		rand:    rand,
+		fwd:     fwd.Clone(),
+		rev:     rev.Clone(),
+		workers: parallel.Resolve(cfg.Workers),
+	}, nil
 }
 
 // Unit returns the pipeline's unit codec (shared with the encoder).
@@ -253,13 +272,10 @@ func (p *Pipeline) DecodeBlock(reads []dna.Seq, block int) (*BlockResult, error)
 }
 
 func (p *Pipeline) decode(reads []dna.Seq, target int) (map[int]*BlockResult, error) {
-	// Step 1: keep only reads carrying both partition primers.
-	var kept []dna.Seq
-	for _, r := range reads {
-		if p.keep(r) {
-			kept = append(kept, r)
-		}
-	}
+	// Step 1: keep only reads carrying both partition primers. The
+	// per-read primer alignments dominate large read sets, so they fan
+	// out; the kept list is rebuilt in input order either way.
+	kept := p.filterReads(reads)
 	if len(kept) == 0 {
 		return nil, fmt.Errorf("%w: no reads contain the partition primers", ErrDecode)
 	}
@@ -270,17 +286,20 @@ func (p *Pipeline) decode(reads []dna.Seq, target int) (map[int]*BlockResult, er
 	}
 	// Step 3: reconstruct in descending cluster-size order, keeping the
 	// first strand per address and up to MaxCandidates alternates.
+	// Reconstruction of each cluster is pure, so the parallel path
+	// precomputes candidates in batches and a serial sweep consumes them
+	// in the exact order — and with the exact early stop — of the serial
+	// path. A whole-read decode (target < 0) never stops early, so it
+	// precomputes everything in one batch; a single-block decode usually
+	// stops after the first few size-ordered clusters, so small batches
+	// bound the reconstruction work wasted beyond the serial stop point.
 	primary := make(map[addrKey]strandCandidate)
 	alternates := make(map[addrKey][]strandCandidate)
 	clustersUsed := 0
-	for _, members := range clusters {
-		seqs := make([]dna.Seq, len(members))
-		for i, m := range members {
-			seqs[i] = kept[m]
-		}
-		cand, ok := p.reconstruct(seqs, len(members))
+	stopped := false
+	consume := func(cand strandCandidate, ok bool) {
 		if !ok {
-			continue
+			return
 		}
 		clustersUsed++
 		k := addrKey{cand.block, cand.version, cand.intra}
@@ -288,15 +307,43 @@ func (p *Pipeline) decode(reads []dna.Seq, target int) (map[int]*BlockResult, er
 			if len(alternates[k]) < p.cfg.MaxCandidates {
 				alternates[k] = append(alternates[k], cand)
 			}
-			continue
+			return
 		}
 		primary[k] = cand
 		if target >= 0 && p.targetComplete(primary, target) {
-			break
+			stopped = true
+		}
+	}
+	if p.workers > 1 && len(clusters) > 1 {
+		batch := len(clusters)
+		if target >= 0 {
+			batch = 4 * p.workers
+		}
+		pre := make([]reconstructed, batch)
+		for start := 0; start < len(clusters) && !stopped; start += batch {
+			end := start + batch
+			if end > len(clusters) {
+				end = len(clusters)
+			}
+			parallel.Run(p.workers, end-start, func(i int) error {
+				pre[i].cand, pre[i].ok = p.reconstructCluster(kept, clusters[start+i])
+				return nil
+			})
+			for i := start; i < end && !stopped; i++ {
+				consume(pre[i-start].cand, pre[i-start].ok)
+			}
+		}
+	} else {
+		for _, members := range clusters {
+			if stopped {
+				break
+			}
+			consume(p.reconstructCluster(kept, members))
 		}
 	}
 	// Step 4: assemble units and RS-decode, with candidate recursion on
-	// failure.
+	// failure. Each (block, version) unit decodes independently off the
+	// now-frozen candidate maps, so the units fan out.
 	byUnit := make(map[int]map[int]bool) // block -> versions seen
 	for k := range primary {
 		if byUnit[k.block] == nil {
@@ -304,29 +351,95 @@ func (p *Pipeline) decode(reads []dna.Seq, target int) (map[int]*BlockResult, er
 		}
 		byUnit[k.block][k.version] = true
 	}
-	results := make(map[int]*BlockResult)
+	type unitTask struct {
+		block, version int
+	}
+	var tasks []unitTask
 	for block, versions := range byUnit {
 		if target >= 0 && block != target {
 			continue
 		}
-		res := &BlockResult{Block: block, Versions: make(map[int][]byte), ClustersUsed: clustersUsed}
 		for version := range versions {
-			data, corrected, retries, err := p.decodeUnit(primary, alternates, block, version)
-			if err != nil {
-				continue
-			}
-			res.Versions[version] = data
-			res.Corrected += corrected
-			res.CandidateRetries += retries
+			tasks = append(tasks, unitTask{block, version})
 		}
-		if len(res.Versions) > 0 {
-			results[block] = res
+	}
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].block != tasks[j].block {
+			return tasks[i].block < tasks[j].block
 		}
+		return tasks[i].version < tasks[j].version
+	})
+	type unitResult struct {
+		data               []byte
+		corrected, retries int
+		err                error
+	}
+	decoded := make([]unitResult, len(tasks))
+	parallel.Run(p.workers, len(tasks), func(i int) error {
+		t := tasks[i]
+		r := &decoded[i]
+		r.data, r.corrected, r.retries, r.err = p.decodeUnit(primary, alternates, t.block, t.version)
+		return nil
+	})
+	results := make(map[int]*BlockResult)
+	for i, t := range tasks {
+		if decoded[i].err != nil {
+			continue
+		}
+		res, ok := results[t.block]
+		if !ok {
+			res = &BlockResult{Block: t.block, Versions: make(map[int][]byte), ClustersUsed: clustersUsed}
+			results[t.block] = res
+		}
+		res.Versions[t.version] = decoded[i].data
+		res.Corrected += decoded[i].corrected
+		res.CandidateRetries += decoded[i].retries
 	}
 	if len(results) == 0 {
 		return nil, fmt.Errorf("%w: no unit decoded", ErrDecode)
 	}
 	return results, nil
+}
+
+// reconstructed is a precomputed cluster-reconstruction outcome.
+type reconstructed struct {
+	cand strandCandidate
+	ok   bool
+}
+
+// reconstructCluster gathers a cluster's reads and reconstructs its
+// candidate strand.
+func (p *Pipeline) reconstructCluster(kept []dna.Seq, members []int) (strandCandidate, bool) {
+	seqs := make([]dna.Seq, len(members))
+	for i, m := range members {
+		seqs[i] = kept[m]
+	}
+	return p.reconstruct(seqs, len(members))
+}
+
+// filterReads applies the primer filter, preserving input order.
+func (p *Pipeline) filterReads(reads []dna.Seq) []dna.Seq {
+	if p.workers > 1 && len(reads) > 1 {
+		keep := make([]bool, len(reads))
+		parallel.Run(p.workers, len(reads), func(i int) error {
+			keep[i] = p.keep(reads[i])
+			return nil
+		})
+		var kept []dna.Seq
+		for i, k := range keep {
+			if k {
+				kept = append(kept, reads[i])
+			}
+		}
+		return kept
+	}
+	var kept []dna.Seq
+	for _, r := range reads {
+		if p.keep(r) {
+			kept = append(kept, r)
+		}
+	}
+	return kept
 }
 
 // targetComplete reports whether every intra slot of every observed

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"dnastore/internal/blockstore"
+)
+
+// ParallelResult reports the read-engine scaling study: the same
+// multi-cover range read executed serially and fanned across a worker
+// pool, with byte-identical outputs verified.
+type ParallelResult struct {
+	Workers         int
+	WrittenBlocks   int
+	Covers          int
+	SerialSeconds   float64
+	ParallelSeconds float64
+	Speedup         float64
+	Identical       bool
+}
+
+// parallelStore builds a 64-block store with 44 written blocks, so the
+// unaligned range [2, 45] needs ~11 prefix-cover reactions.
+func parallelStore(workers int) (*blockstore.Store, *blockstore.Partition, error) {
+	primers, err := SearchPrimers(71, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := blockstore.DefaultConfig()
+	cfg.Seed = 71
+	cfg.TreeDepth = 3
+	cfg.Geometry.IndexLen = 6
+	cfg.Workers = workers
+	s, err := blockstore.New(cfg, primers)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := s.CreatePartition("bench")
+	if err != nil {
+		return nil, nil, err
+	}
+	for b := 2; b <= 45; b++ {
+		if err := p.WriteBlock(b, []byte(fmt.Sprintf("scaling study block %02d", b))); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, p, nil
+}
+
+// Parallel times a multi-cover ReadRange with workers=1 against the
+// given worker count on two identically seeded stores and checks that
+// the outputs are byte-identical — the determinism contract of the
+// parallel read engine.
+func Parallel(workers int) (*ParallelResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	_, serial, err := parallelStore(1)
+	if err != nil {
+		return nil, err
+	}
+	_, fanned, err := parallelStore(workers)
+	if err != nil {
+		return nil, err
+	}
+	covers, err := serial.Tree().Cover(2, 45)
+	if err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	a, err := serial.ReadRange(2, 45)
+	if err != nil {
+		return nil, err
+	}
+	serialDur := time.Since(t0)
+
+	t1 := time.Now()
+	b, err := fanned.ReadRange(2, 45)
+	if err != nil {
+		return nil, err
+	}
+	fannedDur := time.Since(t1)
+
+	identical := len(a) == len(b)
+	for i := 0; identical && i < len(a); i++ {
+		identical = bytes.Equal(a[i], b[i])
+	}
+	r := &ParallelResult{
+		Workers:         workers,
+		WrittenBlocks:   44,
+		Covers:          len(covers),
+		SerialSeconds:   serialDur.Seconds(),
+		ParallelSeconds: fannedDur.Seconds(),
+		Identical:       identical,
+	}
+	if r.ParallelSeconds > 0 {
+		r.Speedup = r.SerialSeconds / r.ParallelSeconds
+	}
+	return r, nil
+}
+
+// PrintParallel formats the scaling study.
+func PrintParallel(w io.Writer, r *ParallelResult) {
+	fmt.Fprintf(w, "Parallel read engine (range [2,45], %d blocks, %d prefix covers)\n",
+		r.WrittenBlocks, r.Covers)
+	fmt.Fprintf(w, "  workers=1:  %8.3fs\n", r.SerialSeconds)
+	fmt.Fprintf(w, "  workers=%-2d: %8.3fs   (%.2fx speedup)\n", r.Workers, r.ParallelSeconds, r.Speedup)
+	if r.Identical {
+		fmt.Fprintf(w, "  outputs byte-identical: yes\n")
+	} else {
+		fmt.Fprintf(w, "  outputs byte-identical: NO — determinism contract violated\n")
+	}
+}

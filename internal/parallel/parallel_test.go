@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != 1 {
+		t.Errorf("Resolve(0) = %d, want 1", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Errorf("Resolve(5) = %d, want 5", got)
+	}
+	if got := Resolve(-1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestRunExecutesAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 57
+		out := make([]int, n)
+		err := Run(workers, n, func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: task %d result %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	// Tasks 10 and 20 fail; the serial loop would stop at 10, and the
+	// parallel run must report the same index.
+	for _, workers := range []int{1, 4} {
+		err := Run(workers, 30, func(i int) error {
+			if i == 10 || i == 20 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 10 failed" {
+			t.Errorf("workers=%d: got %v, want task 10 failure", workers, err)
+		}
+	}
+}
+
+func TestRunStopsDispatchingAfterError(t *testing.T) {
+	// After a failure, not every remaining task needs to run.
+	var ran atomic.Int64
+	err := Run(4, 10_000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got == 10_000 {
+		t.Log("all tasks ran despite early failure (allowed, but dispatch gating did nothing)")
+	}
+}
+
+func TestRunSerialStopsAtFirstError(t *testing.T) {
+	var ran int
+	err := Run(1, 100, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Errorf("serial run executed %d tasks (want 4), err %v", ran, err)
+	}
+}
