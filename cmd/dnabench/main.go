@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "wetlab seed (0 = default)")
 	workers := flag.Int("workers", runtime.NumCPU(), "read-engine workers for the parallel experiment")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonPath := flag.String("json", "", "write machine-readable timings and headline metrics to this file (e.g. BENCH_PR2.json)")
 	flag.Parse()
 
 	if *list {
@@ -45,13 +47,60 @@ func main() {
 		}
 		return
 	}
-	if err := runExperiments(*run, *reads, *seed, *workers); err != nil {
+	if err := runExperiments(*run, *reads, *seed, *workers, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "dnabench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(run string, reads int, seed uint64, workers int) error {
+// timing is one entry of the machine-readable benchmark report.
+type timing struct {
+	Name    string             `json:"name"`
+	Seconds float64            `json:"seconds"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// report is the schema of the -json output, the perf-trajectory record
+// compared across PRs.
+type report struct {
+	GeneratedBy string   `json:"generated_by"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+	Reads       int      `json:"reads"`
+	Timings     []timing `json:"timings"`
+}
+
+// recorder accumulates timings as experiments run.
+type recorder struct {
+	reads   int
+	timings []timing
+}
+
+// track runs fn, timing it under the given name, and returns the
+// recorded entry so the caller can attach headline metrics to it. Set
+// metrics before the next track call: a later append may relocate the
+// slice (capacity permitting it never does for the built-in ids).
+func (rc *recorder) track(name string, fn func() error) (*timing, error) {
+	t0 := time.Now()
+	err := fn()
+	rc.timings = append(rc.timings, timing{Name: name, Seconds: time.Since(t0).Seconds()})
+	return &rc.timings[len(rc.timings)-1], err
+}
+
+func (rc *recorder) write(path string) error {
+	r := report{
+		GeneratedBy: "dnabench -json",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Reads:       rc.reads,
+		Timings:     rc.timings,
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runExperiments(run string, reads int, seed uint64, workers int, jsonPath string) error {
 	want := map[string]bool{}
 	if run == "all" {
 		for _, id := range experimentIDs {
@@ -68,6 +117,17 @@ func runExperiments(run string, reads int, seed uint64, workers int) error {
 		}
 	}
 	out := os.Stdout
+	rc := &recorder{reads: reads, timings: make([]timing, 0, 16)}
+	finish := func() error {
+		if jsonPath == "" {
+			return nil
+		}
+		if err := rc.write(jsonPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d timings)\n", jsonPath, len(rc.timings))
+		return nil
+	}
 
 	if want["fig3"] {
 		r, err := experiment.Fig3()
@@ -136,22 +196,36 @@ func runExperiments(run string, reads int, seed uint64, workers int) error {
 		want["fig10"] || want["cost"] || want["latency"] || want["updatecost"] ||
 		want["decode"] || want["misprime"]
 	if !needWetlab {
-		return nil
+		return finish()
 	}
 
 	t0 := time.Now()
 	fmt.Fprintf(out, "building the Section 6 wetlab (13 files, %d-block Alice partition)...\n",
 		experiment.AliceBlocks)
-	w, err := experiment.Build(experiment.Options{Seed: seed})
+	var w *experiment.Wetlab
+	_, err := rc.track("build", func() error {
+		var err error
+		w, err = experiment.Build(experiment.Options{Seed: seed})
+		return err
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "built in %v: %d strands in the Alice pool, %d in the IDT update pool\n\n",
 		time.Since(t0).Round(time.Millisecond), w.AliceStrands(), w.IDTPool.Len())
 
-	a, err := experiment.Fig9a(w, reads)
+	var a *experiment.Fig9aResult
+	tm, err := rc.track("fig9a", func() error {
+		var err error
+		a, err = experiment.Fig9a(w, reads)
+		return err
+	})
 	if err != nil {
 		return err
+	}
+	tm.Metrics = map[string]float64{
+		"uniformity_ratio": a.UniformityRatio,
+		"updated_boost":    a.UpdatedBoost,
 	}
 	if want["fig9a"] {
 		experiment.PrintFig9a(out, a)
@@ -161,9 +235,16 @@ func runExperiments(run string, reads int, seed uint64, workers int) error {
 	var b *experiment.Fig9bResult
 	if want["fig9b"] || want["cost"] || want["latency"] || want["updatecost"] ||
 		want["decode"] || want["misprime"] {
-		b, err = experiment.Fig9Elongated(w, a.Amplified, 531, reads)
+		tm, err = rc.track("fig9b", func() error {
+			var err error
+			b, err = experiment.Fig9Elongated(w, a.Amplified, 531, reads)
+			return err
+		})
 		if err != nil {
 			return err
+		}
+		tm.Metrics = map[string]float64{
+			"target_overall": b.TargetOverall(),
 		}
 	}
 	if want["fig9b"] {
@@ -171,7 +252,12 @@ func runExperiments(run string, reads int, seed uint64, workers int) error {
 		fmt.Fprintln(out)
 	}
 	if want["fig9c"] {
-		c, err := experiment.Fig9Elongated(w, a.Amplified, 144, reads)
+		var c *experiment.Fig9bResult
+		_, err = rc.track("fig9c", func() error {
+			var err error
+			c, err = experiment.Fig9Elongated(w, a.Amplified, 144, reads)
+			return err
+		})
 		if err != nil {
 			return err
 		}
@@ -213,9 +299,17 @@ func runExperiments(run string, reads int, seed uint64, workers int) error {
 		fmt.Fprintln(out)
 	}
 	if want["decode"] {
-		d, err := experiment.Decode8(w, b, 225)
+		var d *experiment.DecodeResult
+		tm, err := rc.track("decode", func() error {
+			var err error
+			d, err = experiment.Decode8(w, b, 225)
+			return err
+		})
 		if err != nil {
 			return err
+		}
+		tm.Metrics = map[string]float64{
+			"reads_used": float64(d.ReadsUsed),
 		}
 		experiment.PrintDecode(out, d)
 		fmt.Fprintln(out)
@@ -230,15 +324,23 @@ func runExperiments(run string, reads int, seed uint64, workers int) error {
 	}
 	if want["fig10"] {
 		for _, proto := range []string{"measure-then-amplify", "amplify-then-measure"} {
-			r, err := experiment.Fig10(w, proto, 8*reads)
+			var r *experiment.Fig10Result
+			tm, err := rc.track("fig10/"+proto, func() error {
+				var err error
+				r, err = experiment.Fig10(w, proto, 8*reads)
+				return err
+			})
 			if err != nil {
 				return err
+			}
+			tm.Metrics = map[string]float64{
+				"imbalance": r.Imbalance,
 			}
 			experiment.PrintFig10(out, r)
 			fmt.Fprintln(out)
 		}
 	}
-	return nil
+	return finish()
 }
 
 func contains(ids []string, id string) bool {

@@ -410,11 +410,12 @@ type BlockVersions struct {
 
 // retrieve runs the physical read protocol for one block: elongated PCR
 // against the tube, sequencing, decoding. r is the reaction's private
-// noise source. The elongated primer is never charged here — the
-// access's serial front-end phase has already paid for the block and
-// its overflow chain — so retrievals are free of shared cache state and
-// safe to fan out.
-func (p *Partition) retrieve(r *rng.Source, block, depth int) (*decode.BlockResult, error) {
+// noise source; pcrWorkers is the reaction's internal scoring fan-out
+// (1 when the caller already fans reactions). The elongated primer is
+// never charged here — the access's serial front-end phase has already
+// paid for the block and its overflow chain — so retrievals are free of
+// shared cache state and safe to fan out.
+func (p *Partition) retrieve(r *rng.Source, block, depth, pcrWorkers int) (*decode.BlockResult, error) {
 	ep, err := p.ElongatedPrimer(block)
 	if err != nil {
 		return nil, err
@@ -423,7 +424,7 @@ func (p *Partition) retrieve(r *rng.Source, block, depth int) (*decode.BlockResu
 	if c := p.store.cfg.CarryoverConc; c > 0 {
 		primers = append(primers, pcr.Primer{Fwd: p.fwd, Rev: p.rev, Conc: c})
 	}
-	amplified, _, err := p.store.runPCR(primers)
+	amplified, _, err := p.store.runPCR(primers, pcrWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -455,11 +456,11 @@ func (p *Partition) ReadBlockVersions(block int) (*BlockVersions, error) {
 	p.chargeOverflow(block)
 	r := p.noise.Fork()
 	p.mu.Unlock()
-	res, err := p.retrieve(r, block, depth)
+	res, err := p.retrieve(r, block, depth, p.store.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	return p.finishBlock(r, block, res)
+	return p.finishBlock(r, block, res, p.store.cfg.Workers)
 }
 
 // DecodeReads runs only the software pipeline on externally produced
@@ -477,18 +478,19 @@ func (p *Partition) DecodeReads(seqs []dna.Seq, block int) (*BlockVersions, erro
 	p.chargeOverflow(block)
 	r := p.noise.Fork()
 	p.mu.Unlock()
-	return p.finishBlock(r, block, res)
+	return p.finishBlock(r, block, res, p.store.cfg.Workers)
 }
 
 // finishBlock turns a decode result into data + ordered patches. r
-// supplies noise for any overflow-chain retrievals.
-func (p *Partition) finishBlock(r *rng.Source, block int, res *decode.BlockResult) (*BlockVersions, error) {
+// supplies noise for any overflow-chain retrievals, which run with
+// pcrWorkers internal fan-out.
+func (p *Partition) finishBlock(r *rng.Source, block int, res *decode.BlockResult, pcrWorkers int) (*BlockVersions, error) {
 	raw, ok := res.Versions[0]
 	if !ok {
 		return nil, fmt.Errorf("%w: original version missing for block %d", decode.ErrDecode, block)
 	}
 	out := &BlockVersions{Data: raw[:p.BlockSize()], Decode: *res}
-	patches, err := p.collectPatches(r, res, false, 8)
+	patches, err := p.collectPatches(r, res, false, 8, pcrWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -497,10 +499,10 @@ func (p *Partition) finishBlock(r *rng.Source, block int, res *decode.BlockResul
 }
 
 // collectPatches extracts ordered patches from a decode result,
-// following overflow pointers with additional retrievals drawn from r.
-// includeV0 treats version 0 as a patch (log blocks). depthLimit bounds
-// pointer chains.
-func (p *Partition) collectPatches(r *rng.Source, res *decode.BlockResult, includeV0 bool, depthLimit int) ([]update.Patch, error) {
+// following overflow pointers with additional retrievals drawn from r
+// (run with pcrWorkers internal fan-out). includeV0 treats version 0 as
+// a patch (log blocks). depthLimit bounds pointer chains.
+func (p *Partition) collectPatches(r *rng.Source, res *decode.BlockResult, includeV0 bool, depthLimit, pcrWorkers int) ([]update.Patch, error) {
 	if depthLimit <= 0 {
 		return nil, fmt.Errorf("blockstore: overflow chain too deep")
 	}
@@ -516,11 +518,11 @@ func (p *Partition) collectPatches(r *rng.Source, res *decode.BlockResult, inclu
 	for _, v := range versions {
 		data := res.Versions[v]
 		if logBlock, isPtr := update.IsOverflow(data); isPtr {
-			logRes, err := p.retrieve(r, logBlock, 4)
+			logRes, err := p.retrieve(r, logBlock, 4, pcrWorkers)
 			if err != nil {
 				return nil, fmt.Errorf("blockstore: overflow chain: %w", err)
 			}
-			chain, err := p.collectPatches(r, logRes, true, depthLimit-1)
+			chain, err := p.collectPatches(r, logRes, true, depthLimit-1, pcrWorkers)
 			if err != nil {
 				return nil, err
 			}
@@ -574,13 +576,19 @@ func (p *Partition) ReadBlocks(blocks []int) ([][]byte, error) {
 		srcs[i] = p.noise.Fork()
 	}
 	p.mu.Unlock()
+	// With several reactions fanned across the store's workers, each
+	// reaction scores serially; a lone reaction gets the full budget.
+	pcrWorkers := p.store.cfg.Workers
+	if len(blocks) > 1 && p.workers > 1 {
+		pcrWorkers = 1
+	}
 	out := make([][]byte, len(blocks))
 	err := parallel.Run(p.workers, len(blocks), func(i int) error {
-		res, err := p.retrieve(srcs[i], blocks[i], depths[i])
+		res, err := p.retrieve(srcs[i], blocks[i], depths[i], pcrWorkers)
 		if err != nil {
 			return err
 		}
-		bv, err := p.finishBlock(srcs[i], blocks[i], res)
+		bv, err := p.finishBlock(srcs[i], blocks[i], res, pcrWorkers)
 		if err != nil {
 			return err
 		}
@@ -643,14 +651,15 @@ func (p *Partition) planCovers(covers []indextree.CoverRange) ([]coverReaction, 
 	return reactions, p.noise.Fork()
 }
 
-// runCover executes one cover's PCR → sequence → decode reaction.
-func (p *Partition) runCover(cr coverReaction) (map[int]*decode.BlockResult, error) {
+// runCover executes one cover's PCR → sequence → decode reaction with
+// the given internal PCR fan-out.
+func (p *Partition) runCover(cr coverReaction, pcrWorkers int) (map[int]*decode.BlockResult, error) {
 	ep := p.store.cfg.Geometry.ElongatedPrimer(p.fwd, cr.cover.Prefix)
 	primers := []pcr.Primer{{Fwd: ep, Rev: p.rev, Conc: 1}}
 	if cc := p.store.cfg.CarryoverConc; cc > 0 {
 		primers = append(primers, pcr.Primer{Fwd: p.fwd, Rev: p.rev, Conc: cc})
 	}
-	amplified, _, err := p.store.runPCR(primers)
+	amplified, _, err := p.store.runPCR(primers, pcrWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -698,9 +707,13 @@ func (p *Partition) ReadRange(lo, hi int) ([][]byte, error) {
 		return nil, err
 	}
 	reactions, assembleSrc := p.planCovers(covers)
+	pcrWorkers := p.store.cfg.Workers
+	if len(reactions) > 1 && p.workers > 1 {
+		pcrWorkers = 1
+	}
 	perCover := make([]map[int]*decode.BlockResult, len(reactions))
 	err = parallel.Run(p.workers, len(reactions), func(i int) error {
-		res, err := p.runCover(reactions[i])
+		res, err := p.runCover(reactions[i], pcrWorkers)
 		if err != nil {
 			return err
 		}
@@ -752,7 +765,7 @@ func (p *Partition) ReadAll() ([][]byte, error) {
 		return nil, ErrBlockNotFound
 	}
 	primers := []pcr.Primer{{Fwd: p.fwd, Rev: p.rev, Conc: 1}}
-	amplified, _, err := p.store.runPCR(primers)
+	amplified, _, err := p.store.runPCR(primers, p.store.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -800,7 +813,7 @@ func (p *Partition) assemble(r *rng.Source, lo, hi int, results map[int]*decode.
 		if !ok {
 			return nil, fmt.Errorf("%w: block %d original version missing", decode.ErrDecode, b)
 		}
-		patches, err := p.collectPatches(r, res, false, 8)
+		patches, err := p.collectPatches(r, res, false, 8, p.store.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -117,6 +117,7 @@ type Costs struct {
 type Store struct {
 	cfg     Config
 	workers int
+	sampler *seqsim.Sampler // rates validated once at construction
 
 	// mu guards the digital front-end state: partitions, the primer
 	// budget, and the store-level seed stream.
@@ -169,6 +170,10 @@ func New(cfg Config, primers []dna.Seq) (*Store, error) {
 	if cfg.CoverageDepth <= 0 || cfg.WasteFactor < 1 || cfg.CapacityFactor <= 1 {
 		return nil, fmt.Errorf("blockstore: invalid read/capacity parameters")
 	}
+	sampler, err := seqsim.NewSampler(seqsim.Profile{Rates: cfg.Rates})
+	if err != nil {
+		return nil, err
+	}
 	cp := make([]dna.Seq, len(primers))
 	for i, p := range primers {
 		cp[i] = p.Clone()
@@ -176,6 +181,7 @@ func New(cfg Config, primers []dna.Seq) (*Store, error) {
 	return &Store{
 		cfg:        cfg,
 		workers:    parallel.Resolve(cfg.Workers),
+		sampler:    sampler,
 		tube:       pool.New(),
 		partitions: make(map[string]*Partition),
 		primers:    cp,
@@ -294,17 +300,26 @@ func (s *Store) readBudget(units int) int {
 // held read-locked for the duration: pcr.Run works on its own copy, so
 // concurrent reactions share the lock and only synthesis mixes exclude
 // each other.
-func (s *Store) runPCR(primers []pcr.Primer) (*pool.Pool, pcr.Stats, error) {
+// runPCR's workers argument sets the reaction's internal scoring
+// fan-out. Callers that already fan several reactions across the
+// store's worker pool pass 1 to avoid nesting two full-width fork-joins
+// (workers-squared goroutines for pure scheduling overhead); single-
+// reaction accesses pass the store's full budget. Results are
+// byte-identical either way.
+func (s *Store) runPCR(primers []pcr.Primer, workers int) (*pool.Pool, pcr.Stats, error) {
 	s.addCosts(func(c *Costs) { c.PCRReactions++ })
 	s.tubeMu.RLock()
 	defer s.tubeMu.RUnlock()
 	params := s.cfg.PCR
 	params.Capacity = s.cfg.CapacityFactor * s.tube.Total()
+	params.Workers = workers
 	return pcr.Run(s.tube, primers, params)
 }
 
-// sequence samples reads from an amplified pool and counts them.
+// sequence samples reads from an amplified pool and counts them. The
+// store's sampler was validated at construction, so no per-reaction
+// profile checks run here.
 func (s *Store) sequence(r *rng.Source, amplified *pool.Pool, n int) ([]seqsim.Read, error) {
 	s.addCosts(func(c *Costs) { c.ReadsSequenced += n })
-	return seqsim.Sample(r, amplified, n, seqsim.Profile{Rates: s.cfg.Rates})
+	return s.sampler.Sample(r, amplified, n)
 }

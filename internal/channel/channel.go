@@ -6,6 +6,7 @@ package channel
 
 import (
 	"fmt"
+	"math"
 
 	"dnastore/internal/dna"
 	"dnastore/internal/rng"
@@ -47,28 +48,75 @@ func Noiseless() Rates { return Rates{} }
 // Corrupt returns a noisy copy of seq under the given rates. The
 // original is not modified. Each position independently suffers a
 // deletion, a substitution to a uniformly random different base, or is
-// preceded by an insertion of a uniformly random base.
+// preceded by a geometric number of insertions of uniformly random
+// bases — the same error model as drawing one Bernoulli trial per
+// position, but sampled by geometric gap-skipping so the work (and the
+// random-number consumption) is proportional to the number of error
+// events rather than to the read length. At the ~1% combined rates the
+// sequencers exhibit, that is a ~100x reduction in draws on the
+// sequencing hot path.
 func Corrupt(r *rng.Source, seq dna.Seq, rates Rates) dna.Seq {
-	out := make(dna.Seq, 0, len(seq)+4)
-	for _, b := range seq {
-		// Insertion before this base.
-		for rates.Ins > 0 && r.Float64() < rates.Ins {
-			out = append(out, dna.Base(r.Intn(4)))
-		}
-		roll := r.Float64()
-		switch {
-		case roll < rates.Del:
-			// base dropped
-		case roll < rates.Del+rates.Sub:
-			// substitute with one of the three other bases
-			out = append(out, dna.Base((int(b)+1+r.Intn(3))%4))
-		default:
-			out = append(out, b)
-		}
+	n := len(seq)
+	out := make(dna.Seq, 0, n+4)
+	perBase := rates.Del + rates.Sub
+	if rates.Ins <= 0 && perBase <= 0 {
+		return append(out, seq...)
 	}
-	// Possible insertion at the very end.
-	for rates.Ins > 0 && r.Float64() < rates.Ins {
-		out = append(out, dna.Base(r.Intn(4)))
+	// nextIns indexes insertion slots (before base i; slot n is the read
+	// end); nextErr indexes bases suffering deletion or substitution.
+	// Gap sampling by inversion is exact: P(gap = g) = (1-p)^g * p.
+	nextIns, nextErr := n+1, n
+	var invLogIns, invLogErr float64
+	if rates.Ins > 0 {
+		invLogIns = 1 / math.Log1p(-rates.Ins)
+		nextIns = geomGap(r, invLogIns)
+	}
+	if perBase > 0 {
+		invLogErr = 1 / math.Log1p(-perBase)
+		nextErr = geomGap(r, invLogErr)
+	}
+	i := 0
+	for {
+		stop := nextIns
+		if nextErr < stop {
+			stop = nextErr
+		}
+		if stop > n {
+			stop = n
+		}
+		out = append(out, seq[i:stop]...) // error-free stretch
+		i = stop
+		if nextIns == i {
+			out = append(out, dna.Base(r.Intn(4)))
+			nextIns = i + geomGap(r, invLogIns) // gap 0: same slot again
+			continue
+		}
+		if i >= n {
+			break
+		}
+		if nextErr == i {
+			// An error event: deletion with conditional probability
+			// Del/(Del+Sub), else substitution to a different base.
+			if r.Float64()*perBase >= rates.Del {
+				out = append(out, dna.Base((int(seq[i])+1+r.Intn(3))%4))
+			}
+			i++
+			nextErr = i + geomGap(r, invLogErr)
+			continue
+		}
+		break
 	}
 	return out
+}
+
+// geomGap draws the number of Bernoulli failures before the next
+// success, given invLog = 1/log(1-p), via inversion of the geometric
+// CDF.
+func geomGap(r *rng.Source, invLog float64) int {
+	u := 1 - r.Float64() // (0, 1]
+	g := math.Log(u) * invLog
+	if g >= 1<<30 {
+		return 1 << 30
+	}
+	return int(g)
 }

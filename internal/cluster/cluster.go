@@ -60,6 +60,13 @@ var hashSeeds = [16]uint64{
 // each hash function.
 func signatures(read dna.Seq, cfg Config) []uint64 {
 	sigs := make([]uint64, cfg.NumHashes)
+	signaturesInto(read, cfg, sigs)
+	return sigs
+}
+
+// signaturesInto computes the min-hash signatures into sigs (length
+// cfg.NumHashes), so the clustering loop reuses one buffer per call.
+func signaturesInto(read dna.Seq, cfg Config, sigs []uint64) {
 	for i := range sigs {
 		sigs[i] = ^uint64(0)
 	}
@@ -74,7 +81,7 @@ func signatures(read dna.Seq, cfg Config) []uint64 {
 			h ^= h >> 29
 			sigs[i] = h
 		}
-		return sigs
+		return
 	}
 	// Rolling 2-bit packing of q-grams.
 	mask := uint64(1)<<(2*uint(cfg.Q)) - 1
@@ -92,7 +99,6 @@ func signatures(read dna.Seq, cfg Config) []uint64 {
 			}
 		}
 	}
-	return sigs
 }
 
 // Group clusters the reads and returns clusters as index lists into the
@@ -104,28 +110,27 @@ func Group(reads []dna.Seq, cfg Config) ([][]int, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	type clusterState struct {
-		members []int
-	}
-	var clusters []*clusterState
+	var clusters [][]int // member lists; members[0] is the representative
 	// bucket key: hash function index in the high bits + min-hash value.
 	buckets := make(map[uint64][]int) // -> cluster indexes
-	bucketKey := func(hashIdx int, v uint64) uint64 {
-		return uint64(hashIdx)<<58 ^ v&(1<<58-1)
-	}
+	// Candidate dedup across a read's buckets: an epoch stamp per
+	// cluster instead of a fresh map per read. A cluster is a duplicate
+	// candidate iff its stamp equals the current read's epoch.
+	var seenEpoch []int32
+	epoch := int32(0)
+	sigs := make([]uint64, cfg.NumHashes)
 	for ri, read := range reads {
-		sigs := signatures(read, cfg)
-		// Collect candidate clusters from all matching buckets.
-		seen := map[int]bool{}
+		signaturesInto(read, cfg, sigs)
+		epoch++
 		joined := -1
 		for hi, sig := range sigs {
 			for _, ci := range buckets[bucketKey(hi, sig)] {
-				if seen[ci] {
+				if seenEpoch[ci] == epoch {
 					continue
 				}
-				seen[ci] = true
-				rep := reads[clusters[ci].members[0]]
-				if dna.LevenshteinAtMost(rep, read, cfg.MaxDist) {
+				seenEpoch[ci] = epoch
+				rep := reads[clusters[ci][0]]
+				if withinDist(rep, read, cfg.MaxDist) {
 					joined = ci
 					break
 				}
@@ -135,22 +140,43 @@ func Group(reads []dna.Seq, cfg Config) ([][]int, error) {
 			}
 		}
 		if joined >= 0 {
-			clusters[joined].members = append(clusters[joined].members, ri)
+			clusters[joined] = append(clusters[joined], ri)
 			continue
 		}
 		// New cluster with this read as representative; register its
 		// signatures.
 		ci := len(clusters)
-		clusters = append(clusters, &clusterState{members: []int{ri}})
+		clusters = append(clusters, []int{ri})
+		seenEpoch = append(seenEpoch, 0)
 		for hi, sig := range sigs {
 			k := bucketKey(hi, sig)
 			buckets[k] = append(buckets[k], ci)
 		}
 	}
-	out := make([][]int, len(clusters))
-	for i, c := range clusters {
-		out[i] = c.members
+	sort.SliceStable(clusters, func(i, j int) bool { return len(clusters[i]) > len(clusters[j]) })
+	return clusters, nil
+}
+
+// bucketKey mixes a hash function index into its min-hash value so all
+// signatures share one bucket map.
+func bucketKey(hashIdx int, v uint64) uint64 {
+	return uint64(hashIdx)<<58 ^ v&(1<<58-1)
+}
+
+// stagedDist is the cheap first-stage distance budget of withinDist.
+const stagedDist = 6
+
+// withinDist reports whether the edit distance between a and b is at
+// most maxDist, identical in outcome to dna.LevenshteinAtMost(a, b,
+// maxDist). Same-strand reads at sequencing error rates are typically
+// within a handful of edits, so a narrow-band probe answers most joins
+// at a fraction of the full-band cost; only the probe's misses pay for
+// the wide band.
+func withinDist(a, b dna.Seq, maxDist int) bool {
+	if maxDist > stagedDist {
+		if dna.LevenshteinAtMost(a, b, stagedDist) {
+			return true
+		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) > len(out[j]) })
-	return out, nil
+	return dna.LevenshteinAtMost(a, b, maxDist)
 }

@@ -205,3 +205,45 @@ func BenchmarkGroup2kReads(b *testing.B) {
 		}
 	}
 }
+
+// TestGroupAllocsBounded pins the epoch-stamp dedup and signature
+// buffer reuse: steady-state clustering allocates O(clusters), not
+// O(reads) maps.
+func TestGroupAllocsBounded(t *testing.T) {
+	r := rng.New(31)
+	reads, _ := makeReads(r, 8, 25, channel.Illumina()) // 200 reads
+	cfg := DefaultConfig()
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := Group(reads, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: bucket map + per-cluster member slices and their growth +
+	// epoch slice + sort scratch. Anything O(len(reads)) blows this.
+	if limit := 120.0; avg > limit {
+		t.Errorf("Group allocates %.1f times per call for 200 reads, want <= %.0f", avg, limit)
+	}
+}
+
+// TestWithinDistMatchesLevenshteinAtMost pins the staged probe against
+// the single-shot check across the distance spectrum.
+func TestWithinDistMatchesLevenshteinAtMost(t *testing.T) {
+	r := rng.New(32)
+	for i := 0; i < 300; i++ {
+		a := randomSeq(r, 120+r.Intn(40))
+		var b dna.Seq
+		switch i % 3 {
+		case 0:
+			b = channel.Corrupt(r, a, channel.Illumina()) // near
+		case 1:
+			b = channel.Corrupt(r, a, channel.Nanopore()) // mid
+		default:
+			b = randomSeq(r, 120+r.Intn(40)) // far
+		}
+		for _, k := range []int{0, 3, 6, 12, 20} {
+			if got, want := withinDist(a, b, k), dna.LevenshteinAtMost(a, b, k); got != want {
+				t.Fatalf("withinDist(k=%d) = %v, LevenshteinAtMost = %v", k, got, want)
+			}
+		}
+	}
+}

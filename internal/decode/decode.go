@@ -417,15 +417,17 @@ func (p *Pipeline) reconstructCluster(kept []dna.Seq, members []int) (strandCand
 	return p.reconstruct(seqs, len(members))
 }
 
-// filterReads applies the primer filter, preserving input order.
+// filterReads applies the primer filter, preserving input order. Most
+// reads of a targeted reaction pass the filter, so the kept list is
+// sized for the full input up front.
 func (p *Pipeline) filterReads(reads []dna.Seq) []dna.Seq {
+	kept := make([]dna.Seq, 0, len(reads))
 	if p.workers > 1 && len(reads) > 1 {
 		keep := make([]bool, len(reads))
 		parallel.Run(p.workers, len(reads), func(i int) error {
 			keep[i] = p.keep(reads[i])
 			return nil
 		})
-		var kept []dna.Seq
 		for i, k := range keep {
 			if k {
 				kept = append(kept, reads[i])
@@ -433,7 +435,6 @@ func (p *Pipeline) filterReads(reads []dna.Seq) []dna.Seq {
 		}
 		return kept
 	}
-	var kept []dna.Seq
 	for _, r := range reads {
 		if p.keep(r) {
 			kept = append(kept, r)

@@ -233,3 +233,218 @@ func BenchmarkLevenshteinAtMost150(b *testing.B) {
 		LevenshteinAtMost(x, y, 8)
 	}
 }
+
+// refFindApprox is the original unbanded Sellers DP, kept as the
+// reference oracle for the cut-off implementation.
+func refFindApprox(pattern, text Seq, k int, rightmost bool) (end, dist int) {
+	m, n := len(pattern), len(text)
+	if m == 0 {
+		if rightmost {
+			return n, 0
+		}
+		return 0, 0
+	}
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if pattern[i-1] == text[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	bestEnd, bestDist := -1, k+1
+	for j := 1; j <= n; j++ {
+		if rightmost {
+			if prev[j] <= bestDist && prev[j] <= k {
+				bestDist, bestEnd = prev[j], j
+			}
+		} else if prev[j] < bestDist {
+			bestDist, bestEnd = prev[j], j
+		}
+	}
+	if bestEnd < 0 {
+		return -1, k + 1
+	}
+	return bestEnd, bestDist
+}
+
+// mutate applies roughly nEdits random indel/substitution edits.
+func mutate(r *rng.Source, s Seq, nEdits int) Seq {
+	out := s.Clone()
+	for e := 0; e < nEdits && len(out) > 0; e++ {
+		i := r.Intn(len(out))
+		switch r.Intn(3) {
+		case 0: // substitution
+			out[i] = Base((int(out[i]) + 1 + r.Intn(3)) % 4)
+		case 1: // deletion
+			out = append(out[:i], out[i+1:]...)
+		default: // insertion
+			out = append(out, 0)
+			copy(out[i+1:], out[i:])
+			out[i] = Base(r.Intn(4))
+		}
+	}
+	return out
+}
+
+func TestFindApproxMatchesReference(t *testing.T) {
+	r := rng.New(11)
+	for i := 0; i < 400; i++ {
+		pattern := randomSeq(r, 4+r.Intn(30))
+		var text Seq
+		if r.Bool() {
+			// Embed a mutated copy so near-matches are exercised.
+			text = Concat(randomSeq(r, r.Intn(40)), mutate(r, pattern, r.Intn(4)), randomSeq(r, r.Intn(40)))
+		} else {
+			text = randomSeq(r, r.Intn(80))
+		}
+		for _, k := range []int{0, 1, 2, 3, 5} {
+			wantEnd, wantDist := refFindApprox(pattern, text, k, false)
+			gotEnd, gotDist := FindApprox(pattern, text, k)
+			if gotEnd != wantEnd || gotDist != wantDist {
+				t.Fatalf("FindApprox(%v, %v, %d) = (%d, %d), want (%d, %d)",
+					pattern, text, k, gotEnd, gotDist, wantEnd, wantDist)
+			}
+			wantEnd, wantDist = refFindApprox(pattern, text, k, true)
+			gotEnd, gotDist = FindApproxRight(pattern, text, k)
+			if gotEnd != wantEnd || gotDist != wantDist {
+				t.Fatalf("FindApproxRight(%v, %v, %d) = (%d, %d), want (%d, %d)",
+					pattern, text, k, gotEnd, gotDist, wantEnd, wantDist)
+			}
+		}
+	}
+}
+
+func TestPrefixAlignmentAtMostMatchesUnbanded(t *testing.T) {
+	r := rng.New(12)
+	for i := 0; i < 500; i++ {
+		pattern := randomSeq(r, 1+r.Intn(32))
+		var text Seq
+		if r.Bool() {
+			text = Concat(mutate(r, pattern, r.Intn(4)), randomSeq(r, r.Intn(10)))
+		} else {
+			text = randomSeq(r, r.Intn(40))
+		}
+		wantDist, wantEnd := PrefixAlignment(pattern, text)
+		for _, k := range []int{0, 1, 2, 3, 5, 8} {
+			dist, end, ok := PrefixAlignmentAtMost(pattern, text, k)
+			if wantDist <= k {
+				if !ok || dist != wantDist || end != wantEnd {
+					t.Fatalf("PrefixAlignmentAtMost(%v, %v, %d) = (%d, %d, %v), want (%d, %d, true)",
+						pattern, text, k, dist, end, ok, wantDist, wantEnd)
+				}
+			} else if ok {
+				t.Fatalf("PrefixAlignmentAtMost(%v, %v, %d) ok with unbanded distance %d",
+					pattern, text, k, wantDist)
+			}
+		}
+	}
+}
+
+func TestSuffixAlignmentAtMostMatchesReversedPrefix(t *testing.T) {
+	reverse := func(s Seq) Seq {
+		out := make(Seq, len(s))
+		for i, b := range s {
+			out[len(s)-1-i] = b
+		}
+		return out
+	}
+	r := rng.New(13)
+	for i := 0; i < 500; i++ {
+		pattern := randomSeq(r, 1+r.Intn(32))
+		var text Seq
+		if r.Bool() {
+			text = Concat(randomSeq(r, r.Intn(10)), mutate(r, pattern, r.Intn(4)))
+		} else {
+			text = randomSeq(r, r.Intn(40))
+		}
+		wantDist, _ := PrefixAlignment(reverse(pattern), reverse(text))
+		for _, k := range []int{0, 1, 2, 3, 5, 8} {
+			dist, ok := SuffixAlignmentAtMost(pattern, text, k)
+			if wantDist <= k {
+				if !ok || dist != wantDist {
+					t.Fatalf("SuffixAlignmentAtMost(%v, %v, %d) = (%d, %v), want (%d, true)",
+						pattern, text, k, dist, ok, wantDist)
+				}
+			} else if ok {
+				t.Fatalf("SuffixAlignmentAtMost(%v, %v, %d) ok with true distance %d",
+					pattern, text, k, wantDist)
+			}
+		}
+	}
+}
+
+func TestLevenshteinAtMostLargeK(t *testing.T) {
+	// Exercise the heap fallback (band width > maxStackBand).
+	r := rng.New(14)
+	for i := 0; i < 50; i++ {
+		a := randomSeq(r, 60+r.Intn(60))
+		b := mutate(r, a, r.Intn(50))
+		d := Levenshtein(a, b)
+		for _, k := range []int{35, 40, 55} {
+			if got, want := LevenshteinAtMost(a, b, k), d <= k; got != want {
+				t.Fatalf("LevenshteinAtMost(len %d, len %d, %d) = %v, exact %d",
+					len(a), len(b), k, got, d)
+			}
+		}
+	}
+}
+
+// The banded kernels are on the hottest paths of the simulator; pin
+// their zero-allocation property for stack-sized budgets.
+func TestDistanceKernelsDoNotAllocate(t *testing.T) {
+	r := rng.New(15)
+	a := randomSeq(r, 150)
+	b := mutate(r, a, 6)
+	pattern := randomSeq(r, 31)
+	text := Concat(randomSeq(r, 20), mutate(r, pattern, 2), randomSeq(r, 80))
+	checks := map[string]func(){
+		"LevenshteinAtMost":     func() { LevenshteinAtMost(a, b, 20) },
+		"PrefixAlignmentAtMost": func() { PrefixAlignmentAtMost(pattern, text[:40], 5) },
+		"SuffixAlignmentAtMost": func() { SuffixAlignmentAtMost(pattern, text[len(text)-40:], 5) },
+		"FindApprox":            func() { FindApprox(pattern, text, 3) },
+		"FindApproxRight":       func() { FindApproxRight(pattern, text, 3) },
+	}
+	for name, fn := range checks {
+		if avg := testing.AllocsPerRun(200, fn); avg != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, avg)
+		}
+	}
+}
+
+func BenchmarkFindApprox31in131(b *testing.B) {
+	r := rng.New(16)
+	pattern := randomSeq(r, 31)
+	text := Concat(randomSeq(r, 10), mutate(r, pattern, 2), randomSeq(r, 90))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindApprox(pattern, text, 3)
+	}
+}
+
+func BenchmarkPrefixAlignmentAtMost(b *testing.B) {
+	r := rng.New(17)
+	pattern := randomSeq(r, 31)
+	text := Concat(mutate(r, pattern, 2), randomSeq(r, 6))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrefixAlignmentAtMost(pattern, text, 5)
+	}
+}

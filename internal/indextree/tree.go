@@ -70,7 +70,18 @@ type Tree struct {
 	depth   int
 	seed    uint64
 	variant Variant
+	// nodes caches the parameters of every node in the top cacheLevels
+	// levels, indexed directly by path id (level-l ids live in
+	// [4^l, 2*4^l), so the table has unused gaps and no collisions).
+	// It is built at construction and read-only afterwards, keeping
+	// Tree safe for concurrent use.
+	nodes []nodeParams
 }
+
+// cacheLevels bounds the eagerly cached tree levels; the default
+// partition depth (5) and every hot experiment fit entirely, while
+// pathological deep trees fall back to recomputation below the cache.
+const cacheLevels = 6
 
 // New constructs a tree of the given depth (blocks = 4^depth) for the
 // paper's sparse scheme. The tree is a pure function of (depth, seed).
@@ -86,7 +97,20 @@ func NewVariant(depth int, seed uint64, v Variant) (*Tree, error) {
 	if v != Sparse && v != SparseRandom && v != Dense {
 		return nil, fmt.Errorf("indextree: unknown variant %d", int(v))
 	}
-	return &Tree{depth: depth, seed: seed, variant: v}, nil
+	t := &Tree{depth: depth, seed: seed, variant: v}
+	levels := depth
+	if levels > cacheLevels {
+		levels = cacheLevels
+	}
+	top := uint64(2) << (2 * uint(levels-1)) // one past the last level-(levels-1) id
+	t.nodes = make([]nodeParams, top)
+	for l := 0; l < levels; l++ {
+		lo := uint64(1) << (2 * uint(l))
+		for id := lo; id < 2*lo; id++ {
+			t.nodes[id] = t.computeNode(id)
+		}
+	}
+	return t, nil
 }
 
 // MustNew is New that panics on error, for known-good parameters.
@@ -136,23 +160,44 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// node computes the parameters of the internal node identified by its
-// path. The path is encoded as base-4 digits with a leading 1 marker so
-// that distinct paths of different lengths have distinct ids.
+// node returns the parameters of the internal node identified by its
+// path, from the cached table when the node is in the top levels.
 func (t *Tree) node(pathID uint64) nodeParams {
-	r := rng.New(mix64(t.seed ^ mix64(pathID)))
+	if pathID < uint64(len(t.nodes)) {
+		return t.nodes[pathID]
+	}
+	return t.computeNode(pathID)
+}
+
+// computeNode derives the parameters of one node from the tree seed.
+// The path is encoded as base-4 digits with a leading 1 marker so that
+// distinct paths of different lengths have distinct ids. The derivation
+// allocates nothing and draws exactly the stream the seeded
+// construction has always drawn, so cached and recomputed trees are
+// identical.
+func (t *Tree) computeNode(pathID uint64) nodeParams {
+	r := rng.NewState(mix64(t.seed ^ mix64(pathID)))
 	var p nodeParams
-	perm := r.Perm(4)
+	// Fisher-Yates with the same draw sequence as rng.Perm(4).
+	perm := [4]int{0, 1, 2, 3}
+	for i := 3; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
 	for rank := 0; rank < 4; rank++ {
 		p.edge[rank] = dna.Base(perm[rank])
 	}
-	// Partition child ranks by the GC class of their edge letter.
-	var at, gc []int
+	// Partition child ranks by the GC class of their edge letter; a
+	// permutation of ACGT always yields two ranks per class.
+	var at, gc [4]int
+	nat, ngc := 0, 0
 	for rank := 0; rank < 4; rank++ {
 		if p.edge[rank].IsGC() {
-			gc = append(gc, rank)
+			gc[ngc] = rank
+			ngc++
 		} else {
-			at = append(at, rank)
+			at[nat] = rank
+			nat++
 		}
 	}
 	switch t.variant {

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"dnastore/internal/dna"
+	"dnastore/internal/parallel"
 	"dnastore/internal/pool"
 )
 
@@ -71,6 +72,13 @@ type Params struct {
 	// MaxBindDist bounds the edit distance at which binding is
 	// considered at all; beyond it the probability is treated as zero.
 	MaxBindDist int
+
+	// Workers fans the per-cycle scoring loop (binding alignments and
+	// growth computation) across a worker pool. Growth deltas are
+	// emitted in deterministic species order and applied serially, so
+	// the amplified pool is byte-identical at any worker count. 0 means
+	// 1 (serial); negative means GOMAXPROCS.
+	Workers int
 }
 
 // DefaultParams returns parameters calibrated to the paper's wetlab
@@ -137,55 +145,72 @@ type Stats struct {
 	MisprimedMass   float64 // total abundance of misprimed products at the end
 }
 
+// Binding-cache entry states. A species x primer pair is aligned at
+// most once per reaction; the dense cache below remembers the outcome.
+const (
+	bindUnknown uint8 = iota // not yet aligned
+	bindNone                 // aligned, no binding within MaxBindDist
+	bindOK                   // aligned, binds with the recorded distance
+)
+
 // binding holds the cached alignment of one primer against one species.
 type binding struct {
-	dist int // combined forward+reverse edit distance
-	end  int // template position where the forward primer's match ends
-	ok   bool
+	dist  int32 // combined forward+reverse edit distance
+	end   int32 // template position where the forward primer's match ends
+	state uint8
 }
 
 // alignSlack is how many extra template bases beyond the primer length
 // the aligner may consume, accommodating indels.
 const alignSlack = 6
 
-// bind aligns a primer pair against a template.
+// bind aligns a primer pair against a template. Both alignments are
+// banded by the remaining distance budget and allocate nothing.
 func bind(pr Primer, template dna.Seq, maxDist int) binding {
 	fn := len(pr.Fwd) + alignSlack
 	if fn > len(template) {
 		fn = len(template)
 	}
-	dFwd, end := dna.PrefixAlignment(pr.Fwd, template[:fn])
-	if dFwd > maxDist {
-		return binding{}
+	dFwd, end, ok := dna.PrefixAlignmentAtMost(pr.Fwd, template[:fn], maxDist)
+	if !ok {
+		return binding{state: bindNone}
 	}
 	rn := len(pr.Rev) + alignSlack
 	if rn > len(template) {
 		rn = len(template)
 	}
-	dRev := suffixDistance(pr.Rev, template[len(template)-rn:])
-	if dFwd+dRev > maxDist {
-		return binding{}
+	dRev, ok := dna.SuffixAlignmentAtMost(pr.Rev, template[len(template)-rn:], maxDist-dFwd)
+	if !ok {
+		return binding{state: bindNone}
 	}
-	return binding{dist: dFwd + dRev, end: end, ok: true}
+	return binding{dist: int32(dFwd + dRev), end: int32(end), state: bindOK}
 }
 
 // suffixDistance returns the edit distance between pattern and the
-// best-matching suffix of text.
+// best-matching suffix of text (unbounded; used by tests).
 func suffixDistance(pattern, text dna.Seq) int {
-	d, _ := dna.PrefixAlignment(reverse(pattern), reverse(text))
+	d, _ := dna.SuffixAlignmentAtMost(pattern, text, len(pattern)+len(text))
 	return d
 }
 
-func reverse(s dna.Seq) dna.Seq {
-	out := make(dna.Seq, len(s))
-	for i, b := range s {
-		out[len(s)-1-i] = b
-	}
-	return out
+// delta is one unit of per-cycle growth: either additional abundance for
+// an existing species or a new misprimed product.
+type delta struct {
+	species int // existing species receiving growth, or -1
+	seq     dna.Seq
+	meta    pool.Meta
+	amount  float64
 }
 
 // Run executes the reaction on a copy of the input pool and returns the
 // amplified pool. The input pool is not modified.
+//
+// Each cycle has two phases. The scoring phase is pure: it aligns and
+// scores every (species, primer) pair against the frozen cycle-start
+// pool and emits growth deltas; with params.Workers > 1 it fans out
+// across contiguous species chunks whose delta buffers are concatenated
+// in species order, so the emitted sequence is identical to the serial
+// one. The apply phase then mutates the pool serially in that order.
 func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, error) {
 	if err := params.Validate(); err != nil {
 		return nil, Stats{}, err
@@ -193,6 +218,7 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 	if len(primers) == 0 {
 		return nil, Stats{}, fmt.Errorf("pcr: no primers")
 	}
+	maxConc := 0.0
 	for i, pr := range primers {
 		if len(pr.Fwd) == 0 || len(pr.Rev) == 0 {
 			return nil, Stats{}, fmt.Errorf("pcr: primer %d has empty sequence", i)
@@ -200,35 +226,37 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 		if pr.Conc <= 0 {
 			return nil, Stats{}, fmt.Errorf("pcr: primer %d has non-positive concentration", i)
 		}
+		if pr.Conc > maxConc {
+			maxConc = pr.Conc
+		}
 	}
 
 	out := input.Clone()
 	stats := Stats{Cycles: params.Cycles, InitialTotal: out.Total()}
 
-	// Binding cache: species index x primer index. Species are appended,
-	// never removed, so indexes are stable.
-	type cacheKey struct{ species, primer int }
-	cache := make(map[cacheKey]binding)
-	lookup := func(si, pi int, seq dna.Seq) binding {
-		k := cacheKey{si, pi}
-		if b, ok := cache[k]; ok {
-			return b
-		}
-		b := bind(primers[pi], seq, params.MaxBindDist)
-		cache[k] = b
-		return b
-	}
+	// Dense binding cache: species index x primer index, species-major.
+	// Species are appended, never removed, so indexes are stable; the
+	// cache grows with the pool. During the parallel scoring phase each
+	// chunk touches only its own species' rows, so writes never race.
+	np := len(primers)
+	var cache []binding
 
 	// negligible products below this absolute abundance are dropped to
 	// bound the species count.
 	negligible := params.Capacity * 1e-12
+	// maxProb bounds any primer's binding probability; species whose
+	// whole-cycle growth falls below negligible are skipped before any
+	// alignment work. Floating-point multiplication is monotone, so the
+	// bound is exact: a skipped species could never have produced a
+	// non-negligible delta.
+	maxProb := params.Efficiency * maxConc
 
-	type delta struct {
-		species int // existing species receiving growth, or -1
-		seq     dna.Seq
-		meta    pool.Meta
-		amount  float64
+	workers := parallel.Resolve(params.Workers)
+	nchunks := 1
+	if workers > 1 {
+		nchunks = 4 * workers
 	}
+	chunkDeltas := make([][]delta, nchunks)
 
 	for c := 0; c < params.Cycles; c++ {
 		total := out.Total()
@@ -239,43 +267,76 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 		pen := params.penalty(params.annealTemp(c))
 		species := out.Species()
 		n := len(species)
-		var deltas []delta
-		for si := 0; si < n; si++ {
-			s := species[si]
-			if s.Abundance <= 0 {
-				continue
-			}
-			for pi := range primers {
-				b := lookup(si, pi, s.Seq)
-				if !b.ok {
-					continue
-				}
-				prob := params.Efficiency * primers[pi].Conc * math.Exp(-pen*float64(b.dist))
-				amount := s.Abundance * prob * sat
-				if amount < negligible {
-					continue
-				}
-				if b.dist == 0 {
-					deltas = append(deltas, delta{species: si, amount: amount})
-					continue
-				}
-				// Misprime: product carries the primer as its prefix and
-				// the template's remainder (index overwritten, payload
-				// kept).
-				prod := dna.Concat(primers[pi].Fwd, s.Seq[b.end:])
-				meta := s.Meta
-				meta.Misprimed = true
-				deltas = append(deltas, delta{species: -1, seq: prod, meta: meta, amount: amount})
-			}
+		if len(cache) < n*np {
+			cache = append(cache, make([]binding, n*np-len(cache))...)
 		}
-		for _, d := range deltas {
-			if d.species >= 0 {
-				species[d.species].Abundance += d.amount
-			} else {
-				before := out.Len()
-				out.Add(d.seq, d.amount, d.meta)
-				if out.Len() > before {
-					stats.MisprimeSpecies++
+		// score emits the growth deltas of species [lo, hi) in order.
+		score := func(lo, hi int, deltas []delta) []delta {
+			for si := lo; si < hi; si++ {
+				s := species[si]
+				if s.Abundance <= 0 {
+					continue
+				}
+				if s.Abundance*maxProb*sat < negligible {
+					continue
+				}
+				row := cache[si*np : (si+1)*np]
+				for pi := range primers {
+					b := &row[pi]
+					if b.state == bindUnknown {
+						*b = bind(primers[pi], s.Seq, params.MaxBindDist)
+					}
+					if b.state == bindNone {
+						continue
+					}
+					prob := params.Efficiency * primers[pi].Conc * math.Exp(-pen*float64(b.dist))
+					amount := s.Abundance * prob * sat
+					if amount < negligible {
+						continue
+					}
+					if b.dist == 0 {
+						deltas = append(deltas, delta{species: si, amount: amount})
+						continue
+					}
+					// Misprime: product carries the primer as its prefix
+					// and the template's remainder (index overwritten,
+					// payload kept).
+					prod := dna.Concat(primers[pi].Fwd, s.Seq[b.end:])
+					meta := s.Meta
+					meta.Misprimed = true
+					deltas = append(deltas, delta{species: -1, seq: prod, meta: meta, amount: amount})
+				}
+			}
+			return deltas
+		}
+		chunk := (n + nchunks - 1) / nchunks
+		if chunk < 1 {
+			chunk = 1
+		}
+		parallel.Run(workers, nchunks, func(ci int) error {
+			lo := ci * chunk
+			if lo > n {
+				lo = n
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			chunkDeltas[ci] = score(lo, hi, chunkDeltas[ci][:0])
+			return nil
+		})
+		// Apply phase: serial, in species order (chunks are contiguous
+		// and ordered), identical to the historical single-loop apply.
+		for _, deltas := range chunkDeltas {
+			for _, d := range deltas {
+				if d.species >= 0 {
+					species[d.species].Abundance += d.amount
+				} else {
+					before := out.Len()
+					out.Add(d.seq, d.amount, d.meta)
+					if out.Len() > before {
+						stats.MisprimeSpecies++
+					}
 				}
 			}
 		}

@@ -1,6 +1,8 @@
 package pcr
 
 import (
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -333,6 +335,102 @@ func BenchmarkRunSmallPool(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Run(p, primers, pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// buildPool fabricates a pool of n distinct strands with varied indexes.
+func buildPool(n int) *pool.Pool {
+	bases := "ACGT"
+	p := pool.New()
+	for i := 0; i < n; i++ {
+		idx := make([]byte, 10)
+		v := i
+		for j := range idx {
+			idx[j] = bases[v&3]
+			v >>= 2
+		}
+		p.Add(strand(string(idx), uint64(i)), 100+float64(i%7), pool.Meta{Block: i, OriginBlock: i})
+	}
+	return p
+}
+
+// poolFingerprint captures species order, sequences and exact abundance
+// bits for byte-identity comparisons.
+func poolFingerprint(p *pool.Pool) []string {
+	out := make([]string, 0, p.Len())
+	for _, s := range p.Species() {
+		out = append(out, s.Seq.String()+"|"+strconv.FormatUint(math.Float64bits(s.Abundance), 16))
+	}
+	return out
+}
+
+// TestRunWorkersDeterministic pins the tentpole contract: the amplified
+// pool is byte-identical (species order, sequences, abundance bits) at
+// any worker count.
+func TestRunWorkersDeterministic(t *testing.T) {
+	input := buildPool(64)
+	pr := []Primer{
+		{Fwd: elongated("ACGTACGTAC"), Rev: revP, Conc: 1},
+		{Fwd: fwdP, Rev: revP, Conc: 0.02},
+	}
+	base := params(64 * 100 * 40)
+	var want []string
+	var wantStats Stats
+	for _, workers := range []int{0, 1, 2, 3, 8, -1} {
+		ps := base
+		ps.Workers = workers
+		out, stats, err := Run(input, pr, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := poolFingerprint(out)
+		if want == nil {
+			want, wantStats = got, stats
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d species, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d species %d = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+		if stats != wantStats {
+			t.Fatalf("workers=%d stats %+v, want %+v", workers, stats, wantStats)
+		}
+	}
+}
+
+// TestBindAllocs pins the zero-allocation property of the banded
+// binding alignment, the innermost loop of every reaction.
+func TestBindAllocs(t *testing.T) {
+	tmpl := strand("ACGTACGTAC", 3)
+	pr := Primer{Fwd: elongated("ACGTACGTAC"), Rev: revP, Conc: 1}
+	far := Primer{Fwd: elongated("TTTTTTTTTT"), Rev: revP, Conc: 1}
+	if avg := testing.AllocsPerRun(200, func() { bind(pr, tmpl, 5) }); avg != 0 {
+		t.Errorf("bind (match) allocates %.1f times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { bind(far, tmpl, 5) }); avg != 0 {
+		t.Errorf("bind (reject) allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// BenchmarkPCRRun measures a full reaction over a mid-size pool, the
+// unit of work of every simulated wet access.
+func BenchmarkPCRRun(b *testing.B) {
+	input := buildPool(256)
+	pr := []Primer{
+		{Fwd: elongated("ACGTACGTAC"), Rev: revP, Conc: 1},
+		{Fwd: fwdP, Rev: revP, Conc: 0.02},
+	}
+	ps := params(256 * 100 * 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(input, pr, ps); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,7 @@ package pool
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 
 	"dnastore/internal/dna"
@@ -47,6 +48,7 @@ type Species struct {
 type Pool struct {
 	species []*Species
 	byKey   map[string]int
+	keyBuf  []byte // reusable scratch for packed lookup keys
 }
 
 // New returns an empty pool.
@@ -58,29 +60,44 @@ func (p *Pool) init() {
 	}
 }
 
-func key(seq dna.Seq) string {
-	b := make([]byte, len(seq))
-	for i, v := range seq {
-		b[i] = byte(v)
+// appendKey packs seq into buf as a map key: four 2-bit bases per byte
+// plus a trailing len%4 marker. Two distinct sequences never collide:
+// equal keys force equal packed lengths and equal length-mod-4, hence
+// equal base counts, hence equal bases. The packed form is 4x shorter
+// to hash than the byte-per-base encoding it replaces.
+func appendKey(buf []byte, seq dna.Seq) []byte {
+	var acc byte
+	nb := 0
+	for _, b := range seq {
+		acc = acc<<2 | byte(b)
+		nb++
+		if nb == 4 {
+			buf = append(buf, acc)
+			acc, nb = 0, 0
+		}
 	}
-	return string(b)
+	if nb > 0 {
+		buf = append(buf, acc)
+	}
+	return append(buf, byte(len(seq)&3))
 }
 
 // Add inserts abundance copies of seq with the given provenance. If an
 // identical sequence already exists its abundance grows; the original
 // metadata is retained (first writer wins), matching physical identity of
-// molecules with the same sequence.
+// molecules with the same sequence. The packed-key probe allocates only
+// when the sequence is new to the pool.
 func (p *Pool) Add(seq dna.Seq, abundance float64, meta Meta) {
 	if abundance <= 0 {
 		return
 	}
 	p.init()
-	k := key(seq)
-	if i, ok := p.byKey[k]; ok {
+	p.keyBuf = appendKey(p.keyBuf[:0], seq)
+	if i, ok := p.byKey[string(p.keyBuf)]; ok { // no-copy map probe
 		p.species[i].Abundance += abundance
 		return
 	}
-	p.byKey[k] = len(p.species)
+	p.byKey[string(p.keyBuf)] = len(p.species)
 	p.species = append(p.species, &Species{Seq: seq.Clone(), Abundance: abundance, Meta: meta})
 }
 
@@ -111,11 +128,22 @@ func (p *Pool) Scale(factor float64) {
 	}
 }
 
-// Clone returns a deep copy of the pool.
+// Clone returns a deep copy of the pool's species records without
+// re-hashing any key. Sequences are shared with the original: they are
+// immutable under the Species contract (callers must not mutate pool
+// entries), and every mutating pool operation touches abundances and
+// metadata only.
 func (p *Pool) Clone() *Pool {
-	out := New()
-	for _, s := range p.species {
-		out.Add(s.Seq, s.Abundance, s.Meta)
+	out := &Pool{
+		species: make([]*Species, len(p.species)),
+		byKey:   maps.Clone(p.byKey),
+	}
+	for i, s := range p.species {
+		cp := *s
+		out.species[i] = &cp
+	}
+	if out.byKey == nil {
+		out.byKey = make(map[string]int)
 	}
 	return out
 }
@@ -156,9 +184,11 @@ func (p *Pool) AbundanceByBlock(partition string) map[int]float64 {
 }
 
 // TopSpecies returns the n most abundant species, most abundant first.
+// The sort is stable, so equal-abundance species keep their pool
+// insertion order and experiment output is deterministic.
 func (p *Pool) TopSpecies(n int) []*Species {
 	cp := append([]*Species(nil), p.species...)
-	sort.Slice(cp, func(i, j int) bool { return cp[i].Abundance > cp[j].Abundance })
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Abundance > cp[j].Abundance })
 	if n > len(cp) {
 		n = len(cp)
 	}

@@ -165,3 +165,96 @@ func TestVendorConcentrationGap(t *testing.T) {
 		t.Errorf("vendor concentration gap %v, want ~50000x", gap)
 	}
 }
+
+// TestAddAllocsOnExisting pins the packed-key fast path: growing the
+// abundance of a known sequence allocates nothing.
+func TestAddAllocsOnExisting(t *testing.T) {
+	p := New()
+	seq := dna.MustFromString("ACGTACGTACGTACGTACGTACGTACGTACG")
+	p.Add(seq, 1, Meta{})
+	if avg := testing.AllocsPerRun(200, func() { p.Add(seq, 1, Meta{}) }); avg != 0 {
+		t.Errorf("Add on existing species allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestPackedKeysDistinguishLengths guards the packed-key encoding: a
+// sequence and its A-padded extension must stay distinct species even
+// though A packs as zero bits.
+func TestPackedKeysDistinguishLengths(t *testing.T) {
+	p := New()
+	for _, s := range []string{"", "A", "AA", "AAA", "AAAA", "AAAAA", "C", "CA", "CAA", "CAAA", "CAAAA"} {
+		if s == "" {
+			continue
+		}
+		p.Add(dna.MustFromString(s), 1, Meta{})
+	}
+	if p.Len() != 10 {
+		t.Fatalf("A-padding collision: %d species, want 10", p.Len())
+	}
+	for i, s := range p.Species() {
+		if s.Abundance != 1 {
+			t.Errorf("species %d abundance %v, want 1", i, s.Abundance)
+		}
+	}
+}
+
+// TestCloneIndependence verifies the direct copy path: clones share no
+// mutable state with the original.
+func TestCloneIndependence(t *testing.T) {
+	p := New()
+	a := dna.MustFromString("ACGTACGT")
+	b := dna.MustFromString("TTTTACGT")
+	p.Add(a, 5, Meta{Block: 1})
+	p.Add(b, 7, Meta{Block: 2})
+	c := p.Clone()
+	c.Add(a, 3, Meta{})                          // grow existing in clone
+	c.Add(dna.MustFromString("GGGG"), 2, Meta{}) // new species in clone
+	p.Scale(10)                                  // mutate original
+	if got := c.Species()[0].Abundance; got != 8 {
+		t.Errorf("clone abundance %v, want 8", got)
+	}
+	if got := p.Species()[0].Abundance; got != 50 {
+		t.Errorf("original abundance %v, want 50", got)
+	}
+	if p.Len() != 2 || c.Len() != 3 {
+		t.Errorf("len original %d clone %d, want 2 and 3", p.Len(), c.Len())
+	}
+}
+
+// TestTopSpeciesStableOrder pins the satellite fix: equal-abundance
+// species keep insertion order.
+func TestTopSpeciesStableOrder(t *testing.T) {
+	p := New()
+	seqs := []string{"AAAA", "CCCC", "GGGG", "TTTT", "ACGT"}
+	for _, s := range seqs {
+		p.Add(dna.MustFromString(s), 5, Meta{})
+	}
+	p.Add(dna.MustFromString("AGGA"), 9, Meta{})
+	top := p.TopSpecies(6)
+	if top[0].Seq.String() != "AGGA" {
+		t.Fatalf("top species %v, want AGGA", top[0].Seq)
+	}
+	for i, s := range seqs {
+		if got := top[i+1].Seq.String(); got != s {
+			t.Errorf("rank %d = %s, want %s (stable insertion order)", i+1, got, s)
+		}
+	}
+}
+
+func BenchmarkPoolAdd(b *testing.B) {
+	r := rng.New(5)
+	seqs := make([]dna.Seq, 512)
+	for i := range seqs {
+		s := make(dna.Seq, 150)
+		for j := range s {
+			s[j] = dna.Base(r.Intn(4))
+		}
+		seqs[i] = s
+	}
+	p := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Add(seqs[i%len(seqs)], 1, Meta{})
+	}
+}

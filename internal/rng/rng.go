@@ -36,8 +36,16 @@ func splitmix64(state *uint64) uint64 {
 // New returns a Source seeded from the given 64-bit seed. Two Sources
 // constructed with the same seed produce identical streams.
 func New(seed uint64) *Source {
+	s := NewState(seed)
+	return &s
+}
+
+// NewState is New returning the Source by value, for hot paths that
+// want a stack-allocated short-lived generator. The stream is identical
+// to New's for the same seed.
+func NewState(seed uint64) Source {
 	var sm = seed
-	s := &Source{}
+	var s Source
 	s.s0 = splitmix64(&sm)
 	s.s1 = splitmix64(&sm)
 	s.s2 = splitmix64(&sm)

@@ -36,10 +36,40 @@ type Profile struct {
 // IlluminaProfile returns the default Illumina-like error profile.
 func IlluminaProfile() Profile { return Profile{Rates: channel.Illumina()} }
 
+// Sampler draws reads under a profile whose rates were validated once
+// at construction, keeping validation out of per-reaction hot paths. A
+// Sampler is immutable and safe for concurrent use.
+type Sampler struct {
+	prof Profile
+}
+
+// NewSampler validates the profile and returns a Sampler for it.
+func NewSampler(prof Profile) (*Sampler, error) {
+	if err := prof.Rates.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sampler{prof: prof}, nil
+}
+
 // Sample draws n reads from the pool, each species chosen with
 // probability proportional to its abundance, and corrupts each read
 // through the IDS channel.
+func (sm *Sampler) Sample(r *rng.Source, p *pool.Pool, n int) ([]Read, error) {
+	return sample(r, p, n, sm.prof)
+}
+
+// Sample draws n reads from the pool, each species chosen with
+// probability proportional to its abundance, and corrupts each read
+// through the IDS channel. The profile is validated on every call; use
+// a Sampler where the profile is fixed across many reactions.
 func Sample(r *rng.Source, p *pool.Pool, n int, prof Profile) ([]Read, error) {
+	if err := prof.Rates.Validate(); err != nil {
+		return nil, err
+	}
+	return sample(r, p, n, prof)
+}
+
+func sample(r *rng.Source, p *pool.Pool, n int, prof Profile) ([]Read, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("seqsim: negative read count %d", n)
 	}
@@ -47,15 +77,20 @@ func Sample(r *rng.Source, p *pool.Pool, n int, prof Profile) ([]Read, error) {
 	if len(species) == 0 {
 		return nil, fmt.Errorf("seqsim: empty pool")
 	}
-	if err := prof.Rates.Validate(); err != nil {
-		return nil, err
-	}
-	// Cumulative abundance for weighted sampling.
-	cum := make([]float64, len(species))
+	// Cumulative abundance over the positive-abundance species only,
+	// built once per call: zero-abundance records (diluted-away or
+	// fully consumed species) cannot be drawn, so they are dropped from
+	// the table rather than carried as dead binary-search entries.
+	cum := make([]float64, 0, len(species))
+	idx := make([]int32, 0, len(species))
 	total := 0.0
 	for i, s := range species {
+		if s.Abundance <= 0 {
+			continue
+		}
 		total += s.Abundance
-		cum[i] = total
+		cum = append(cum, total)
+		idx = append(idx, int32(i))
 	}
 	if total <= 0 {
 		return nil, fmt.Errorf("seqsim: pool has zero total abundance")
@@ -63,11 +98,11 @@ func Sample(r *rng.Source, p *pool.Pool, n int, prof Profile) ([]Read, error) {
 	reads := make([]Read, 0, n)
 	for i := 0; i < n; i++ {
 		x := r.Float64() * total
-		idx := sort.SearchFloat64s(cum, x)
-		if idx >= len(species) {
-			idx = len(species) - 1
+		pos := sort.SearchFloat64s(cum, x)
+		if pos >= len(cum) {
+			pos = len(cum) - 1
 		}
-		s := species[idx]
+		s := species[idx[pos]]
 		reads = append(reads, Read{
 			Seq:  channel.Corrupt(r, s.Seq, prof.Rates),
 			Meta: s.Meta,

@@ -168,3 +168,116 @@ func BenchmarkSample50k(b *testing.B) {
 		}
 	}
 }
+
+// TestSamplerMatchesSample pins that the pre-validated Sampler draws
+// the exact stream of the package-level Sample.
+func TestSamplerMatchesSample(t *testing.T) {
+	p := buildPool()
+	prof := IlluminaProfile()
+	sm, err := NewSampler(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Sample(rng.New(77), p, 500, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sm.Sample(rng.New(77), p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Seq.Equal(b[i].Seq) || a[i].Meta != b[i].Meta {
+			t.Fatalf("read %d differs between Sample and Sampler", i)
+		}
+	}
+}
+
+// TestNewSamplerValidates pins the hoisted validation.
+func TestNewSamplerValidates(t *testing.T) {
+	if _, err := NewSampler(Profile{Rates: channel.Rates{Sub: -1}}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+// TestSampleSkipsZeroAbundance verifies the cumulative table drops
+// zero-abundance species: no read may come from one.
+func TestSampleSkipsZeroAbundance(t *testing.T) {
+	p := pool.New()
+	p.Add(dna.MustFromString("AAAACCCCGGGGTTTT"), 10, pool.Meta{Block: 0})
+	p.Add(dna.MustFromString("TTTTGGGGCCCCAAAA"), 5, pool.Meta{Block: 1})
+	p.Scale(1) // no-op; keep both positive first
+	reads, err := Sample(rng.New(3), p, 200, Profile{Rates: channel.Noiseless()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := map[int]bool{}
+	for _, r := range reads {
+		saw[r.Meta.Block] = true
+	}
+	if !saw[0] || !saw[1] {
+		t.Fatal("expected both species in the noiseless sample")
+	}
+	// Zero one species out; only the other may appear.
+	p.Species()[0].Abundance = 0
+	reads, err = Sample(rng.New(4), p, 200, Profile{Rates: channel.Noiseless()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reads {
+		if r.Meta.Block != 1 {
+			t.Fatalf("read %d drawn from zero-abundance species (block %d)", i, r.Meta.Block)
+		}
+	}
+}
+
+// TestSampleAllocs bounds Sample's allocations: the read slice, the two
+// sampling tables, and one sequence per read — nothing per-base or
+// per-species beyond the tables.
+func TestSampleAllocs(t *testing.T) {
+	p := buildPool()
+	r := rng.New(11)
+	sm, err := NewSampler(IlluminaProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := sm.Sample(r, p, n); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// n read sequences + reads slice + cum + idx, with a little slack
+	// for the occasional append growth inside Corrupt.
+	if limit := float64(n) + 8; avg > limit {
+		t.Errorf("Sample allocates %.1f times per call, want <= %.0f", avg, limit)
+	}
+}
+
+// BenchmarkSample is the satellite micro-benchmark: 50k reads off a
+// large pool through the validated Sampler.
+func BenchmarkSample(b *testing.B) {
+	r := rng.New(21)
+	p := pool.New()
+	for i := 0; i < 2000; i++ {
+		s := make(dna.Seq, 150)
+		for j := range s {
+			s[j] = dna.Base(r.Intn(4))
+		}
+		p.Add(s, 50+float64(i%13), pool.Meta{Block: i})
+	}
+	sm, err := NewSampler(IlluminaProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.Sample(r, p, 50000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,14 +10,27 @@ type colVotes struct {
 	del int    // votes to delete this draft position
 }
 
+// refineScratch holds the vote tables and banded-DP buffers that
+// refinement reuses across reads and rounds. One Refine call allocates
+// a single scratch; alignVote itself allocates nothing once the
+// buffers have grown to the working size.
+type refineScratch struct {
+	cols    []colVotes
+	ins     [][4]int
+	prevRow []int16 // banded DP rows, padded with one sentinel per side
+	curRow  []int16
+	dir     []int8 // traceback directions, (m+1) x width
+}
+
 // Refine polishes a draft consensus by realigning every read against it
 // and re-voting position by position, including insertion and deletion
 // votes — the iterative refinement step used by practical DNA-storage
 // pipelines on high-error channels, where one BMA pass leaves systematic
 // mid-strand errors. rounds of 1-2 are typically sufficient.
 func Refine(reads []dna.Seq, draft dna.Seq, rounds int) dna.Seq {
+	var sc refineScratch
 	for r := 0; r < rounds; r++ {
-		next := refineOnce(reads, draft)
+		next := refineOnce(reads, draft, &sc)
 		if next.Equal(draft) {
 			break
 		}
@@ -31,17 +44,25 @@ const refineBand = 20
 
 // refineOnce realigns all reads to the draft and rebuilds it from the
 // per-position votes.
-func refineOnce(reads []dna.Seq, draft dna.Seq) dna.Seq {
+func refineOnce(reads []dna.Seq, draft dna.Seq, sc *refineScratch) dna.Seq {
 	n := len(draft)
 	if n == 0 || len(reads) == 0 {
 		return draft
 	}
-	cols := make([]colVotes, n)
+	if cap(sc.cols) < n {
+		sc.cols = make([]colVotes, n)
+	}
+	cols := sc.cols[:n]
+	clear(cols)
+	if cap(sc.ins) < n+1 {
+		sc.ins = make([][4]int, n+1)
+	}
 	// ins[j][b] counts insertions of base b before draft position j.
-	ins := make([][4]int, n+1)
+	ins := sc.ins[:n+1]
+	clear(ins)
 	voters := 0
 	for _, read := range reads {
-		if alignVote(read, draft, cols, ins) {
+		if alignVote(read, draft, cols, ins, sc) {
 			voters++
 		}
 	}
@@ -84,10 +105,21 @@ func refineOnce(reads []dna.Seq, draft dna.Seq) dna.Seq {
 	return out
 }
 
+// probeBand is the narrow first-stage alignment band. A banded global
+// alignment whose total cost c satisfies c <= band is exactly the
+// unrestricted optimum: every cell (i, j) on an optimal path costs at
+// least |i-j|, so the path never leaves the band, and any out-of-band
+// candidate consulted during the traceback costs more than c and loses
+// in both the narrow and the wide DP. Reads at sequencing error rates
+// align at cost ~1-3, so most calls never touch the wide band.
+const probeBand = 8
+
 // alignVote computes a banded global alignment of read against draft and
 // adds the read's votes along the traceback path. Returns false when the
-// read's length is too far from the draft for the band.
-func alignVote(read, draft dna.Seq, cols []colVotes, ins [][4]int) bool {
+// read cannot be aligned within refineBand. The result (including the
+// traceback path) is identical to a single refineBand-wide alignment;
+// the probe stage only changes the cost of getting it.
+func alignVote(read, draft dna.Seq, cols []colVotes, ins [][4]int, sc *refineScratch) bool {
 	m, n := len(read), len(draft)
 	if m == 0 {
 		return false
@@ -96,29 +128,52 @@ func alignVote(read, draft dna.Seq, cols []colVotes, ins [][4]int) bool {
 	if diff < -refineBand || diff > refineBand {
 		return false
 	}
-	// DP over (i = read pos, j = draft pos) within |i-j| <= band.
-	// Encode the matrix with rows i and banded columns.
-	band := refineBand
-	width := 2*band + 1
-	const inf = int16(30000)
-	dp := make([]int16, (m+1)*width)
-	dir := make([]int8, (m+1)*width) // 0 diag, 1 up(ins in read), 2 left(del in read)
-	at := func(i, j int) int { return i*width + (j - i + band) }
-	inBand := func(i, j int) bool { d := j - i; return d >= -band && d <= band }
-	for i := 0; i <= m; i++ {
-		for d := 0; d < width; d++ {
-			dp[i*width+d] = inf
+	if diff >= -probeBand && diff <= probeBand {
+		if cost, ok := alignBand(read, draft, sc, probeBand); ok && cost <= probeBand {
+			traceVote(read, draft, cols, ins, sc, probeBand)
+			return true
 		}
 	}
-	dp[at(0, 0)] = 0
+	if _, ok := alignBand(read, draft, sc, refineBand); !ok {
+		return false
+	}
+	traceVote(read, draft, cols, ins, sc, refineBand)
+	return true
+}
+
+// alignBand runs the forward banded DP, filling sc.dir (stride
+// 2*band+1), and returns the alignment cost of (m, n). The two DP rows
+// are padded with one sentinel cell per side (indices shift by +1) so
+// the off-1 / off+1 neighbor reads stay in bounds.
+func alignBand(read, draft dna.Seq, sc *refineScratch, band int) (int16, bool) {
+	m, n := len(read), len(draft)
+	width := 2*band + 1
+	const inf = int16(30000)
+	if cap(sc.prevRow) < width+2 {
+		sc.prevRow = make([]int16, width+2)
+		sc.curRow = make([]int16, width+2)
+	}
+	prev, cur := sc.prevRow[:width+2], sc.curRow[:width+2]
+	if cap(sc.dir) < (m+1)*width {
+		sc.dir = make([]int8, (m+1)*width)
+	}
+	dir := sc.dir[:(m+1)*width] // 0 diag, 1 up (ins in read), 2 left (del in read)
+	for x := range prev {
+		prev[x] = inf
+	}
+	// Row 0: cell (0, j) = j for j <= band.
+	prev[band+1] = 0
 	for j := 1; j <= n && j <= band; j++ {
-		dp[at(0, j)] = int16(j)
-		dir[at(0, j)] = 2
+		prev[j+band+1] = int16(j)
+		dir[j+band] = 2
 	}
 	for i := 1; i <= m; i++ {
-		if inBand(i, 0) {
-			dp[at(i, 0)] = int16(i)
-			dir[at(i, 0)] = 1
+		for x := range cur {
+			cur[x] = inf
+		}
+		if i <= band {
+			cur[band-i+1] = int16(i) // cell (i, 0) = i
+			dir[i*width+band-i] = 1
 		}
 		lo := i - band
 		if lo < 1 {
@@ -128,49 +183,54 @@ func alignVote(read, draft dna.Seq, cols []colVotes, ins [][4]int) bool {
 		if hi > n {
 			hi = n
 		}
+		dbase := i * width
 		for j := lo; j <= hi; j++ {
-			best := int16(inf)
+			off := j - i + band
+			best := inf
 			var bd int8
-			// diag
-			if inBand(i-1, j-1) && dp[at(i-1, j-1)] < inf {
+			if v := prev[off+1]; v < inf { // diag: cell (i-1, j-1)
 				cost := int16(1)
 				if read[i-1] == draft[j-1] {
 					cost = 0
 				}
-				if v := dp[at(i-1, j-1)] + cost; v < best {
-					best, bd = v, 0
+				if v+cost < best {
+					best, bd = v+cost, 0
 				}
 			}
-			// up: consume read base (insertion relative to draft)
-			if inBand(i-1, j) && dp[at(i-1, j)] < inf {
-				if v := dp[at(i-1, j)] + 1; v < best {
-					best, bd = v, 1
+			if v := prev[off+2]; v < inf { // up: cell (i-1, j)
+				if v+1 < best {
+					best, bd = v+1, 1
 				}
 			}
-			// left: consume draft base (deletion in read)
-			if inBand(i, j-1) && dp[at(i, j-1)] < inf {
-				if v := dp[at(i, j-1)] + 1; v < best {
-					best, bd = v, 2
+			if v := cur[off]; v < inf { // left: cell (i, j-1)
+				if v+1 < best {
+					best, bd = v+1, 2
 				}
 			}
 			if best < inf {
-				dp[at(i, j)] = best
-				dir[at(i, j)] = bd
+				cur[off+1] = best
+				dir[dbase+off] = bd
 			}
 		}
+		prev, cur = cur, prev
 	}
-	if !inBand(m, n) || dp[at(m, n)] >= inf {
-		return false
-	}
-	// Traceback, voting along the way.
+	cost := prev[n-m+band+1]
+	return cost, cost < inf
+}
+
+// traceVote walks sc.dir back from (m, n) and adds the read's votes.
+func traceVote(read, draft dna.Seq, cols []colVotes, ins [][4]int, sc *refineScratch, band int) {
+	m, n := len(read), len(draft)
+	width := 2*band + 1
+	dir := sc.dir
 	i, j := m, n
 	for i > 0 || j > 0 {
 		switch {
-		case i > 0 && j > 0 && dir[at(i, j)] == 0:
+		case i > 0 && j > 0 && dir[i*width+j-i+band] == 0:
 			cols[j-1].sub[read[i-1]]++
 			i--
 			j--
-		case i > 0 && dir[at(i, j)] == 1:
+		case i > 0 && dir[i*width+j-i+band] == 1:
 			ins[j][read[i-1]]++
 			i--
 		default:
@@ -178,5 +238,4 @@ func alignVote(read, draft dna.Seq, cols []colVotes, ins [][4]int) bool {
 			j--
 		}
 	}
-	return true
 }

@@ -26,6 +26,13 @@ var ErrNoReads = errors.New("trace: no reads to reconstruct from")
 // contain an insertion (next symbol matches the winner), or appears to
 // have dropped the winner (deletion).
 func BMA(reads []dna.Seq, length int) (dna.Seq, error) {
+	return bma(reads, length, false)
+}
+
+// bma is the BMA core. With backward set, every read is consumed
+// right-to-left without materializing reversed copies, and the returned
+// consensus is that of the reversed strand.
+func bma(reads []dna.Seq, length int, backward bool) (dna.Seq, error) {
 	if len(reads) == 0 {
 		return nil, ErrNoReads
 	}
@@ -35,12 +42,19 @@ func BMA(reads []dna.Seq, length int) (dna.Seq, error) {
 	cursors := make([]int, len(reads))
 	stalls := make([]int, len(reads))
 	out := make(dna.Seq, 0, length)
+	// at reads the cursor-th symbol in traversal order.
+	at := func(r dna.Seq, c int) dna.Base {
+		if backward {
+			return r[len(r)-1-c]
+		}
+		return r[c]
+	}
 	for pos := 0; pos < length; pos++ {
 		var votes [4]int
 		voters := 0
 		for i, r := range reads {
 			if cursors[i] < len(r) {
-				votes[r[cursors[i]]]++
+				votes[at(r, cursors[i])]++
 				voters++
 			}
 		}
@@ -64,10 +78,10 @@ func BMA(reads []dna.Seq, length int) (dna.Seq, error) {
 			switch {
 			case c >= len(r):
 				// exhausted
-			case r[c] == winner:
+			case at(r, c) == winner:
 				cursors[i] = c + 1
 				stalls[i] = 0
-			case c+1 < len(r) && r[c+1] == winner:
+			case c+1 < len(r) && at(r, c+1) == winner:
 				// The read has one extra symbol: insertion before the
 				// winner. Skip both.
 				cursors[i] = c + 2
@@ -86,15 +100,6 @@ func BMA(reads []dna.Seq, length int) (dna.Seq, error) {
 		}
 	}
 	return out, nil
-}
-
-// reverseSeq returns a reversed copy (no complementing).
-func reverseSeq(s dna.Seq) dna.Seq {
-	out := make(dna.Seq, len(s))
-	for i, b := range s {
-		out[len(s)-1-i] = b
-	}
-	return out
 }
 
 // Ensemble reconstructs a strand by splitting the cluster into groups,
@@ -142,19 +147,19 @@ func Ensemble(reads []dna.Seq, length, groups int) (dna.Seq, error) {
 // half from a backward pass over reversed reads, confining cursor-drift
 // errors to the middle of the strand.
 func DoubleSided(reads []dna.Seq, length int) (dna.Seq, error) {
-	forward, err := BMA(reads, length)
+	forward, err := bma(reads, length, false)
 	if err != nil {
 		return nil, err
 	}
-	reversed := make([]dna.Seq, len(reads))
-	for i, r := range reads {
-		reversed[i] = reverseSeq(r)
-	}
-	backRev, err := BMA(reversed, length)
+	// The backward pass walks the reads right-to-left in place; only its
+	// output needs reversing.
+	backward, err := bma(reads, length, true)
 	if err != nil {
 		return nil, err
 	}
-	backward := reverseSeq(backRev)
+	for i, j := 0, len(backward)-1; i < j; i, j = i+1, j-1 {
+		backward[i], backward[j] = backward[j], backward[i]
+	}
 	out := make(dna.Seq, length)
 	half := length / 2
 	copy(out[:half], forward[:half])
