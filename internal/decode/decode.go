@@ -74,8 +74,8 @@ type Pipeline struct {
 	unit    *layout.UnitCodec
 	tree    *indextree.Tree
 	rand    *codec.Randomizer
-	fwd     dna.Seq
-	rev     dna.Seq
+	fwdPat  *dna.Pattern // primers compiled once; the filter only streams reads
+	revPat  *dna.Pattern
 	workers int
 }
 
@@ -105,8 +105,8 @@ func New(cfg Config, tree *indextree.Tree, fwd, rev dna.Seq, rand *codec.Randomi
 		unit:    unit,
 		tree:    tree,
 		rand:    rand,
-		fwd:     fwd.Clone(),
-		rev:     rev.Clone(),
+		fwdPat:  dna.CompilePattern(fwd),
+		revPat:  dna.CompilePattern(rev),
 		workers: parallel.Resolve(cfg.Workers),
 	}, nil
 }
@@ -124,11 +124,11 @@ func (p *Pipeline) keep(read dna.Seq) bool {
 	if len(read) < p.cfg.Geometry.StrandLen/2 {
 		return false
 	}
-	fwdEnd, d := dna.FindApprox(p.fwd, read, p.cfg.MaxPrimerDist)
+	fwdEnd, d := p.fwdPat.FindApprox(read, p.cfg.MaxPrimerDist)
 	if fwdEnd < 0 || d > p.cfg.MaxPrimerDist {
 		return false
 	}
-	revEnd, d2 := dna.FindApproxRight(p.rev, read, p.cfg.MaxPrimerDist)
+	revEnd, d2 := p.revPat.FindApproxRight(read, p.cfg.MaxPrimerDist)
 	if revEnd < 0 || d2 > p.cfg.MaxPrimerDist {
 		return false
 	}

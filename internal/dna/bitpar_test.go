@@ -1,0 +1,313 @@
+package dna
+
+import (
+	"testing"
+
+	"dnastore/internal/rng"
+)
+
+// mutatePair builds a text related to pattern by nEdits random edits,
+// or an unrelated random text, exercising both accept and reject paths.
+func mutatePair(r *rng.Source, maxLen int) (pattern, text Seq) {
+	pattern = randomSeq(r, 1+r.Intn(maxLen))
+	if r.Bool() {
+		text = mutate(r, pattern, r.Intn(8))
+	} else {
+		text = randomSeq(r, r.Intn(maxLen+8))
+	}
+	return pattern, text
+}
+
+// TestDistanceAtMostMatchesExact pins the word and blocked distance
+// kernels (both via compiled Patterns and the package entry point)
+// against the full O(mn) reference across random lengths and budgets,
+// including the word/blocked boundary and the multi-block regime.
+func TestDistanceAtMostMatchesExact(t *testing.T) {
+	r := rng.New(51)
+	budgets := []int{0, 1, 2, 3, 6, 8, 13, 20, 40, 70}
+	for _, maxLen := range []int{10, 63, 64, 65, 100, 150, 200, 300} {
+		for i := 0; i < 150; i++ {
+			a, b := mutatePair(r, maxLen)
+			want := Levenshtein(a, b)
+			pat := CompilePattern(a)
+			for _, k := range budgets {
+				d, ok := pat.DistanceAtMost(b, k)
+				if ok != (want <= k) || (ok && d != want) {
+					t.Fatalf("Pattern(len %d).DistanceAtMost(len %d, %d) = (%d, %v), exact %d",
+						len(a), len(b), k, d, ok, want)
+				}
+				if got := LevenshteinAtMost(a, b, k); got != (want <= k) {
+					t.Fatalf("LevenshteinAtMost(len %d, len %d, %d) = %v, exact %d",
+						len(a), len(b), k, got, want)
+				}
+				if got := BandedLevenshteinAtMost(a, b, k); got != (want <= k) {
+					t.Fatalf("BandedLevenshteinAtMost(len %d, len %d, %d) = %v, exact %d",
+						len(a), len(b), k, got, want)
+				}
+			}
+			if got := pat.Distance(b); got != want {
+				t.Fatalf("Pattern.Distance = %d, exact %d", got, want)
+			}
+		}
+	}
+}
+
+// TestPatternFindMatchesBanded pins the word search kernels against the
+// banded reference (itself pinned against the naive Sellers DP in
+// distance_test.go), including end-position tie-breaking.
+func TestPatternFindMatchesBanded(t *testing.T) {
+	r := rng.New(52)
+	for i := 0; i < 500; i++ {
+		pattern := randomSeq(r, 1+r.Intn(64))
+		var text Seq
+		if r.Bool() {
+			text = Concat(randomSeq(r, r.Intn(40)), mutate(r, pattern, r.Intn(5)), randomSeq(r, r.Intn(40)))
+		} else {
+			text = randomSeq(r, r.Intn(120))
+		}
+		pat := CompilePattern(pattern)
+		for _, k := range []int{0, 1, 2, 3, 5, 9} {
+			wantEnd, wantDist := BandedFindApprox(pattern, text, k)
+			gotEnd, gotDist := pat.FindApprox(text, k)
+			if gotEnd != wantEnd || gotDist != wantDist {
+				t.Fatalf("FindApprox(len %d, len %d, %d) = (%d, %d), banded (%d, %d)",
+					len(pattern), len(text), k, gotEnd, gotDist, wantEnd, wantDist)
+			}
+			wantEnd, wantDist = BandedFindApproxRight(pattern, text, k)
+			gotEnd, gotDist = pat.FindApproxRight(text, k)
+			if gotEnd != wantEnd || gotDist != wantDist {
+				t.Fatalf("FindApproxRight(len %d, len %d, %d) = (%d, %d), banded (%d, %d)",
+					len(pattern), len(text), k, gotEnd, gotDist, wantEnd, wantDist)
+			}
+		}
+	}
+}
+
+// TestPatternPrefixSuffixMatchesBanded pins the word prefix/suffix
+// kernels against the banded reference, including the leftmost-end rule.
+func TestPatternPrefixSuffixMatchesBanded(t *testing.T) {
+	r := rng.New(53)
+	for i := 0; i < 800; i++ {
+		pattern := randomSeq(r, 1+r.Intn(64))
+		var text Seq
+		switch r.Intn(3) {
+		case 0:
+			text = Concat(mutate(r, pattern, r.Intn(5)), randomSeq(r, r.Intn(12)))
+		case 1:
+			text = Concat(randomSeq(r, r.Intn(12)), mutate(r, pattern, r.Intn(5)))
+		default:
+			text = randomSeq(r, r.Intn(90))
+		}
+		pat := CompilePattern(pattern)
+		for _, k := range []int{0, 1, 2, 3, 5, 8, 15} {
+			wd, we, wok := BandedPrefixAlignmentAtMost(pattern, text, k)
+			gd, ge, gok := pat.PrefixAlignmentAtMost(text, k)
+			if gd != wd || ge != we || gok != wok {
+				t.Fatalf("PrefixAlignmentAtMost(len %d, len %d, %d) = (%d, %d, %v), banded (%d, %d, %v)",
+					len(pattern), len(text), k, gd, ge, gok, wd, we, wok)
+			}
+			wd, wok = BandedSuffixAlignmentAtMost(pattern, text, k)
+			gd, gok = pat.SuffixAlignmentAtMost(text, k)
+			if gd != wd || gok != wok {
+				t.Fatalf("SuffixAlignmentAtMost(len %d, len %d, %d) = (%d, %v), banded (%d, %v)",
+					len(pattern), len(text), k, gd, gok, wd, wok)
+			}
+		}
+	}
+}
+
+// TestPatternHeapBlocks exercises the beyond-stack blocked path
+// (patterns over 512 bases) against the reference.
+func TestPatternHeapBlocks(t *testing.T) {
+	r := rng.New(54)
+	for i := 0; i < 20; i++ {
+		a := randomSeq(r, 520+r.Intn(200))
+		b := mutate(r, a, r.Intn(30))
+		want := Levenshtein(a, b)
+		pat := CompilePattern(a)
+		for _, k := range []int{10, 25, 40} {
+			d, ok := pat.DistanceAtMost(b, k)
+			if ok != (want <= k) || (ok && d != want) {
+				t.Fatalf("heap blocked (len %d vs %d, k=%d) = (%d, %v), exact %d",
+					len(a), len(b), k, d, ok, want)
+			}
+		}
+	}
+}
+
+// TestPatternEdgeCases covers empty patterns/texts and negative budgets
+// for every kernel.
+func TestPatternEdgeCases(t *testing.T) {
+	text := MustFromString("ACGTACGT")
+	empty := CompilePattern(nil)
+	if d, ok := empty.DistanceAtMost(text, 10); !ok || d != len(text) {
+		t.Errorf("empty pattern distance = (%d, %v)", d, ok)
+	}
+	if _, ok := empty.DistanceAtMost(text, 3); ok {
+		t.Error("empty pattern within 3 of 8-base text")
+	}
+	if end, d := empty.FindApprox(text, 2); end != 0 || d != 0 {
+		t.Errorf("empty FindApprox = (%d, %d)", end, d)
+	}
+	if end, d := empty.FindApproxRight(text, 2); end != len(text) || d != 0 {
+		t.Errorf("empty FindApproxRight = (%d, %d)", end, d)
+	}
+	if d, e, ok := empty.PrefixAlignmentAtMost(text, 0); d != 0 || e != 0 || !ok {
+		t.Errorf("empty prefix = (%d, %d, %v)", d, e, ok)
+	}
+	pat := CompilePattern(MustFromString("ACGT"))
+	if _, ok := pat.DistanceAtMost(text, -1); ok {
+		t.Error("negative budget accepted")
+	}
+	if end, d := pat.FindApprox(text, -1); end != -1 || d != 0 {
+		t.Errorf("negative budget FindApprox = (%d, %d)", end, d)
+	}
+	if d, ok := pat.DistanceAtMost(nil, 4); !ok || d != 4 {
+		t.Errorf("empty text distance = (%d, %v)", d, ok)
+	}
+	if _, _, ok := pat.PrefixAlignmentAtMost(nil, 3); ok {
+		t.Error("4-base pattern within 3 of empty text")
+	}
+	if d, _, ok := pat.PrefixAlignmentAtMost(nil, 4); !ok || d != 4 {
+		t.Error("4-base pattern vs empty text should cost 4")
+	}
+}
+
+// TestPatternKernelsDoNotAllocate pins the zero-allocation property of
+// every compiled-pattern kernel, including the blocked distance for
+// read-length patterns — these run millions of times per decode.
+func TestPatternKernelsDoNotAllocate(t *testing.T) {
+	r := rng.New(55)
+	long := randomSeq(r, 150)
+	longText := mutate(r, long, 6)
+	word := randomSeq(r, 31)
+	text := Concat(randomSeq(r, 20), mutate(r, word, 2), randomSeq(r, 80))
+	longPat := CompilePattern(long)
+	wordPat := CompilePattern(word)
+	checks := map[string]func(){
+		"DistanceAtMost/blocked": func() { longPat.DistanceAtMost(longText, 20) },
+		"DistanceAtMost/word":    func() { wordPat.DistanceAtMost(word, 5) },
+		"FindApprox":             func() { wordPat.FindApprox(text, 3) },
+		"FindApproxRight":        func() { wordPat.FindApproxRight(text, 3) },
+		"PrefixAlignmentAtMost":  func() { wordPat.PrefixAlignmentAtMost(text[:40], 5) },
+		"SuffixAlignmentAtMost":  func() { wordPat.SuffixAlignmentAtMost(text[len(text)-40:], 5) },
+		"pkg LevenshteinAtMost":  func() { LevenshteinAtMost(long, longText, 20) },
+		"pkg FindApprox":         func() { FindApprox(word, text, 3) },
+		"pkg PrefixAlignAtMost":  func() { PrefixAlignmentAtMost(word, text[:40], 5) },
+	}
+	for name, fn := range checks {
+		if avg := testing.AllocsPerRun(200, fn); avg != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, avg)
+		}
+	}
+}
+
+// FuzzBitparKernels drives the bit-parallel kernels against the scalar
+// references with fuzzer-chosen sequences and budgets.
+func FuzzBitparKernels(f *testing.F) {
+	f.Add([]byte("ACGTACGT"), []byte("ACGAACGT"), 3)
+	f.Add([]byte(""), []byte("T"), 0)
+	f.Add([]byte("ACACACACACACACACACACACACACACACACACACACACACACACACACACACACACACACACAC"), []byte("ACAC"), 5)
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, k int) {
+		if len(rawA) > 700 || len(rawB) > 700 {
+			return
+		}
+		if k < -1 {
+			k = -k
+		}
+		if k > 100 {
+			k %= 100
+		}
+		a := make(Seq, len(rawA))
+		for i, b := range rawA {
+			a[i] = Base(b & 3)
+		}
+		b := make(Seq, len(rawB))
+		for i, c := range rawB {
+			b[i] = Base(c & 3)
+		}
+		want := Levenshtein(a, b)
+		pat := CompilePattern(a)
+		d, ok := pat.DistanceAtMost(b, k)
+		if ok != (k >= 0 && want <= k) || (ok && d != want) {
+			t.Fatalf("DistanceAtMost(%v, %v, %d) = (%d, %v), exact %d", a, b, k, d, ok, want)
+		}
+		wantEnd, wantDist := BandedFindApprox(a, b, k)
+		gotEnd, gotDist := pat.FindApprox(b, k)
+		if gotEnd != wantEnd || gotDist != wantDist {
+			t.Fatalf("FindApprox(%v, %v, %d) = (%d, %d), banded (%d, %d)", a, b, k, gotEnd, gotDist, wantEnd, wantDist)
+		}
+		wd, we, wok := BandedPrefixAlignmentAtMost(a, b, k)
+		gd, ge, gok := pat.PrefixAlignmentAtMost(b, k)
+		if gd != wd || ge != we || gok != wok {
+			t.Fatalf("PrefixAlignmentAtMost(%v, %v, %d) = (%d, %d, %v), banded (%d, %d, %v)", a, b, k, gd, ge, gok, wd, we, wok)
+		}
+		sd, sok := pat.SuffixAlignmentAtMost(b, k)
+		swd, swok := BandedSuffixAlignmentAtMost(a, b, k)
+		if sd != swd || sok != swok {
+			t.Fatalf("SuffixAlignmentAtMost(%v, %v, %d) = (%d, %v), banded (%d, %v)", a, b, k, sd, sok, swd, swok)
+		}
+	})
+}
+
+// --- benchmarks: banded reference vs bit-parallel ------------------------
+
+func benchPair(r *rng.Source, n, edits int) (Seq, Seq) {
+	a := randomSeq(r, n)
+	return a, mutate(r, a, edits)
+}
+
+func BenchmarkLevenshteinAtMostBitpar150(b *testing.B) {
+	r := rng.New(61)
+	x, y := benchPair(r, 150, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LevenshteinAtMost(x, y, 20)
+	}
+}
+
+func BenchmarkLevenshteinAtMostBanded150(b *testing.B) {
+	r := rng.New(61)
+	x, y := benchPair(r, 150, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BandedLevenshteinAtMost(x, y, 20)
+	}
+}
+
+func BenchmarkPatternDistanceAtMost150(b *testing.B) {
+	r := rng.New(61)
+	x, y := benchPair(r, 150, 6)
+	pat := CompilePattern(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pat.DistanceAtMost(y, 20)
+	}
+}
+
+func BenchmarkPatternFindApprox31in131(b *testing.B) {
+	r := rng.New(16)
+	pattern := randomSeq(r, 31)
+	text := Concat(randomSeq(r, 10), mutate(r, pattern, 2), randomSeq(r, 90))
+	pat := CompilePattern(pattern)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pat.FindApprox(text, 3)
+	}
+}
+
+func BenchmarkPatternPrefixAlignmentAtMost(b *testing.B) {
+	r := rng.New(17)
+	pattern := randomSeq(r, 31)
+	text := Concat(mutate(r, pattern, 2), randomSeq(r, 6))
+	pat := CompilePattern(pattern)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pat.PrefixAlignmentAtMost(text, 5)
+	}
+}

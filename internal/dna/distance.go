@@ -86,14 +86,51 @@ const maxStackBand = 64
 // adding per-cell costs can never wrap into the valid range.
 const distInf = 1 << 30
 
-// LevenshteinAtMost reports whether the edit distance between a and b is
-// at most k. The dynamic program is banded around the diagonal and
-// additionally trims the band to the active cells (values <= k) each row
-// — Ukkonen's cut-off — so matching pairs cost O(d*max(len)) for true
-// distance d rather than O(k*max(len)). This is the workhorse of read
-// clustering, where reads from the same strand are within a small radius
-// and most cross-strand pairs are rejected cheaply.
+// LevenshteinAtMost reports whether the edit distance between a and b
+// is at most k. This is the workhorse of read clustering. Pairs whose
+// shorter sequence fits the bit-parallel engine (up to 512 bases) run
+// Myers' algorithm at 64 DP rows per word; anything longer falls back
+// to the banded reference DP. Callers comparing one sequence against
+// many should compile it once with CompilePattern instead.
 func LevenshteinAtMost(a, b Seq, k int) bool {
+	if k < 0 {
+		return false
+	}
+	la, lb := len(a), len(b)
+	if la-lb > k || lb-la > k {
+		return false
+	}
+	if la < lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	if lb == 0 {
+		return true // la <= k by the length check above
+	}
+	if lb <= wordBits {
+		peq := wordEq(b)
+		_, ok := distWord(&peq, lb, a, k)
+		return ok
+	}
+	if lb <= maxStackBlocks*wordBits {
+		var eq [maxStackBlocks][4]uint64
+		nb := buildBlockedEq(&eq, b)
+		var vp, vn [maxStackBlocks]uint64
+		var sc [maxStackBlocks]int
+		_, ok := distBlocked(eq[:nb], lb, a, k, vp[:nb], vn[:nb], sc[:nb])
+		return ok
+	}
+	return BandedLevenshteinAtMost(a, b, k)
+}
+
+// BandedLevenshteinAtMost is the scalar reference kernel behind
+// LevenshteinAtMost: the dynamic program is banded around the diagonal
+// and additionally trims the band to the active cells (values <= k)
+// each row — Ukkonen's cut-off — so matching pairs cost O(d*max(len))
+// for true distance d rather than O(k*max(len)). It remains the
+// fallback for sequences beyond the bit-parallel stack budget and the
+// oracle the bit-parallel kernels are differentially tested against.
+func BandedLevenshteinAtMost(a, b Seq, k int) bool {
 	if k < 0 {
 		return false
 	}
@@ -258,10 +295,32 @@ func PrefixAlignment(pattern, text Seq) (dist, end int) {
 // returns the minimum edit distance between pattern and any prefix of
 // text, along with the end of the leftmost best prefix, provided that
 // distance is at most k; ok is false when every prefix is farther than
-// k. Every DP cell (i, j) costs at least |i-j|, so the program is banded
-// by k and trimmed to the active (<= k) cells each row, running in
-// O(k*len(pattern)) time with no heap allocation for k <= 31.
+// k. Patterns up to 64 bases (every primer) run the bit-parallel word
+// kernel; longer patterns use the banded reference. Callers aligning
+// one pattern repeatedly should compile it with CompilePattern.
 func PrefixAlignmentAtMost(pattern, text Seq, k int) (dist, end int, ok bool) {
+	m := len(pattern)
+	if k < 0 {
+		return 0, 0, false
+	}
+	if m == 0 {
+		return 0, 0, true
+	}
+	if m-len(text) > k {
+		return 0, 0, false
+	}
+	if m <= wordBits {
+		peq := wordEq(pattern)
+		return prefixWord(&peq, m, text, k, false)
+	}
+	return alignAtMost(pattern, text, k, false)
+}
+
+// BandedPrefixAlignmentAtMost is the scalar reference kernel behind
+// PrefixAlignmentAtMost: banded by k (every DP cell (i, j) costs at
+// least |i-j|) and trimmed to the active (<= k) cells each row, running
+// in O(k*len(pattern)) time with no heap allocation for k <= 31.
+func BandedPrefixAlignmentAtMost(pattern, text Seq, k int) (dist, end int, ok bool) {
 	return alignAtMost(pattern, text, k, false)
 }
 
@@ -269,10 +328,30 @@ func PrefixAlignmentAtMost(pattern, text Seq, k int) (dist, end int, ok bool) {
 // pattern and any suffix of text, provided it is at most k; ok is false
 // otherwise. It is PrefixAlignmentAtMost on the reversed sequences,
 // implemented with reversed indexing so nothing is copied. This is the
-// reverse-primer binding model of the PCR simulator. The returned end
-// is the match start counted from the end of text (the reversed-frame
-// prefix end).
+// reverse-primer binding model of the PCR simulator.
 func SuffixAlignmentAtMost(pattern, text Seq, k int) (dist int, ok bool) {
+	m := len(pattern)
+	if k < 0 {
+		return 0, false
+	}
+	if m == 0 {
+		return 0, true
+	}
+	if m-len(text) > k {
+		return 0, false
+	}
+	if m <= wordBits {
+		rpeq := wordEqReversed(pattern)
+		d, _, ok := prefixWord(&rpeq, m, text, k, true)
+		return d, ok
+	}
+	d, _, ok := alignAtMost(pattern, text, k, true)
+	return d, ok
+}
+
+// BandedSuffixAlignmentAtMost is the scalar reference kernel behind
+// SuffixAlignmentAtMost.
+func BandedSuffixAlignmentAtMost(pattern, text Seq, k int) (dist int, ok bool) {
 	d, _, ok := alignAtMost(pattern, text, k, true)
 	return d, ok
 }
@@ -404,11 +483,29 @@ const maxStackCol = 96
 // FindApprox searches text for an approximate occurrence of pattern with
 // edit distance at most k, returning the end index of the leftmost best
 // match and its distance, or (-1, k+1) if none exists. It is used to
-// locate primers inside noisy sequencing reads before trimming. The
-// program is Sellers' column DP with Ukkonen's cut-off: only the column
-// prefix whose values can still reach k is computed, so the expected
-// time is O(k*len(text)) rather than O(len(pattern)*len(text)).
+// locate primers inside noisy sequencing reads before trimming.
+// Patterns up to 64 bases run the bit-parallel word kernel; longer
+// patterns use the banded reference. Callers searching for one pattern
+// across many reads should compile it with CompilePattern.
 func FindApprox(pattern, text Seq, k int) (end, dist int) {
+	if len(pattern) == 0 {
+		return 0, 0
+	}
+	if k < 0 {
+		return -1, k + 1
+	}
+	if len(pattern) <= wordBits {
+		peq := wordEq(pattern)
+		return findWord(&peq, len(pattern), text, k, false)
+	}
+	return BandedFindApprox(pattern, text, k)
+}
+
+// BandedFindApprox is the scalar reference kernel behind FindApprox:
+// Sellers' column DP with Ukkonen's cut-off — only the column prefix
+// whose values can still reach k is computed, so the expected time is
+// O(k*len(text)) rather than O(len(pattern)*len(text)).
+func BandedFindApprox(pattern, text Seq, k int) (end, dist int) {
 	if len(pattern) == 0 {
 		return 0, 0
 	}
@@ -427,6 +524,22 @@ func FindApprox(pattern, text Seq, k int) (end, dist int) {
 // with periodic primers, a payload that coincidentally extends the
 // primer's period would otherwise produce an equally good earlier match.
 func FindApproxRight(pattern, text Seq, k int) (end, dist int) {
+	if len(pattern) == 0 {
+		return len(text), 0
+	}
+	if k < 0 {
+		return -1, k + 1
+	}
+	if len(pattern) <= wordBits {
+		peq := wordEq(pattern)
+		return findWord(&peq, len(pattern), text, k, true)
+	}
+	return BandedFindApproxRight(pattern, text, k)
+}
+
+// BandedFindApproxRight is the scalar reference kernel behind
+// FindApproxRight.
+func BandedFindApproxRight(pattern, text Seq, k int) (end, dist int) {
 	if len(pattern) == 0 {
 		return len(text), 0
 	}

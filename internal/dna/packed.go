@@ -1,0 +1,104 @@
+package dna
+
+// This file implements the 2-bit packed sequence representation: four
+// bases per byte, which quarters the memory of a Seq and makes
+// equality/hashing 4x cheaper. Its byte layout is the species-key
+// codec package pool has used for its map since PR 2 — AppendPacked is
+// the pool's allocation-free key builder, and Packed is the same
+// encoding materialized as a value (the round-trip is fuzz-pinned in
+// packed_test.go, which is what keeps the key codec honest).
+
+// Packed is an immutable 2-bit packed DNA sequence: four bases per
+// byte, first base of each group in the byte's high bits, with a
+// trailing partial byte holding len%4 bases in its low bits. The zero
+// value is the empty sequence.
+type Packed struct {
+	b []byte
+	n int
+}
+
+// appendPackedBytes appends the 2-bit packing of seq (without the
+// length marker) to buf.
+func appendPackedBytes(buf []byte, seq Seq) []byte {
+	var acc byte
+	nb := 0
+	for _, b := range seq {
+		acc = acc<<2 | byte(b)
+		nb++
+		if nb == 4 {
+			buf = append(buf, acc)
+			acc, nb = 0, 0
+		}
+	}
+	if nb > 0 {
+		buf = append(buf, acc)
+	}
+	return buf
+}
+
+// Pack returns the 2-bit packed form of seq.
+func Pack(seq Seq) Packed {
+	return Packed{b: appendPackedBytes(make([]byte, 0, (len(seq)+3)/4), seq), n: len(seq)}
+}
+
+// Len returns the number of bases.
+func (p Packed) Len() int { return p.n }
+
+// At returns the i-th base. It panics if i is out of range.
+func (p Packed) At(i int) Base {
+	if i < 0 || i >= p.n {
+		panic("dna: Packed index out of range")
+	}
+	g, r := i/4, i%4
+	width := 4
+	if g == p.n/4 { // final partial byte: n%4 bases in the low bits
+		width = p.n % 4
+	}
+	return Base(p.b[g] >> (2 * uint(width-1-r)) & 3)
+}
+
+// Unpack expands the packed sequence back to a Seq.
+func (p Packed) Unpack() Seq {
+	out := make(Seq, p.n)
+	for g := 0; g*4 < p.n; g++ {
+		width := p.n - g*4
+		if width > 4 {
+			width = 4
+		}
+		acc := p.b[g]
+		for r := width - 1; r >= 0; r-- {
+			out[g*4+r] = Base(acc & 3)
+			acc >>= 2
+		}
+	}
+	return out
+}
+
+// Equal reports whether two packed sequences are identical.
+func (p Packed) Equal(q Packed) bool {
+	if p.n != q.n {
+		return false
+	}
+	for i, b := range p.b {
+		if q.b[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendKey appends the sequence's map-key encoding to buf: the packed
+// bytes followed by a len%4 marker. Two distinct sequences never
+// produce equal keys: equal keys force equal packed lengths and equal
+// length-mod-4, hence equal base counts, hence equal bases.
+func (p Packed) AppendKey(buf []byte) []byte {
+	return append(append(buf, p.b...), byte(p.n&3))
+}
+
+// AppendPacked appends seq's packed map-key encoding to buf without
+// materializing a Packed value; it is the allocation-free key builder
+// used by the pool's species map. AppendPacked(nil, s) equals
+// Pack(s).AppendKey(nil) byte for byte.
+func AppendPacked(buf []byte, seq Seq) []byte {
+	return append(appendPackedBytes(buf, seq), byte(len(seq)&3))
+}

@@ -128,6 +128,10 @@ func Misprime(w *Wetlab, b *Fig9bResult) (*MisprimeResult, error) {
 		return nil, err
 	}
 	res := &MisprimeResult{Block: b.Block, MassByDist: make(map[int]float64)}
+	// The target index is compared against every misprimed species, so
+	// compile it once; index distances are bounded by the index length,
+	// which keeps the kernel's budget real.
+	targetPat := dna.CompilePattern(targetIdx)
 	for _, s := range b.Product.Species() {
 		if !s.Meta.Misprimed || s.Meta.Partition != "alice" {
 			continue
@@ -136,7 +140,7 @@ func Misprime(w *Wetlab, b *Fig9bResult) (*MisprimeResult, error) {
 		if err != nil {
 			continue
 		}
-		d := dna.Levenshtein(targetIdx, idx)
+		d := targetPat.Distance(idx)
 		res.MassByDist[d] += s.Abundance
 		res.TotalMisprimeMass += s.Abundance
 	}

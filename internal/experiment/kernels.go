@@ -1,0 +1,191 @@
+package experiment
+
+// The kernels micro-study times the banded reference DPs against the
+// bit-parallel engine on the exact shapes the simulator runs hottest:
+// cluster joins and rejects at the staged and wide budgets, primer
+// location inside reads, PCR prefix/suffix binding, and index-tree
+// candidate filtering. CI runs it on every PR, so a regression in
+// either kernel family shows up in the logs as a speedup shift.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// KernelTiming is one (kernel, shape) comparison.
+type KernelTiming struct {
+	Name     string  // kernel and shape, e.g. "lev/150/k20/join"
+	BandedNs float64 // ns per banded reference call
+	BitparNs float64 // ns per bit-parallel call
+}
+
+// Speedup returns banded/bitpar.
+func (t KernelTiming) Speedup() float64 {
+	if t.BitparNs <= 0 {
+		return 0
+	}
+	return t.BandedNs / t.BitparNs
+}
+
+// KernelsResult is the full micro-study.
+type KernelsResult struct {
+	Rows []KernelTiming
+}
+
+// kernelIters bounds per-case work so the study stays CI-cheap while
+// the per-op noise stays in the low percents.
+const kernelIters = 2000
+
+// timeOp returns the mean ns/op of f over kernelIters calls.
+func timeOp(f func()) float64 {
+	t0 := time.Now()
+	for i := 0; i < kernelIters; i++ {
+		f()
+	}
+	return float64(time.Since(t0).Nanoseconds()) / kernelIters
+}
+
+// kernelSink defeats dead-code elimination of the timed calls.
+var kernelSink int
+
+// Kernels runs the micro-study.
+func Kernels() *KernelsResult {
+	r := rng.New(97)
+	randSeq := func(n int) dna.Seq {
+		s := make(dna.Seq, n)
+		for i := range s {
+			s[i] = dna.Base(r.Intn(4))
+		}
+		return s
+	}
+	corrupt := func(s dna.Seq, edits int) dna.Seq {
+		out := s.Clone()
+		for e := 0; e < edits; e++ {
+			i := r.Intn(len(out))
+			switch r.Intn(3) {
+			case 0:
+				out[i] = dna.Base((int(out[i]) + 1 + r.Intn(3)) % 4)
+			case 1:
+				out = append(out[:i], out[i+1:]...)
+			default:
+				out = append(out, 0)
+				copy(out[i+1:], out[i:])
+				out[i] = dna.Base(r.Intn(4))
+			}
+		}
+		return out
+	}
+
+	res := &KernelsResult{}
+	row := func(name string, banded, bitpar func()) {
+		res.Rows = append(res.Rows, KernelTiming{
+			Name:     name,
+			BandedNs: timeOp(banded),
+			BitparNs: timeOp(bitpar),
+		})
+	}
+
+	// Cluster joins: 150-base reads a handful of edits apart, probed at
+	// the staged budget then the wide one; and rejects (unrelated reads)
+	// at the wide budget.
+	read := randSeq(150)
+	near := corrupt(read, 5)
+	far := randSeq(150)
+	readPat := dna.CompilePattern(read)
+	row("lev/150/k6/join",
+		func() {
+			if dna.BandedLevenshteinAtMost(read, near, 6) {
+				kernelSink++
+			}
+		},
+		func() {
+			if readPat.LevenshteinAtMost(near, 6) {
+				kernelSink++
+			}
+		})
+	row("lev/150/k20/join",
+		func() {
+			if dna.BandedLevenshteinAtMost(read, near, 20) {
+				kernelSink++
+			}
+		},
+		func() {
+			if readPat.LevenshteinAtMost(near, 20) {
+				kernelSink++
+			}
+		})
+	row("lev/150/k20/reject",
+		func() {
+			if dna.BandedLevenshteinAtMost(read, far, 20) {
+				kernelSink++
+			}
+		},
+		func() {
+			if readPat.LevenshteinAtMost(far, 20) {
+				kernelSink++
+			}
+		})
+
+	// Primer location: a 31-base elongated primer inside a 150-base read.
+	primer := randSeq(31)
+	inRead := dna.Concat(randSeq(10), corrupt(primer, 2), randSeq(109))
+	primerPat := dna.CompilePattern(primer)
+	row("find/31in150/k3",
+		func() { _, d := dna.BandedFindApprox(primer, inRead, 3); kernelSink += d },
+		func() { _, d := primerPat.FindApprox(inRead, 3); kernelSink += d })
+
+	// PCR binding: prefix and suffix alignment of a 20-base primer
+	// against a primer-plus-slack template window.
+	p20 := randSeq(20)
+	tmpl := dna.Concat(corrupt(p20, 1), randSeq(6))
+	p20Pat := dna.CompilePattern(p20)
+	row("prefix/20/k5",
+		func() { d, _, _ := dna.BandedPrefixAlignmentAtMost(p20, tmpl, 5); kernelSink += d },
+		func() { d, _, _ := p20Pat.PrefixAlignmentAtMost(tmpl, 5); kernelSink += d })
+	stmpl := dna.Concat(randSeq(6), corrupt(p20, 1))
+	row("suffix/20/k5",
+		func() { d, _ := dna.BandedSuffixAlignmentAtMost(p20, stmpl, 5); kernelSink += d },
+		func() { d, _ := p20Pat.SuffixAlignmentAtMost(stmpl, 5); kernelSink += d })
+
+	// Index-tree candidate filtering: 10-base indexes, small budgets.
+	idx := randSeq(10)
+	cand := corrupt(idx, 2)
+	idxPat := dna.CompilePattern(idx)
+	row("lev/10/k2/index",
+		func() {
+			if dna.BandedLevenshteinAtMost(idx, cand, 2) {
+				kernelSink++
+			}
+		},
+		func() {
+			if idxPat.LevenshteinAtMost(cand, 2) {
+				kernelSink++
+			}
+		})
+	return res
+}
+
+// Metrics flattens the study into the dnabench -json metric map:
+// per-row bit-parallel ns/op and speedup over the banded reference.
+func (r *KernelsResult) Metrics() map[string]float64 {
+	out := make(map[string]float64, 2*len(r.Rows))
+	for _, row := range r.Rows {
+		out["ns_"+row.Name] = row.BitparNs
+		out["speedup_"+row.Name] = row.Speedup()
+	}
+	return out
+}
+
+// PrintKernels writes the study as a table.
+func PrintKernels(out io.Writer, r *KernelsResult) {
+	fmt.Fprintln(out, "Alignment kernels: banded reference vs bit-parallel (ns/op)")
+	fmt.Fprintf(out, "  %-22s %10s %10s %8s\n", "kernel", "banded", "bitpar", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(out, "  %-22s %10.0f %10.0f %7.1fx\n",
+			row.Name, row.BandedNs, row.BitparNs, row.Speedup())
+	}
+}

@@ -366,21 +366,22 @@ func (t *Tree) Cover(lo, hi int) ([]CoverRange, error) {
 // ErrInvalidIndex. Intended for misprime analysis and tolerant decoding
 // on trees of moderate depth (the scan is linear in the leaf count).
 func (t *Tree) NearestLeaf(seq dna.Seq, maxDist int) (leaf, dist int, err error) {
+	// The query is compiled once; each candidate leaf index then costs
+	// one bit-parallel pass bounded by the best distance so far.
+	pat := dna.CompilePattern(seq)
 	bestLeaf, bestDist := -1, maxDist+1
 	for l := 0; l < t.Leaves(); l++ {
 		idx, err := t.Encode(l)
 		if err != nil {
 			return 0, 0, err
 		}
-		if !dna.LevenshteinAtMost(idx, seq, bestDist-1) {
+		d, ok := pat.DistanceAtMost(idx, bestDist-1)
+		if !ok {
 			continue
 		}
-		d := dna.Levenshtein(idx, seq)
-		if d < bestDist {
-			bestLeaf, bestDist = l, d
-			if d == 0 {
-				break
-			}
+		bestLeaf, bestDist = l, d
+		if d == 0 {
+			break
 		}
 	}
 	if bestLeaf < 0 {
@@ -393,6 +394,7 @@ func (t *Tree) NearestLeaf(seq dna.Seq, maxDist int) (leaf, dist int, err error)
 // maxDist of the given index, excluding the exact leaf itself when
 // excludeExact is set. Used by the Section 8.1 misprime analysis.
 func (t *Tree) LeavesWithin(seq dna.Seq, maxDist int, excludeExact bool) []int {
+	pat := dna.CompilePattern(seq)
 	var out []int
 	for l := 0; l < t.Leaves(); l++ {
 		idx, err := t.Encode(l)
@@ -402,7 +404,7 @@ func (t *Tree) LeavesWithin(seq dna.Seq, maxDist int, excludeExact bool) []int {
 		if excludeExact && idx.Equal(seq) {
 			continue
 		}
-		if dna.LevenshteinAtMost(idx, seq, maxDist) {
+		if pat.LevenshteinAtMost(idx, maxDist) {
 			out = append(out, l)
 		}
 	}

@@ -164,22 +164,40 @@ type binding struct {
 // the aligner may consume, accommodating indels.
 const alignSlack = 6
 
-// bind aligns a primer pair against a template. Both alignments are
-// banded by the remaining distance budget and allocate nothing.
-func bind(pr Primer, template dna.Seq, maxDist int) binding {
-	fn := len(pr.Fwd) + alignSlack
+// compiledPrimer carries one primer pair's bit-parallel Eq tables,
+// built once per reaction so the per-species binding alignments only
+// stream template bases.
+type compiledPrimer struct {
+	fwd *dna.Pattern
+	rev *dna.Pattern
+}
+
+// compilePrimers builds the alignment tables for every pair.
+func compilePrimers(primers []Primer) []compiledPrimer {
+	out := make([]compiledPrimer, len(primers))
+	for i, pr := range primers {
+		out[i] = compiledPrimer{fwd: dna.CompilePattern(pr.Fwd), rev: dna.CompilePattern(pr.Rev)}
+	}
+	return out
+}
+
+// bind aligns a compiled primer pair against a template. Both
+// alignments are bounded by the remaining distance budget and allocate
+// nothing.
+func (cp compiledPrimer) bind(template dna.Seq, maxDist int) binding {
+	fn := cp.fwd.Len() + alignSlack
 	if fn > len(template) {
 		fn = len(template)
 	}
-	dFwd, end, ok := dna.PrefixAlignmentAtMost(pr.Fwd, template[:fn], maxDist)
+	dFwd, end, ok := cp.fwd.PrefixAlignmentAtMost(template[:fn], maxDist)
 	if !ok {
 		return binding{state: bindNone}
 	}
-	rn := len(pr.Rev) + alignSlack
+	rn := cp.rev.Len() + alignSlack
 	if rn > len(template) {
 		rn = len(template)
 	}
-	dRev, ok := dna.SuffixAlignmentAtMost(pr.Rev, template[len(template)-rn:], maxDist-dFwd)
+	dRev, ok := cp.rev.SuffixAlignmentAtMost(template[len(template)-rn:], maxDist-dFwd)
 	if !ok {
 		return binding{state: bindNone}
 	}
@@ -187,9 +205,12 @@ func bind(pr Primer, template dna.Seq, maxDist int) binding {
 }
 
 // suffixDistance returns the edit distance between pattern and the
-// best-matching suffix of text (unbounded; used by tests).
+// best-matching suffix of text (used by tests). Aligning against the
+// empty suffix always costs exactly len(pattern), so that budget is
+// tight and keeps the kernel banded — an unbounded budget here would
+// defeat the banding on every call.
 func suffixDistance(pattern, text dna.Seq) int {
-	d, _ := dna.SuffixAlignmentAtMost(pattern, text, len(pattern)+len(text))
+	d, _ := dna.SuffixAlignmentAtMost(pattern, text, len(pattern))
 	return d
 }
 
@@ -240,6 +261,7 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 	// chunk touches only its own species' rows, so writes never race.
 	np := len(primers)
 	var cache []binding
+	compiled := compilePrimers(primers)
 
 	// negligible products below this absolute abundance are dropped to
 	// bound the species count.
@@ -284,7 +306,7 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 				for pi := range primers {
 					b := &row[pi]
 					if b.state == bindUnknown {
-						*b = bind(primers[pi], s.Seq, params.MaxBindDist)
+						*b = compiled[pi].bind(s.Seq, params.MaxBindDist)
 					}
 					if b.state == bindNone {
 						continue
@@ -330,7 +352,7 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 		for _, deltas := range chunkDeltas {
 			for _, d := range deltas {
 				if d.species >= 0 {
-					species[d.species].Abundance += d.amount
+					out.Boost(d.species, d.amount)
 				} else {
 					before := out.Len()
 					out.Add(d.seq, d.amount, d.meta)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"maps"
 	"sort"
+	"sync/atomic"
 
 	"dnastore/internal/dna"
 	"dnastore/internal/rng"
@@ -43,44 +44,42 @@ type Species struct {
 	Meta      Meta
 }
 
+// lastPoolID hands out process-unique pool identities; ids are never
+// reused, so (id, revision) pairs from different pools never collide.
+var lastPoolID atomic.Uint64
+
 // Pool is a collection of species. The zero value is an empty pool ready
 // to use.
 type Pool struct {
 	species []*Species
 	byKey   map[string]int
 	keyBuf  []byte // reusable scratch for packed lookup keys
+	id      uint64 // process-unique identity, assigned on first use
+	rev     uint64 // bumped by every mutating operation
 }
 
 // New returns an empty pool.
-func New() *Pool { return &Pool{byKey: make(map[string]int)} }
+func New() *Pool { return &Pool{byKey: make(map[string]int), id: lastPoolID.Add(1)} }
 
 func (p *Pool) init() {
 	if p.byKey == nil {
 		p.byKey = make(map[string]int)
 	}
+	if p.id == 0 {
+		p.id = lastPoolID.Add(1)
+	}
 }
 
-// appendKey packs seq into buf as a map key: four 2-bit bases per byte
-// plus a trailing len%4 marker. Two distinct sequences never collide:
-// equal keys force equal packed lengths and equal length-mod-4, hence
-// equal base counts, hence equal bases. The packed form is 4x shorter
-// to hash than the byte-per-base encoding it replaces.
-func appendKey(buf []byte, seq dna.Seq) []byte {
-	var acc byte
-	nb := 0
-	for _, b := range seq {
-		acc = acc<<2 | byte(b)
-		nb++
-		if nb == 4 {
-			buf = append(buf, acc)
-			acc, nb = 0, 0
-		}
-	}
-	if nb > 0 {
-		buf = append(buf, acc)
-	}
-	return append(buf, byte(len(seq)&3))
-}
+// Version identifies the pool's current contents: a process-unique pool
+// id plus a revision bumped by every mutating operation. External
+// caches over pool contents (e.g. seqsim's alias sampling tables) use
+// it to detect staleness without hashing species.
+func (p *Pool) Version() (id, rev uint64) { return p.id, p.rev }
+
+// Species keys are the dna.Packed encoding of the sequence (four 2-bit
+// bases per byte plus a trailing len%4 marker — see dna.AppendPacked).
+// Two distinct sequences never collide, and the packed form is 4x
+// shorter to hash than the byte-per-base encoding it replaces.
 
 // Add inserts abundance copies of seq with the given provenance. If an
 // identical sequence already exists its abundance grows; the original
@@ -92,7 +91,8 @@ func (p *Pool) Add(seq dna.Seq, abundance float64, meta Meta) {
 		return
 	}
 	p.init()
-	p.keyBuf = appendKey(p.keyBuf[:0], seq)
+	p.rev++
+	p.keyBuf = dna.AppendPacked(p.keyBuf[:0], seq)
 	if i, ok := p.byKey[string(p.keyBuf)]; ok { // no-copy map probe
 		p.species[i].Abundance += abundance
 		return
@@ -101,8 +101,18 @@ func (p *Pool) Add(seq dna.Seq, abundance float64, meta Meta) {
 	p.species = append(p.species, &Species{Seq: seq.Clone(), Abundance: abundance, Meta: meta})
 }
 
+// Boost adds amount to the abundance of the species at index i (as
+// returned by Species). It is the in-place growth operation of the PCR
+// apply phase; routing it through the pool keeps Version tracking
+// sound.
+func (p *Pool) Boost(i int, amount float64) {
+	p.rev++
+	p.species[i].Abundance += amount
+}
+
 // Species returns the pool's species. The slice and the pointed-to
-// entries are owned by the pool; callers must not mutate them.
+// entries are owned by the pool; callers must not mutate them — growth
+// goes through Add or Boost so Version tracking stays sound.
 func (p *Pool) Species() []*Species { return p.species }
 
 // Len returns the number of distinct species.
@@ -123,6 +133,7 @@ func (p *Pool) Scale(factor float64) {
 	if factor < 0 {
 		factor = 0
 	}
+	p.rev++
 	for _, s := range p.species {
 		s.Abundance *= factor
 	}
@@ -137,6 +148,7 @@ func (p *Pool) Clone() *Pool {
 	out := &Pool{
 		species: make([]*Species, len(p.species)),
 		byKey:   maps.Clone(p.byKey),
+		id:      lastPoolID.Add(1),
 	}
 	for i, s := range p.species {
 		cp := *s

@@ -11,7 +11,7 @@ package seqsim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"dnastore/internal/channel"
 	"dnastore/internal/dna"
@@ -36,11 +36,111 @@ type Profile struct {
 // IlluminaProfile returns the default Illumina-like error profile.
 func IlluminaProfile() Profile { return Profile{Rates: channel.Illumina()} }
 
+// aliasCacheSize is how many pools a Sampler remembers alias tables
+// for. Repeated-sampling experiments revisit one pool; the read engine
+// samples a handful of per-reaction pools concurrently.
+const aliasCacheSize = 4
+
+// aliasTable is a Walker/Vose alias table over a pool's positive-
+// abundance species: one uniform draw picks a species in O(1) instead
+// of the O(log n) binary search over a cumulative table. The table is a
+// pure function of the pool contents identified by (poolID, rev).
+type aliasTable struct {
+	poolID, rev uint64
+	prob        []float64 // per-slot acceptance threshold in [0, 1]
+	alias       []int32   // per-slot alternative, as a compacted index
+	idx         []int32   // compacted index -> species index
+}
+
+// buildAlias constructs the alias table for the pool's current
+// contents. Zero-abundance records (diluted-away or fully consumed
+// species) cannot be drawn, so they are dropped from the table. The
+// construction is deterministic, so the sampling stream is a pure
+// function of (seed, pool contents).
+func buildAlias(p *pool.Pool) (*aliasTable, error) {
+	species := p.Species()
+	if len(species) == 0 {
+		return nil, fmt.Errorf("seqsim: empty pool")
+	}
+	t := &aliasTable{
+		idx: make([]int32, 0, len(species)),
+	}
+	t.poolID, t.rev = p.Version()
+	scaled := make([]float64, 0, len(species))
+	total := 0.0
+	for i, s := range species {
+		if s.Abundance <= 0 {
+			continue
+		}
+		total += s.Abundance
+		t.idx = append(t.idx, int32(i))
+		scaled = append(scaled, s.Abundance)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("seqsim: pool has zero total abundance")
+	}
+	k := len(t.idx)
+	t.prob = make([]float64, k)
+	t.alias = make([]int32, k)
+	// Vose's method: pair each under-full slot with an over-full donor.
+	small := make([]int32, 0, k)
+	large := make([]int32, 0, k)
+	for i := range scaled {
+		scaled[i] *= float64(k) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Numerical residue: whatever remains on either stack is full.
+	for _, l := range large {
+		t.prob[l], t.alias[l] = 1, l
+	}
+	for _, s := range small {
+		t.prob[s], t.alias[s] = 1, s
+	}
+	return t, nil
+}
+
+// draw picks one species index using a single uniform: the integer part
+// selects a slot, the fractional part plays the slot's biased coin.
+func (t *aliasTable) draw(r *rng.Source) int32 {
+	x := r.Float64() * float64(len(t.prob))
+	s := int(x)
+	if s >= len(t.prob) {
+		s = len(t.prob) - 1
+	}
+	if x-float64(s) < t.prob[s] {
+		return t.idx[s]
+	}
+	return t.idx[t.alias[s]]
+}
+
 // Sampler draws reads under a profile whose rates were validated once
-// at construction, keeping validation out of per-reaction hot paths. A
-// Sampler is immutable and safe for concurrent use.
+// at construction, keeping validation out of per-reaction hot paths.
+// It memoizes the alias tables of recently sampled pools, rebuilding a
+// table only when its pool's Version changes, which makes repeated
+// sampling of one pool O(1) per read. A Sampler is safe for concurrent
+// use.
 type Sampler struct {
 	prof Profile
+
+	mu     sync.Mutex
+	tables [aliasCacheSize]*aliasTable
+	next   int // round-robin eviction cursor
 }
 
 // NewSampler validates the profile and returns a Sampler for it.
@@ -51,64 +151,77 @@ func NewSampler(prof Profile) (*Sampler, error) {
 	return &Sampler{prof: prof}, nil
 }
 
+// table returns the cached alias table for the pool's current version,
+// building and memoizing it on a miss. The build runs outside the lock:
+// concurrent reactions sample distinct per-reaction pools (every miss),
+// and an O(species) build under a shared mutex would serialize them. A
+// duplicate build during a race is harmless — tables are pure functions
+// of (id, rev).
+func (sm *Sampler) table(p *pool.Pool) (*aliasTable, error) {
+	id, rev := p.Version()
+	sm.mu.Lock()
+	for _, t := range sm.tables {
+		if t != nil && t.poolID == id && t.rev == rev {
+			sm.mu.Unlock()
+			return t, nil
+		}
+	}
+	sm.mu.Unlock()
+	t, err := buildAlias(p)
+	if err != nil {
+		return nil, err
+	}
+	sm.mu.Lock()
+	sm.tables[sm.next] = t
+	sm.next = (sm.next + 1) % aliasCacheSize
+	sm.mu.Unlock()
+	return t, nil
+}
+
 // Sample draws n reads from the pool, each species chosen with
 // probability proportional to its abundance, and corrupts each read
 // through the IDS channel.
 func (sm *Sampler) Sample(r *rng.Source, p *pool.Pool, n int) ([]Read, error) {
-	return sample(r, p, n, sm.prof)
+	if n < 0 {
+		return nil, fmt.Errorf("seqsim: negative read count %d", n)
+	}
+	t, err := sm.table(p)
+	if err != nil {
+		return nil, err
+	}
+	return sampleTable(r, p, n, t, sm.prof), nil
 }
 
 // Sample draws n reads from the pool, each species chosen with
 // probability proportional to its abundance, and corrupts each read
-// through the IDS channel. The profile is validated on every call; use
-// a Sampler where the profile is fixed across many reactions.
+// through the IDS channel. The profile is validated and the alias
+// table built on every call; use a Sampler where the profile is fixed
+// across many reactions or one pool is sampled repeatedly.
 func Sample(r *rng.Source, p *pool.Pool, n int, prof Profile) ([]Read, error) {
 	if err := prof.Rates.Validate(); err != nil {
 		return nil, err
 	}
-	return sample(r, p, n, prof)
-}
-
-func sample(r *rng.Source, p *pool.Pool, n int, prof Profile) ([]Read, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("seqsim: negative read count %d", n)
 	}
+	t, err := buildAlias(p)
+	if err != nil {
+		return nil, err
+	}
+	return sampleTable(r, p, n, t, prof), nil
+}
+
+func sampleTable(r *rng.Source, p *pool.Pool, n int, t *aliasTable, prof Profile) []Read {
 	species := p.Species()
-	if len(species) == 0 {
-		return nil, fmt.Errorf("seqsim: empty pool")
-	}
-	// Cumulative abundance over the positive-abundance species only,
-	// built once per call: zero-abundance records (diluted-away or
-	// fully consumed species) cannot be drawn, so they are dropped from
-	// the table rather than carried as dead binary-search entries.
-	cum := make([]float64, 0, len(species))
-	idx := make([]int32, 0, len(species))
-	total := 0.0
-	for i, s := range species {
-		if s.Abundance <= 0 {
-			continue
-		}
-		total += s.Abundance
-		cum = append(cum, total)
-		idx = append(idx, int32(i))
-	}
-	if total <= 0 {
-		return nil, fmt.Errorf("seqsim: pool has zero total abundance")
-	}
 	reads := make([]Read, 0, n)
 	for i := 0; i < n; i++ {
-		x := r.Float64() * total
-		pos := sort.SearchFloat64s(cum, x)
-		if pos >= len(cum) {
-			pos = len(cum) - 1
-		}
-		s := species[idx[pos]]
+		s := species[t.draw(r)]
 		reads = append(reads, Read{
 			Seq:  channel.Corrupt(r, s.Seq, prof.Rates),
 			Meta: s.Meta,
 		})
 	}
-	return reads, nil
+	return reads
 }
 
 // --- Sequencing latency and cost models (Section 7.4) -------------------

@@ -281,3 +281,76 @@ func BenchmarkSample(b *testing.B) {
 		}
 	}
 }
+
+// TestSamplerTracksPoolMutation pins the alias-cache invalidation: a
+// pool mutated after being sampled must be resampled under its new
+// composition, not the memoized table.
+func TestSamplerTracksPoolMutation(t *testing.T) {
+	p := pool.New()
+	a := dna.MustFromString("AAAACCCCGGGGTTTT")
+	b := dna.MustFromString("TTTTGGGGCCCCAAAA")
+	p.Add(a, 1000, pool.Meta{Block: 0})
+	sm, err := NewSampler(Profile{}) // error-free channel: reads identify species
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	reads, err := sm.Sample(r, p, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rd := range reads {
+		if !rd.Seq.Equal(a) {
+			t.Fatal("single-species pool produced a foreign read")
+		}
+	}
+	// Swamp the pool with species b; a stale table would keep drawing a.
+	p.Add(b, 1e9, pool.Meta{Block: 1})
+	reads, err = sm.Sample(r, p, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := 0
+	for _, rd := range reads {
+		if rd.Seq.Equal(b) {
+			nb++
+		}
+	}
+	if nb < 190 {
+		t.Errorf("after mutation only %d/200 reads are the dominant species; stale alias table?", nb)
+	}
+	// Scale is also a mutation: zeroing the pool must surface as an error.
+	p.Scale(0)
+	if _, err := sm.Sample(r, p, 10); err == nil {
+		t.Error("zero-abundance pool sampled without error")
+	}
+}
+
+// TestSamplerCacheReused pins the satellite's point: repeated sampling
+// of an unchanged pool must not rebuild the table (no allocations
+// beyond the reads themselves).
+func TestSamplerCacheReused(t *testing.T) {
+	p := buildPool()
+	sm, err := NewSampler(IlluminaProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(13)
+	if _, err := sm.Sample(r, p, 10); err != nil {
+		t.Fatal(err) // builds and memoizes the table
+	}
+	id, rev := p.Version()
+	avg := testing.AllocsPerRun(30, func() {
+		if _, err := sm.Sample(r, p, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if id2, rev2 := p.Version(); id2 != id || rev2 != rev {
+		t.Fatal("sampling mutated the pool version")
+	}
+	// One read: the reads slice + the read sequence (+ rare channel
+	// growth); a table rebuild would add several slots-sized slices.
+	if avg > 4 {
+		t.Errorf("steady-state Sample(1) allocates %.1f times, want <= 4 (alias table rebuilt?)", avg)
+	}
+}

@@ -60,9 +60,14 @@ func refineOnce(reads []dna.Seq, draft dna.Seq, sc *refineScratch) dna.Seq {
 	// ins[j][b] counts insertions of base b before draft position j.
 	ins := sc.ins[:n+1]
 	clear(ins)
+	// The draft is realigned against every read, so compile it once;
+	// the bit-parallel probe below then decides per read whether the
+	// narrow or the wide traceback band is needed without running a
+	// speculative band-8 DP that may miss.
+	draftPat := dna.CompilePattern(draft)
 	voters := 0
 	for _, read := range reads {
-		if alignVote(read, draft, cols, ins, sc) {
+		if alignVote(read, draft, draftPat, cols, ins, sc) {
 			voters++
 		}
 	}
@@ -117,9 +122,13 @@ const probeBand = 8
 // alignVote computes a banded global alignment of read against draft and
 // adds the read's votes along the traceback path. Returns false when the
 // read cannot be aligned within refineBand. The result (including the
-// traceback path) is identical to a single refineBand-wide alignment;
-// the probe stage only changes the cost of getting it.
-func alignVote(read, draft dna.Seq, cols []colVotes, ins [][4]int, sc *refineScratch) bool {
+// traceback path) is identical to a single refineBand-wide alignment:
+// the compiled draft pattern's bounded distance decides which band the
+// alignment cost fits in, and a banded DP whose cost c satisfies
+// c <= band is exactly the unrestricted optimum (see probeBand). Unlike
+// a speculative narrow DP, the bit-parallel gate never runs a band that
+// is then discarded.
+func alignVote(read, draft dna.Seq, draftPat *dna.Pattern, cols []colVotes, ins [][4]int, sc *refineScratch) bool {
 	m, n := len(read), len(draft)
 	if m == 0 {
 		return false
@@ -128,7 +137,7 @@ func alignVote(read, draft dna.Seq, cols []colVotes, ins [][4]int, sc *refineScr
 	if diff < -refineBand || diff > refineBand {
 		return false
 	}
-	if diff >= -probeBand && diff <= probeBand {
+	if diff >= -probeBand && diff <= probeBand && draftPat.LevenshteinAtMost(read, probeBand) {
 		if cost, ok := alignBand(read, draft, sc, probeBand); ok && cost <= probeBand {
 			traceVote(read, draft, cols, ins, sc, probeBand)
 			return true
