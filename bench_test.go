@@ -10,7 +10,9 @@ import (
 	"sync"
 	"testing"
 
+	"dnastore/internal/blockstore"
 	"dnastore/internal/experiment"
+	"dnastore/internal/update"
 )
 
 var (
@@ -342,6 +344,101 @@ func BenchmarkBlockWrite(b *testing.B) {
 		}
 	}
 }
+
+// writeBenchStore builds the empty 64-block store shared with the
+// dnabench write study, so benchmark and study measure one
+// configuration.
+func writeBenchStore(b *testing.B, workers int) *blockstore.Partition {
+	b.Helper()
+	_, p, err := experiment.WriteBenchStore(workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// benchWriteBatch times one 64-block Batch.Apply per iteration. Blocks
+// are write-once, so each iteration stages into a fresh store off the
+// clock; only the commit — plan, parallel encode+synthesis, merge — is
+// timed.
+func benchWriteBatch(b *testing.B, workers int) {
+	data := []byte("batch write benchmark block content.....")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := writeBenchStore(b, workers)
+		batch := p.Batch()
+		for blk := 0; blk < 64; blk++ {
+			batch.Write(blk, data)
+		}
+		b.StartTimer()
+		if err := batch.Apply(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteLoop is the per-block baseline the batch engine is
+// measured against: the same 64 blocks written one WriteBlock (one-op
+// batch) at a time.
+func BenchmarkWriteLoop(b *testing.B) {
+	data := []byte("batch write benchmark block content.....")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := writeBenchStore(b, 1)
+		b.StartTimer()
+		for blk := 0; blk < 64; blk++ {
+			if err := p.WriteBlock(blk, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkWriteBatchSerial and BenchmarkWriteBatchParallel commit the
+// same 64-block batch at workers=1 vs GOMAXPROCS. Outputs are
+// byte-identical (TestBatchDeterministicAcrossWorkers in package
+// blockstore); only the wall clock changes.
+func BenchmarkWriteBatchSerial(b *testing.B)   { benchWriteBatch(b, 1) }
+func BenchmarkWriteBatchParallel(b *testing.B) { benchWriteBatch(b, -1) }
+
+// benchUpdateBatch times a 64-patch UpdateBlocks batch against a
+// pre-written 64-block partition (direct version slots, no overflow).
+func benchUpdateBatch(b *testing.B, workers int) {
+	data := []byte("batch update benchmark block content....")
+	patches := make([]blockstore.BlockPatch, 64)
+	for blk := range patches {
+		patches[blk] = blockstore.BlockPatch{
+			Block: blk,
+			Patch: update.Patch{DeleteStart: 0, DeleteCount: 5, InsertPos: 0, Insert: []byte("patch")},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := writeBenchStore(b, workers)
+		batch := p.Batch()
+		for blk := 0; blk < 64; blk++ {
+			batch.Write(blk, data)
+		}
+		if err := batch.Apply(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := p.UpdateBlocks(patches); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateBatchSerial and BenchmarkUpdateBatchParallel commit
+// the same 64-patch update batch at workers=1 vs GOMAXPROCS.
+func BenchmarkUpdateBatchSerial(b *testing.B)   { benchUpdateBatch(b, 1) }
+func BenchmarkUpdateBatchParallel(b *testing.B) { benchUpdateBatch(b, -1) }
 
 // benchRangePartition builds a 64-block partition with 44 written
 // blocks whose unaligned range [2, 45] decomposes into ~11 prefix

@@ -10,7 +10,7 @@
 //
 // Experiment ids: fig3, fig9a, fig9b, fig9c, multiplex, fig10, cost,
 // latency, updatecost, decode, misprime, scale, tree, density, cache,
-// primers, parallel, kernels.
+// primers, parallel, kernels, write.
 package main
 
 import (
@@ -29,7 +29,7 @@ var experimentIDs = []string{
 	"fig3", "fig9a", "fig9b", "fig9c", "multiplex", "fig10",
 	"cost", "latency", "updatecost", "decode", "misprime",
 	"scale", "tree", "density", "cache", "primers", "related", "alloc",
-	"parallel", "kernels",
+	"parallel", "kernels", "write",
 }
 
 func main() {
@@ -202,6 +202,21 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 			return err
 		}
 		experiment.PrintParallel(out, r)
+		fmt.Fprintln(out)
+	}
+	if want["write"] {
+		fmt.Fprintf(out, "running the write-engine scaling study (workers=%d)...\n", workers)
+		var r *experiment.WriteResult
+		tm, err := rc.track("write", func() error {
+			var err error
+			r, err = experiment.WriteStudy(workers)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tm.Metrics = r.Metrics()
+		experiment.PrintWriteStudy(out, r)
 		fmt.Fprintln(out)
 	}
 

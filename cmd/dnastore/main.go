@@ -9,7 +9,9 @@
 //
 //	dnastore -journal tube.json create mydocs
 //	dnastore -journal tube.json write mydocs 3 "block three content"
+//	dnastore -journal tube.json writebatch mydocs 0 "block zero" 1 "block one" 2 "block two"
 //	dnastore -journal tube.json update mydocs 3 0 5 0 "patched"
+//	dnastore -journal tube.json updatebatch mydocs 0 0 5 0 "fix a" 1 0 5 0 "fix b"
 //	dnastore -journal tube.json read mydocs 3
 //	dnastore -journal tube.json range mydocs 0 7
 //	dnastore -journal tube.json costs
@@ -26,13 +28,27 @@ import (
 	"dnastore"
 )
 
-// journalEntry is one persisted mutation.
+// journalEntry is one persisted mutation. Batched mutations journal as
+// a single entry: a batch draws noise once per commit, so replaying it
+// op by op would rebuild a different tube.
 type journalEntry struct {
-	Op        string `json:"op"` // "create", "write", "update"
+	Op        string `json:"op"` // "create", "write", "update", "writebatch", "updatebatch"
 	Partition string `json:"partition"`
 	Block     int    `json:"block,omitempty"`
 	Data      []byte `json:"data,omitempty"`
 	// Patch fields for "update".
+	DeleteStart int    `json:"deleteStart,omitempty"`
+	DeleteCount int    `json:"deleteCount,omitempty"`
+	InsertPos   int    `json:"insertPos,omitempty"`
+	Insert      []byte `json:"insert,omitempty"`
+	// Items carries the staged operations of a batch entry.
+	Items []journalItem `json:"items,omitempty"`
+}
+
+// journalItem is one staged operation inside a batch journal entry.
+type journalItem struct {
+	Block       int    `json:"block"`
+	Data        []byte `json:"data,omitempty"`
 	DeleteStart int    `json:"deleteStart,omitempty"`
 	DeleteCount int    `json:"deleteCount,omitempty"`
 	InsertPos   int    `json:"insertPos,omitempty"`
@@ -103,6 +119,35 @@ func (j *journal) replay(workers int) (*dnastore.System, error) {
 			if err := p.UpdateBlock(e.Block, patch); err != nil {
 				return nil, fmt.Errorf("journal entry %d: %v", i, err)
 			}
+		case "writebatch":
+			p, ok := sys.Partition(e.Partition)
+			if !ok {
+				return nil, fmt.Errorf("journal entry %d: unknown partition %q", i, e.Partition)
+			}
+			b := p.Batch()
+			for _, item := range e.Items {
+				b.Write(item.Block, item.Data)
+			}
+			if err := b.Apply(); err != nil {
+				return nil, fmt.Errorf("journal entry %d: %v", i, err)
+			}
+		case "updatebatch":
+			p, ok := sys.Partition(e.Partition)
+			if !ok {
+				return nil, fmt.Errorf("journal entry %d: unknown partition %q", i, e.Partition)
+			}
+			patches := make([]dnastore.BlockPatch, len(e.Items))
+			for k, item := range e.Items {
+				patches[k] = dnastore.BlockPatch{Block: item.Block, Patch: dnastore.Patch{
+					DeleteStart: item.DeleteStart,
+					DeleteCount: item.DeleteCount,
+					InsertPos:   item.InsertPos,
+					Insert:      item.Insert,
+				}}
+			}
+			if err := p.UpdateBlocks(patches); err != nil {
+				return nil, fmt.Errorf("journal entry %d: %v", i, err)
+			}
 		default:
 			return nil, fmt.Errorf("journal entry %d: unknown op %q", i, e.Op)
 		}
@@ -128,11 +173,13 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dnastore [-journal file] <command> ...
 commands:
-  create <partition>
-  write  <partition> <block> <text>
-  update <partition> <block> <delStart> <delCount> <insPos> <text>
-  read   <partition> <block>
-  range  <partition> <lo> <hi>
+  create      <partition>
+  write       <partition> <block> <text>
+  writebatch  <partition> <block> <text> [<block> <text> ...]
+  update      <partition> <block> <delStart> <delCount> <insPos> <text>
+  updatebatch <partition> <block> <delStart> <delCount> <insPos> <text> [...]
+  read        <partition> <block>
+  range       <partition> <lo> <hi>
   costs`)
 }
 
@@ -223,6 +270,76 @@ func runCommand(journalPath string, workers int, args []string) error {
 			return err
 		}
 		fmt.Printf("logged update %d for block %d of %q\n", p.Versions(block), block, args[1])
+	case "writebatch":
+		if len(args) < 4 || len(args)%2 != 0 {
+			return errors.New("writebatch needs: partition, then block/text pairs")
+		}
+		p, ok := sys.Partition(args[1])
+		if !ok {
+			return fmt.Errorf("unknown partition %q", args[1])
+		}
+		b := p.Batch()
+		items := make([]journalItem, 0, (len(args)-2)/2)
+		for k := 2; k < len(args); k += 2 {
+			block, err := atoi(args[k])
+			if err != nil {
+				return err
+			}
+			b.Write(block, []byte(args[k+1]))
+			items = append(items, journalItem{Block: block, Data: []byte(args[k+1])})
+		}
+		before := sys.Costs().StrandsSynthesized
+		if err := b.Apply(); err != nil {
+			return err
+		}
+		j.Entries = append(j.Entries, journalEntry{Op: "writebatch", Partition: args[1], Items: items})
+		if err := j.save(journalPath); err != nil {
+			return err
+		}
+		fmt.Printf("synthesized %d blocks of %q in one batch (%d strands)\n",
+			len(items), args[1], sys.Costs().StrandsSynthesized-before)
+	case "updatebatch":
+		if len(args) < 7 || (len(args)-2)%5 != 0 {
+			return errors.New("updatebatch needs: partition, then block/delStart/delCount/insPos/text 5-tuples")
+		}
+		p, ok := sys.Partition(args[1])
+		if !ok {
+			return fmt.Errorf("unknown partition %q", args[1])
+		}
+		patches := make([]dnastore.BlockPatch, 0, (len(args)-2)/5)
+		items := make([]journalItem, 0, cap(patches))
+		for k := 2; k < len(args); k += 5 {
+			block, err := atoi(args[k])
+			if err != nil {
+				return err
+			}
+			ds, err := atoi(args[k+1])
+			if err != nil {
+				return err
+			}
+			dc, err := atoi(args[k+2])
+			if err != nil {
+				return err
+			}
+			ip, err := atoi(args[k+3])
+			if err != nil {
+				return err
+			}
+			patches = append(patches, dnastore.BlockPatch{Block: block, Patch: dnastore.Patch{
+				DeleteStart: ds, DeleteCount: dc, InsertPos: ip, Insert: []byte(args[k+4]),
+			}})
+			items = append(items, journalItem{
+				Block: block, DeleteStart: ds, DeleteCount: dc, InsertPos: ip, Insert: []byte(args[k+4]),
+			})
+		}
+		if err := p.UpdateBlocks(patches); err != nil {
+			return err
+		}
+		j.Entries = append(j.Entries, journalEntry{Op: "updatebatch", Partition: args[1], Items: items})
+		if err := j.save(journalPath); err != nil {
+			return err
+		}
+		fmt.Printf("logged %d updates for %q in one batch\n", len(items), args[1])
 	case "read":
 		if len(args) != 3 {
 			return errors.New("read needs: partition block")

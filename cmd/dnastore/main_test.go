@@ -74,16 +74,68 @@ func TestUpdateThroughJournal(t *testing.T) {
 	}
 }
 
+// TestBatchCommandsThroughJournal covers the writebatch/updatebatch
+// verbs: one journal entry per batch, replayed as one batch commit so
+// the rebuilt tube matches the original run.
+func TestBatchCommandsThroughJournal(t *testing.T) {
+	j := journalPath(t)
+	steps := [][]string{
+		{"create", "docs"},
+		{"writebatch", "docs", "0", "block zero", "1", "block one", "2", "block two"},
+		{"updatebatch", "docs", "0", "0", "5", "0", "first", "1", "0", "5", "0", "second"},
+		{"read", "docs", "0"},
+	}
+	for _, args := range steps {
+		if err := runCommand(j, -1, args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	jj, err := loadJournal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jj.Entries) != 3 {
+		t.Fatalf("journal entries %d want 3 (batches journal as one entry)", len(jj.Entries))
+	}
+	if jj.Entries[1].Op != "writebatch" || len(jj.Entries[1].Items) != 3 {
+		t.Errorf("entry 1 = %q with %d items", jj.Entries[1].Op, len(jj.Entries[1].Items))
+	}
+	if jj.Entries[2].Op != "updatebatch" || len(jj.Entries[2].Items) != 2 {
+		t.Errorf("entry 2 = %q with %d items", jj.Entries[2].Op, len(jj.Entries[2].Items))
+	}
+	sys, err := jj.replay(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := sys.Partition("docs")
+	if !ok {
+		t.Fatal("partition lost in replay")
+	}
+	for block, want := range map[int]string{0: "first zero", 1: "second one", 2: "block two"} {
+		got, err := p.ReadBlock(block)
+		if err != nil {
+			t.Fatalf("block %d: %v", block, err)
+		}
+		if !strings.HasPrefix(string(got), want) {
+			t.Errorf("block %d content %q want prefix %q", block, got[:12], want)
+		}
+	}
+}
+
 func TestCommandErrors(t *testing.T) {
 	j := journalPath(t)
 	cases := [][]string{
-		{"create"},                     // missing name
-		{"write", "ghost", "0", "x"},   // unknown partition
-		{"read", "ghost", "0"},         // unknown partition
-		{"write", "ghost", "NaN", "x"}, // bad number
-		{"update", "ghost", "0", "0"},  // wrong arity
-		{"range", "ghost", "0", "1"},   // unknown partition
-		{"explode"},                    // unknown command
+		{"create"},                                        // missing name
+		{"write", "ghost", "0", "x"},                      // unknown partition
+		{"read", "ghost", "0"},                            // unknown partition
+		{"write", "ghost", "NaN", "x"},                    // bad number
+		{"update", "ghost", "0", "0"},                     // wrong arity
+		{"writebatch", "ghost", "0"},                      // missing text for the pair
+		{"writebatch", "ghost", "0", "x"},                 // unknown partition
+		{"updatebatch", "ghost", "0", "0", "5", "0"},      // incomplete 5-tuple
+		{"updatebatch", "ghost", "0", "0", "5", "0", "x"}, // unknown partition
+		{"range", "ghost", "0", "1"},                      // unknown partition
+		{"explode"},                                       // unknown command
 	}
 	for _, args := range cases {
 		if err := runCommand(j, -1, args); err == nil {

@@ -20,6 +20,16 @@
 //	p.WriteBlock(0, []byte("hello, molecular world"))
 //	p.UpdateBlock(0, dnastore.Patch{DeleteStart: 0, DeleteCount: 5, Insert: []byte("howdy")})
 //	data, _ := p.ReadBlock(0) // -> "howdy, molecular world"
+//
+// Bulk mutations go through a staged batch, which plans version slots
+// for all operations at once, fans the unit encoding and synthesis
+// across Options.Workers, and commits atomically:
+//
+//	err := p.Batch().
+//		Write(1, doc1).
+//		Write(2, doc2).
+//		Update(1, patch).
+//		Apply()
 package dnastore
 
 import (
@@ -38,6 +48,43 @@ import (
 // block only in the version base, so one PCR retrieves data and updates
 // together.
 type Patch = update.Patch
+
+// BlockPatch pairs a block number with its patch, the unit of
+// Partition.UpdateBlocks.
+type BlockPatch = blockstore.BlockPatch
+
+// Batch stages write and update operations against a partition and
+// commits them atomically with Apply; see Partition.Batch.
+type Batch = blockstore.Batch
+
+// BatchError aggregates the per-operation failures of a batch commit.
+// A failing batch commits nothing; each OpError records the staging
+// index, the block, and an error wrapping one of the sentinel errors
+// below, so callers can dispatch with errors.Is/errors.As.
+type BatchError = blockstore.BatchError
+
+// OpError reports the failure of one staged batch operation.
+type OpError = blockstore.OpError
+
+// Sentinel errors returned (possibly wrapped, including inside a
+// BatchError) by partition operations.
+var (
+	// ErrBlockRange reports a block number outside the partition.
+	ErrBlockRange = blockstore.ErrBlockRange
+	// ErrBlockSize reports data larger than BlockSize.
+	ErrBlockSize = blockstore.ErrBlockSize
+	// ErrBlockNotFound reports a read or update of an unwritten block.
+	ErrBlockNotFound = blockstore.ErrBlockNotFound
+	// ErrBlockWritten reports a second write of a block: DNA is
+	// append-only, so blocks are write-once (use updates instead).
+	ErrBlockWritten = blockstore.ErrBlockWritten
+	// ErrOverflowFull reports an exhausted overflow-log address space.
+	ErrOverflowFull = blockstore.ErrOverflowFull
+	// ErrBatchConflict reports a batch that lost an optimistic-
+	// concurrency race: a block it staged changed between planning and
+	// commit. The batch committed nothing and can be restaged.
+	ErrBatchConflict = blockstore.ErrBatchConflict
+)
 
 // Costs are the accumulated physical-cost counters of a System:
 // synthesized strands, consumed primer pairs, sequenced reads, and PCR
@@ -69,12 +116,13 @@ type Options struct {
 	// paper's depth 5 (1024 blocks). The strand geometry is adjusted so
 	// the sparse index (2 bases per level) fits.
 	TreeDepth int
-	// Workers sets the read-engine parallelism: how many of a range or
-	// batched read's PCR → sequence → decode reactions, and how many
-	// per-block decodes inside the pipeline, run concurrently. 0 means 1
-	// (serial); negative means GOMAXPROCS. Every reaction draws noise
-	// from its own deterministically forked rng source, so results are
-	// byte-identical for every worker count.
+	// Workers sets the engine parallelism: how many of a range or
+	// batched read's PCR → sequence → decode reactions, how many
+	// per-block decodes inside the pipeline, and how many of a batch
+	// write's unit encode+synthesis preparations run concurrently. 0
+	// means 1 (serial); negative means GOMAXPROCS. Every reaction and
+	// synthesized unit draws noise from its own deterministically forked
+	// rng source, so results are byte-identical for every worker count.
 	Workers int
 }
 
@@ -162,14 +210,36 @@ func (p *Partition) BlockSize() int { return p.p.BlockSize() }
 
 // WriteBlock stores data (at most BlockSize bytes) as the block's
 // original version. Blocks are write-once; use UpdateBlock afterwards —
-// DNA is an append-only medium.
+// DNA is an append-only medium. To store many blocks, Batch or
+// WriteBlocks commits them with one planning round-trip and the unit
+// synthesis fanned across the configured workers.
 func (p *Partition) WriteBlock(block int, data []byte) error {
 	return p.p.WriteBlock(block, data)
 }
 
-// Write stores data sequentially from block 0 and returns the number of
-// blocks consumed.
+// Write stores data sequentially from block 0 in one batch commit and
+// returns the number of blocks consumed. On error nothing is written.
 func (p *Partition) Write(data []byte) (int, error) { return p.p.Write(data) }
+
+// Batch returns an empty staged batch. Write and Update stage
+// operations without any wet work; Apply plans version and log slots
+// for the whole batch, encodes and synthesizes every unit across the
+// configured workers (byte-identical at any worker count), and commits
+// atomically under one short lock. Conflicts — double writes, updates
+// of unwritten blocks, overflow exhaustion, concurrent mutations of
+// staged blocks — are reported per operation via *BatchError, and a
+// failing batch commits nothing.
+func (p *Partition) Batch() *Batch { return p.p.Batch() }
+
+// WriteBlocks stores several blocks in one batch commit, staged in
+// ascending block order. On error (a *BatchError reporting each failed
+// block) nothing is written.
+func (p *Partition) WriteBlocks(blocks map[int][]byte) error { return p.p.WriteBlocks(blocks) }
+
+// UpdateBlocks logs several patches in one batch commit, applied in
+// slice order; several patches against one block land in consecutive
+// version slots, overflow chains included. On error nothing is written.
+func (p *Partition) UpdateBlocks(patches []BlockPatch) error { return p.p.UpdateBlocks(patches) }
 
 // ReadBlock retrieves one block through the full wet protocol and
 // returns its content with all updates applied.

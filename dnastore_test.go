@@ -2,6 +2,7 @@ package dnastore
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -140,6 +141,76 @@ func TestReadBlocksBatched(t *testing.T) {
 	}
 	if _, err := p.ReadBlocks([]int{3}); err == nil {
 		t.Error("unwritten block accepted")
+	}
+}
+
+// TestBatchAPI exercises the public staged-batch surface: chained
+// staging, bulk convenience wrappers, per-op error reporting with the
+// exported sentinels, and atomicity of a failing batch.
+func TestBatchAPI(t *testing.T) {
+	sys, err := New(Options{Seed: 7, MaxPartitions: 1, TreeDepth: 3, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.CreatePartition("batchapi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteBlocks(map[int][]byte{4: []byte("four"), 1: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	b := p.Batch().
+		Write(2, []byte("two")).
+		Update(2, Patch{InsertPos: 0, Insert: []byte("v1 ")}).
+		Update(4, Patch{DeleteStart: 0, DeleteCount: 1})
+	if b.Len() != 3 {
+		t.Errorf("staged %d ops", b.Len())
+	}
+	if err := b.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UpdateBlocks([]BlockPatch{
+		{Block: 1, Patch: Patch{InsertPos: 0, Insert: []byte("won ")}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadBlocks([]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"won one", "v1 two", "our"} {
+		if !bytes.HasPrefix(got[i], []byte(want)) {
+			t.Errorf("slot %d content %q want prefix %q", i, got[i][:8], want)
+		}
+	}
+
+	// Write-once violation and unwritten-block update in one failing
+	// batch: typed per-op report, nothing committed.
+	err = p.Batch().
+		Write(2, []byte("again")).
+		Update(9, Patch{Insert: []byte("x")}).
+		Write(10, []byte("innocent")).
+		Apply()
+	var be *BatchError
+	if !errors.As(err, &be) || len(be.Ops) != 2 {
+		t.Fatalf("expected a 2-op BatchError, got %v", err)
+	}
+	if !errors.Is(be.Ops[0], ErrBlockWritten) || be.Ops[0].Block != 2 {
+		t.Errorf("op error 0: %+v", be.Ops[0])
+	}
+	if !errors.Is(be.Ops[1], ErrBlockNotFound) || be.Ops[1].Block != 9 {
+		t.Errorf("op error 1: %+v", be.Ops[1])
+	}
+	if _, err := p.ReadBlock(10); !errors.Is(err, ErrBlockNotFound) {
+		t.Errorf("failed batch leaked block 10: %v", err)
+	}
+
+	// The classic single-op API wraps the same sentinels.
+	if err := p.WriteBlock(2, []byte("dup")); !errors.Is(err, ErrBlockWritten) {
+		t.Errorf("WriteBlock double write: %v", err)
+	}
+	if err := p.WriteBlock(64, []byte("x")); !errors.Is(err, ErrBlockRange) {
+		t.Errorf("WriteBlock out of range: %v", err)
 	}
 }
 

@@ -25,9 +25,11 @@ import (
 // digital front-end state (version/written maps, primer cache, noise
 // stream) is consulted briefly under the partition mutex, and the wet
 // work — PCR, sequencing, decoding — runs outside it, fanned across
-// workers for range and batched reads. Writes hold the mutex for the
-// whole operation; DNA synthesis is slow anyway and the paper's system
-// serializes tube mutations.
+// workers for range and batched reads. Writes go through the staged
+// Batch engine (see batch.go): version and log slots are planned
+// against a snapshot, unit encoding and synthesis draws fan across the
+// workers lock-free, and a short commit validates the plan against the
+// live version table before merging the species into the tube.
 type Partition struct {
 	store    *Store
 	name     string
@@ -132,19 +134,21 @@ func (p *Partition) chargeOverflow(block int) {
 	}
 }
 
-// writeUnit synthesizes the 15 strands of one (block, version) unit into
-// the tube. data must be exactly unit.DataBytes() long and already
-// include padding; it is whitened with the per-unit randomizer stream.
-// The caller must hold p.mu.
-func (p *Partition) writeUnit(block, version int, data []byte) error {
+// buildUnitOrders encodes one (block, version) unit into its synthesis
+// orders: per-unit whitening, RS parity, index lookup, strand assembly.
+// data must be exactly unit.DataBytes() long and already include
+// padding. The work touches only digital state that is immutable after
+// partition creation (randomizer, unit codec, tree, geometry), so it
+// needs no lock and fans safely across batch workers.
+func (p *Partition) buildUnitOrders(block, version int, data []byte) ([]pool.SynthesisOrder, error) {
 	white := p.rand.Derive(decode.UnitSeed(block, version)).Apply(data)
 	payloads, err := p.unit.Encode(white)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	idx, err := p.tree.Encode(block)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	orders := make([]pool.SynthesisOrder, 0, len(payloads))
 	for intra, pl := range payloads {
@@ -152,7 +156,7 @@ func (p *Partition) writeUnit(block, version int, data []byte) error {
 			Index: idx, Version: version, Intra: intra, Payload: pl,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		orders = append(orders, pool.SynthesisOrder{
 			Seq: seq,
@@ -165,13 +169,7 @@ func (p *Partition) writeUnit(block, version int, data []byte) error {
 			},
 		})
 	}
-	synth, err := pool.Synthesize(p.noise, orders, p.store.cfg.Synthesis)
-	if err != nil {
-		return err
-	}
-	p.store.mixIntoTube(synth, 1)
-	p.store.addCosts(func(c *Costs) { c.StrandsSynthesized += len(orders) })
-	return nil
+	return orders, nil
 }
 
 // sealUnit expands block content to the unit size, writing a CRC32 of
@@ -205,63 +203,70 @@ func (p *Partition) verifyUnit(data []byte) bool {
 }
 
 // WriteBlock stores data (at most BlockSize bytes) as the block's
-// original version.
+// original version. It is a one-op batch; WriteBlocks or a staged
+// Batch commits many blocks far more cheaply.
 func (p *Partition) WriteBlock(block int, data []byte) error {
-	if err := p.checkBlock(block); err != nil {
-		return err
-	}
-	if len(data) > p.BlockSize() {
-		return fmt.Errorf("%w: %d > %d", ErrBlockSize, len(data), p.BlockSize())
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.written[block] {
-		return fmt.Errorf("blockstore: block %d already written (DNA is append-only; use UpdateBlock)", block)
-	}
-	if err := p.writeUnit(block, 0, p.sealUnit(data)); err != nil {
-		return err
-	}
-	p.written[block] = true
-	return nil
+	return p.Batch().Write(block, data).apply1()
 }
 
-// Write stores data sequentially from block 0, returning the number of
-// blocks consumed.
+// Write stores data sequentially from block 0 in one batch commit,
+// returning the number of blocks consumed. On error nothing is written.
 func (p *Partition) Write(data []byte) (int, error) {
 	bs := p.BlockSize()
 	n := (len(data) + bs - 1) / bs
 	if n > p.Blocks() {
 		return 0, fmt.Errorf("%w: %d blocks needed, %d available", ErrBlockSize, n, p.Blocks())
 	}
+	b := p.Batch()
 	for i := 0; i < n; i++ {
 		end := (i + 1) * bs
 		if end > len(data) {
 			end = len(data)
 		}
-		if err := p.WriteBlock(i, data[i*bs:end]); err != nil {
-			return i, err
-		}
+		b.Write(i, data[i*bs:end])
+	}
+	if err := b.applyRetry(); err != nil {
+		return 0, err
 	}
 	return n, nil
+}
+
+// WriteBlocks stores several blocks in one batch commit, staged in
+// ascending block order. On error (reported per op via BatchError)
+// nothing is written.
+func (p *Partition) WriteBlocks(blocks map[int][]byte) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	order := make([]int, 0, len(blocks))
+	for blk := range blocks {
+		order = append(order, blk)
+	}
+	sort.Ints(order)
+	b := p.Batch()
+	for _, blk := range order {
+		b.Write(blk, blocks[blk])
+	}
+	return b.applyRetry()
 }
 
 // UpdateBlock logs a patch against the block. The first two updates
 // occupy the block's own version slots; further updates overflow into a
 // log block whose pointer occupies the last slot (Section 5.3).
 func (p *Partition) UpdateBlock(block int, patch update.Patch) error {
-	if err := p.checkBlock(block); err != nil {
-		return err
+	return p.Batch().Update(block, patch).apply1()
+}
+
+// UpdateBlocks logs several patches in one batch commit, in slice
+// order; multiple patches against one block land in consecutive version
+// slots, overflow chains included. On error (reported per op via
+// BatchError) nothing is written.
+func (p *Partition) UpdateBlocks(patches []BlockPatch) error {
+	b := p.Batch()
+	for _, bp := range patches {
+		b.Update(bp.Block, bp.Patch)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.written[block] {
-		return fmt.Errorf("%w: block %d", ErrBlockNotFound, block)
-	}
-	marshaled, err := patch.Marshal(p.BlockSize())
-	if err != nil {
-		return err
-	}
-	return p.appendVersion(block, p.sealUnit(marshaled))
+	return b.applyRetry()
 }
 
 // UpdateBlockExternal prepares an update patch as a separately
@@ -288,33 +293,9 @@ func (p *Partition) UpdateBlockExternal(block int, patch update.Patch, params po
 		return nil, err
 	}
 	version := n + 1
-	white := p.rand.Derive(decode.UnitSeed(block, version)).Apply(p.sealUnit(marshaled))
-	payloads, err := p.unit.Encode(white)
+	orders, err := p.buildUnitOrders(block, version, p.sealUnit(marshaled))
 	if err != nil {
 		return nil, err
-	}
-	idx, err := p.tree.Encode(block)
-	if err != nil {
-		return nil, err
-	}
-	orders := make([]pool.SynthesisOrder, 0, len(payloads))
-	for intra, pl := range payloads {
-		seq, err := p.store.cfg.Geometry.Assemble(p.fwd, p.rev, layout.Strand{
-			Index: idx, Version: version, Intra: intra, Payload: pl,
-		})
-		if err != nil {
-			return nil, err
-		}
-		orders = append(orders, pool.SynthesisOrder{
-			Seq: seq,
-			Meta: pool.Meta{
-				Partition:   p.name,
-				Block:       block,
-				Version:     version,
-				Intra:       intra,
-				OriginBlock: block,
-			},
-		})
 	}
 	external, err := pool.Synthesize(p.noise, orders, params)
 	if err != nil {
@@ -323,78 +304,6 @@ func (p *Partition) UpdateBlockExternal(block int, patch update.Patch, params po
 	p.store.addCosts(func(c *Costs) { c.StrandsSynthesized += len(orders) })
 	p.versions[block] = version
 	return external, nil
-}
-
-// appendVersion writes unit data as the next version of the block,
-// overflowing recursively when the direct slots are exhausted. The
-// caller must hold p.mu.
-func (p *Partition) appendVersion(block int, unitData []byte) error {
-	n := p.versions[block]
-	if n < directUpdateSlots {
-		if err := p.writeUnit(block, n+1, unitData); err != nil {
-			return err
-		}
-		p.versions[block] = n + 1
-		return nil
-	}
-	// Overflow path: ensure the block has a log block and a pointer in
-	// its last slot.
-	logBlock, ok := p.overflow[block]
-	if !ok {
-		logBlock = p.nextOverflow
-		if p.written[logBlock] || logBlock < 0 {
-			return fmt.Errorf("blockstore: overflow space exhausted for block %d", block)
-		}
-		ptr, err := update.MarshalOverflow(logBlock, p.BlockSize())
-		if err != nil {
-			return err
-		}
-		if err := p.writeUnit(block, directUpdateSlots+1, p.sealUnit(ptr)); err != nil {
-			return err
-		}
-		p.overflow[block] = logBlock
-		p.nextOverflow--
-		p.versions[block] = n + 1 // the pointer consumes the slot
-		// The log block's own v0 carries the first overflowed patch, so
-		// mark it written and recurse below.
-		p.written[logBlock] = true
-		p.versions[logBlock] = -1 // v0 not yet used; see writeLog below
-	}
-	return p.writeLog(logBlock, unitData, block)
-}
-
-// writeLog appends patch data into a log block's version slots
-// (including v0, which is a patch rather than data for log blocks). The
-// caller must hold p.mu.
-func (p *Partition) writeLog(logBlock int, unitData []byte, origin int) error {
-	n := p.versions[logBlock] // starts at -1: v0 unused
-	if n+1 <= directUpdateSlots {
-		if err := p.writeUnit(logBlock, n+1, unitData); err != nil {
-			return err
-		}
-		p.versions[logBlock] = n + 1
-		return nil
-	}
-	// The log block itself overflows: chain another log block.
-	next, ok := p.overflow[logBlock]
-	if !ok {
-		next = p.nextOverflow
-		if p.written[next] || next < 0 {
-			return fmt.Errorf("blockstore: overflow chain exhausted for block %d", origin)
-		}
-		ptr, err := update.MarshalOverflow(next, p.BlockSize())
-		if err != nil {
-			return err
-		}
-		if err := p.writeUnit(logBlock, directUpdateSlots+1, p.sealUnit(ptr)); err != nil {
-			return err
-		}
-		p.overflow[logBlock] = next
-		p.nextOverflow--
-		p.written[next] = true
-		p.versions[next] = -1
-	}
-	return p.writeLog(next, unitData, origin)
 }
 
 // BlockVersions holds the decoded raw units of one block retrieval.

@@ -13,12 +13,17 @@
 // Stores and partitions are safe for concurrent use, and with
 // Config.Workers > 1 a single range or batched read fans its
 // independent PCR reactions and block decodes out across a worker pool.
-// Every reaction draws its noise from its own rng.Source forked in
-// deterministic order from the partition's master stream, so results
+// Writes go through the same engine: a staged Batch plans version and
+// log slots digitally, encodes and synthesizes every unit across the
+// worker pool, and commits under one short lock. Every reaction and
+// every synthesized unit draws its noise from its own rng.Source forked
+// in deterministic order from the partition's master stream, so results
 // are byte-identical regardless of the worker count.
 package blockstore
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -37,11 +42,16 @@ import (
 	"dnastore/internal/seqsim"
 )
 
-// Errors returned by store operations.
+// Errors returned by store operations. All returned errors wrap one of
+// these sentinels, so callers can dispatch with errors.Is — including
+// through a BatchError, whose per-op errors unwrap to them.
 var (
 	ErrBlockRange    = errors.New("blockstore: block number out of range")
 	ErrBlockSize     = errors.New("blockstore: block data too large")
 	ErrBlockNotFound = errors.New("blockstore: block not written")
+	ErrBlockWritten  = errors.New("blockstore: block already written (DNA is append-only; use UpdateBlock)")
+	ErrOverflowFull  = errors.New("blockstore: overflow log space exhausted")
+	ErrBatchConflict = errors.New("blockstore: batch conflicts with a concurrent mutation")
 	ErrNoPrimers     = errors.New("blockstore: primer budget exhausted")
 )
 
@@ -77,9 +87,10 @@ type Config struct {
 	// primers participating in elongated-primer reactions.
 	CarryoverConc float64
 
-	// Workers sets the read-engine parallelism: how many PCR → sequence
-	// → decode reactions of one range or batched read, and how many
-	// per-block decodes inside the pipeline, run concurrently. 0 means 1
+	// Workers sets the engine parallelism: how many PCR → sequence →
+	// decode reactions of one range or batched read, how many per-block
+	// decodes inside the pipeline, and how many unit encode+synthesis
+	// preparations of one batch write run concurrently. 0 means 1
 	// (serial); negative means GOMAXPROCS. Results are byte-identical
 	// for every setting.
 	Workers int
@@ -208,6 +219,27 @@ func (s *Store) addCosts(f func(*Costs)) {
 // The returned pool is not synchronized; do not mutate it while store
 // operations run concurrently.
 func (s *Store) Tube() *pool.Pool { return s.tube }
+
+// TubeDigest hashes the tube's full physical state — species order,
+// sequences, exact abundance bits, provenance — the byte-identity
+// oracle behind the engines' determinism contract: two stores driven by
+// the same operation sequence must digest identically at any worker
+// count. Like Tube, it must not race with concurrent mutations.
+func (s *Store) TubeDigest() [32]byte {
+	h := sha256.New()
+	var word [8]byte
+	for _, sp := range s.tube.Species() {
+		h.Write([]byte(sp.Seq.String()))
+		binary.LittleEndian.PutUint64(word[:], math.Float64bits(sp.Abundance))
+		h.Write(word[:])
+		fmt.Fprintf(h, "%s/%d/%d/%d/%d/%v",
+			sp.Meta.Partition, sp.Meta.Block, sp.Meta.Version,
+			sp.Meta.Intra, sp.Meta.OriginBlock, sp.Meta.Misprimed)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
 
 // Config returns the store configuration.
 func (s *Store) Config() Config { return s.cfg }

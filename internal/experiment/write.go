@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dnastore/internal/blockstore"
+)
+
+// WriteResult reports the write-path scaling study: the same 64-block
+// payload committed through the per-block WriteBlock loop and through
+// one staged batch at workers=1 and workers=N, with the two batch tubes
+// checksum-compared — the determinism contract of the write engine.
+type WriteResult struct {
+	Workers         int
+	Blocks          int
+	LoopSeconds     float64 // one WriteBlock call per block
+	BatchSeconds    float64 // one Batch.Apply, workers=1
+	ParallelSeconds float64 // one Batch.Apply, workers=N
+	SpeedupVsLoop   float64 // loop / parallel batch
+	SpeedupVsBatch  float64 // serial batch / parallel batch
+	Identical       bool    // batch tubes byte-identical across workers
+}
+
+// Metrics returns the study's headline numbers for the -json report.
+func (r *WriteResult) Metrics() map[string]float64 {
+	identical := 0.0
+	if r.Identical {
+		identical = 1
+	}
+	return map[string]float64{
+		"workers":          float64(r.Workers),
+		"loop_seconds":     r.LoopSeconds,
+		"batch_seconds":    r.BatchSeconds,
+		"parallel_seconds": r.ParallelSeconds,
+		"speedup_vs_loop":  r.SpeedupVsLoop,
+		"speedup_vs_batch": r.SpeedupVsBatch,
+		"identical":        identical,
+	}
+}
+
+// WriteBenchStore builds the empty 64-block store the write study and
+// the repository's write benchmarks share, so both measure the same
+// configuration.
+func WriteBenchStore(workers int) (*blockstore.Store, *blockstore.Partition, error) {
+	primers, err := SearchPrimers(73, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := blockstore.DefaultConfig()
+	cfg.Seed = 73
+	cfg.TreeDepth = 3
+	cfg.Geometry.IndexLen = 6
+	cfg.Workers = workers
+	s, err := blockstore.New(cfg, primers)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := s.CreatePartition("bench")
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, p, nil
+}
+
+// writePayload returns the study's 64 block contents.
+func writePayload() [][]byte {
+	blocks := make([][]byte, 64)
+	for i := range blocks {
+		blocks[i] = []byte(fmt.Sprintf("write scaling study block %02d content", i))
+	}
+	return blocks
+}
+
+// WriteStudy times a 64-block write committed three ways — per-block
+// loop, one serial batch, one batch fanned across the given workers —
+// on identically seeded stores, and checks that the two batch tubes are
+// byte-identical (the loop tube legitimately differs: it draws noise
+// per operation rather than per batch).
+func WriteStudy(workers int) (*WriteResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	payload := writePayload()
+
+	_, loopPart, err := WriteBenchStore(1)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	for i, data := range payload {
+		if err := loopPart.WriteBlock(i, data); err != nil {
+			return nil, err
+		}
+	}
+	loopDur := time.Since(t0)
+
+	stage := func(p *blockstore.Partition) *blockstore.Batch {
+		b := p.Batch()
+		for i, data := range payload {
+			b.Write(i, data)
+		}
+		return b
+	}
+	serialStore, serialPart, err := WriteBenchStore(1)
+	if err != nil {
+		return nil, err
+	}
+	serialBatch := stage(serialPart)
+	t1 := time.Now()
+	if err := serialBatch.Apply(); err != nil {
+		return nil, err
+	}
+	serialDur := time.Since(t1)
+
+	fanStore, fanPart, err := WriteBenchStore(workers)
+	if err != nil {
+		return nil, err
+	}
+	fanBatch := stage(fanPart)
+	t2 := time.Now()
+	if err := fanBatch.Apply(); err != nil {
+		return nil, err
+	}
+	fanDur := time.Since(t2)
+
+	r := &WriteResult{
+		Workers:         workers,
+		Blocks:          len(payload),
+		LoopSeconds:     loopDur.Seconds(),
+		BatchSeconds:    serialDur.Seconds(),
+		ParallelSeconds: fanDur.Seconds(),
+		Identical:       serialStore.TubeDigest() == fanStore.TubeDigest(),
+	}
+	if r.ParallelSeconds > 0 {
+		r.SpeedupVsLoop = r.LoopSeconds / r.ParallelSeconds
+		r.SpeedupVsBatch = r.BatchSeconds / r.ParallelSeconds
+	}
+	return r, nil
+}
+
+// PrintWriteStudy formats the write-path scaling study.
+func PrintWriteStudy(w io.Writer, r *WriteResult) {
+	fmt.Fprintf(w, "Batch write engine (%d blocks, one unit each)\n", r.Blocks)
+	fmt.Fprintf(w, "  WriteBlock loop:    %8.3fs\n", r.LoopSeconds)
+	fmt.Fprintf(w, "  batch, workers=1:   %8.3fs\n", r.BatchSeconds)
+	fmt.Fprintf(w, "  batch, workers=%-2d:  %8.3fs   (%.2fx vs loop, %.2fx vs serial batch)\n",
+		r.Workers, r.ParallelSeconds, r.SpeedupVsLoop, r.SpeedupVsBatch)
+	if r.Identical {
+		fmt.Fprintf(w, "  batch tubes byte-identical across workers: yes\n")
+	} else {
+		fmt.Fprintf(w, "  batch tubes byte-identical across workers: NO — determinism contract violated\n")
+	}
+}
