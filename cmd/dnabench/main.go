@@ -10,7 +10,14 @@
 //
 // Experiment ids: fig3, fig9a, fig9b, fig9c, multiplex, fig10, cost,
 // latency, updatecost, decode, misprime, scale, tree, density, cache,
-// primers, parallel, kernels, write.
+// primers, parallel, kernels, write, binding.
+//
+// The -scale flag multiplies the Alice partition's block count for the
+// wetlab-backed studies (fig9*, fig10, decode, ...): -scale 12 grows
+// the paper's 8805-strand pool to a ~10^5-strand pool, the regime the
+// ROADMAP scale experiments target. The tracked wetlab studies
+// (fig9a/b/c, fig10) also record the store binding cache's hit rate
+// over their own reactions in the -json metrics (binding_hit_rate).
 package main
 
 import (
@@ -29,7 +36,7 @@ var experimentIDs = []string{
 	"fig3", "fig9a", "fig9b", "fig9c", "multiplex", "fig10",
 	"cost", "latency", "updatecost", "decode", "misprime",
 	"scale", "tree", "density", "cache", "primers", "related", "alloc",
-	"parallel", "kernels", "write",
+	"parallel", "kernels", "write", "binding",
 }
 
 func main() {
@@ -37,6 +44,7 @@ func main() {
 	reads := flag.Int("reads", 50000, "sequencing reads per figure-9 experiment")
 	seed := flag.Uint64("seed", 0, "wetlab seed (0 = default)")
 	workers := flag.Int("workers", runtime.NumCPU(), "read-engine workers for the parallel experiment")
+	scale := flag.Int("scale", 1, "multiply the Alice partition's block count (12 ≈ a 10^5-strand pool)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "write machine-readable timings and headline metrics to this file (e.g. BENCH_PR2.json)")
 	flag.Parse()
@@ -47,7 +55,7 @@ func main() {
 		}
 		return
 	}
-	if err := runExperiments(*run, *reads, *seed, *workers, *jsonPath); err != nil {
+	if err := runExperiments(*run, *reads, *seed, *workers, *scale, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "dnabench:", err)
 		os.Exit(1)
 	}
@@ -66,12 +74,14 @@ type report struct {
 	GeneratedBy string   `json:"generated_by"`
 	GoMaxProcs  int      `json:"gomaxprocs"`
 	Reads       int      `json:"reads"`
+	Scale       int      `json:"scale,omitempty"`
 	Timings     []timing `json:"timings"`
 }
 
 // recorder accumulates timings as experiments run.
 type recorder struct {
 	reads   int
+	scale   int
 	timings []timing
 }
 
@@ -91,6 +101,7 @@ func (rc *recorder) write(path string) error {
 		GeneratedBy: "dnabench -json",
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Reads:       rc.reads,
+		Scale:       rc.scale,
 		Timings:     rc.timings,
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
@@ -100,7 +111,7 @@ func (rc *recorder) write(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runExperiments(run string, reads int, seed uint64, workers int, jsonPath string) error {
+func runExperiments(run string, reads int, seed uint64, workers, scale int, jsonPath string) error {
 	want := map[string]bool{}
 	if run == "all" {
 		for _, id := range experimentIDs {
@@ -117,7 +128,7 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 		}
 	}
 	out := os.Stdout
-	rc := &recorder{reads: reads, timings: make([]timing, 0, 16)}
+	rc := &recorder{reads: reads, scale: scale, timings: make([]timing, 0, 16)}
 	finish := func() error {
 		if jsonPath == "" {
 			return nil
@@ -204,6 +215,25 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 		experiment.PrintParallel(out, r)
 		fmt.Fprintln(out)
 	}
+	if want["binding"] {
+		fmt.Fprintln(out, "running the cross-reaction binding-cache study...")
+		var r *experiment.BindingResult
+		tm, err := rc.track("binding", func() error {
+			var err error
+			r, err = experiment.BindingStudy(0)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tm.Metrics = r.Metrics()
+		experiment.PrintBindingStudy(out, r)
+		fmt.Fprintln(out)
+		if !r.Identical {
+			// The CI smoke step advertises this gate; make it bite.
+			return fmt.Errorf("binding: cached product not byte-identical to uncached")
+		}
+	}
 	if want["write"] {
 		fmt.Fprintf(out, "running the write-engine scaling study (workers=%d)...\n", workers)
 		var r *experiment.WriteResult
@@ -227,13 +257,17 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 		return finish()
 	}
 
+	aliceBlocks := experiment.AliceBlocks
+	if scale > 1 {
+		aliceBlocks *= scale
+	}
 	t0 := time.Now()
 	fmt.Fprintf(out, "building the Section 6 wetlab (13 files, %d-block Alice partition)...\n",
-		experiment.AliceBlocks)
+		aliceBlocks)
 	var w *experiment.Wetlab
 	_, err := rc.track("build", func() error {
 		var err error
-		w, err = experiment.Build(experiment.Options{Seed: seed})
+		w, err = experiment.Build(experiment.Options{Seed: seed, Scale: scale})
 		return err
 	})
 	if err != nil {
@@ -241,6 +275,33 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 	}
 	fmt.Fprintf(out, "built in %v: %d strands in the Alice pool, %d in the IDT update pool\n\n",
 		time.Since(t0).Round(time.Millisecond), w.AliceStrands(), w.IDTPool.Len())
+
+	// The tracked wetlab studies record the store binding cache's hit
+	// rate over their own reactions: snapBind pins the window start
+	// right before a study runs (untracked studies in between — e.g.
+	// multiplex — also drive the shared cache, and must not be
+	// attributed to the next tracked one), bindRate closes it.
+	lastBind, bindOK := w.Store.BindingStats()
+	snapBind := func() {
+		if bindOK {
+			lastBind, _ = w.Store.BindingStats()
+		}
+	}
+	bindRate := func(tm *timing) {
+		if !bindOK {
+			return
+		}
+		cur, _ := w.Store.BindingStats()
+		rate, any := cur.HitRateSince(lastBind)
+		lastBind = cur
+		if !any {
+			return
+		}
+		if tm.Metrics == nil {
+			tm.Metrics = make(map[string]float64)
+		}
+		tm.Metrics["binding_hit_rate"] = rate
+	}
 
 	var a *experiment.Fig9aResult
 	tm, err := rc.track("fig9a", func() error {
@@ -255,6 +316,7 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 		"uniformity_ratio": a.UniformityRatio,
 		"updated_boost":    a.UpdatedBoost,
 	}
+	bindRate(tm)
 	if want["fig9a"] {
 		experiment.PrintFig9a(out, a)
 		fmt.Fprintln(out)
@@ -274,6 +336,7 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 		tm.Metrics = map[string]float64{
 			"target_overall": b.TargetOverall(),
 		}
+		bindRate(tm)
 	}
 	if want["fig9b"] {
 		experiment.PrintFig9b(out, b)
@@ -281,7 +344,7 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 	}
 	if want["fig9c"] {
 		var c *experiment.Fig9bResult
-		_, err = rc.track("fig9c", func() error {
+		tm, err := rc.track("fig9c", func() error {
 			var err error
 			c, err = experiment.Fig9Elongated(w, a.Amplified, 144, reads)
 			return err
@@ -289,6 +352,7 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 		if err != nil {
 			return err
 		}
+		bindRate(tm)
 		experiment.PrintFig9b(out, c)
 		fmt.Fprintln(out)
 	}
@@ -353,6 +417,7 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 	if want["fig10"] {
 		for _, proto := range []string{"measure-then-amplify", "amplify-then-measure"} {
 			var r *experiment.Fig10Result
+			snapBind()
 			tm, err := rc.track("fig10/"+proto, func() error {
 				var err error
 				r, err = experiment.Fig10(w, proto, 8*reads)
@@ -364,6 +429,7 @@ func runExperiments(run string, reads int, seed uint64, workers int, jsonPath st
 			tm.Metrics = map[string]float64{
 				"imbalance": r.Imbalance,
 			}
+			bindRate(tm)
 			experiment.PrintFig10(out, r)
 			fmt.Fprintln(out)
 		}

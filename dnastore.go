@@ -124,7 +124,22 @@ type Options struct {
 	// synthesized unit draws noise from its own deterministically forked
 	// rng source, so results are byte-identical for every worker count.
 	Workers int
+
+	// BindingCache is the entry budget of the store-level binding
+	// cache: primer ⇄ species alignments are pure functions of their
+	// sequences, so every PCR of the system shares one cache and
+	// repeated or range reads skip most re-alignment work. 0 selects
+	// the default budget (~10^6 entries); a negative value disables
+	// the cache. Reads return byte-identical results either way — only
+	// the wall clock changes. BindingStats reports hit rates.
+	BindingCache int
 }
+
+// BindingStats is a snapshot of the system's binding-cache counters:
+// row and content hits (alignments skipped), misses (alignments
+// performed), evictions, resident entries, and compiled-pattern memo
+// traffic.
+type BindingStats = blockstore.BindingStats
 
 // System is one simulated DNA tube and its partitions.
 type System struct {
@@ -148,15 +163,12 @@ func New(opt Options) (*System, error) {
 	cfg := blockstore.DefaultConfig()
 	cfg.Seed = opt.Seed
 	cfg.Workers = opt.Workers
+	cfg.BindingEntries = opt.BindingCache
 	if opt.TreeDepth != 5 {
-		cfg.TreeDepth = opt.TreeDepth
-		// The payload shrinks or grows with the index field; trim the
-		// strand so the payload stays a whole number of bytes.
-		// Geometry.Validate rejects infeasible depths.
-		cfg.Geometry.IndexLen = 2 * opt.TreeDepth
-		if rem := cfg.Geometry.PayloadBases() % 4; rem > 0 && cfg.Geometry.PayloadBases() > rem {
-			cfg.Geometry.StrandLen -= rem
-		}
+		// The payload shrinks or grows with the index field; the shared
+		// adjustment trims the strand so the payload stays a whole
+		// number of bytes. Geometry.Validate rejects infeasible depths.
+		cfg.SetTreeDepth(opt.TreeDepth)
 	}
 	lib := primer.NewLibrary(primer.DefaultConstraints())
 	lib.Search(rng.New(opt.Seed^0x9121e), 2*opt.MaxPartitions, 4_000_000)
@@ -173,6 +185,10 @@ func New(opt Options) (*System, error) {
 
 // Costs returns the system's accumulated physical-cost counters.
 func (s *System) Costs() Costs { return s.store.Costs() }
+
+// BindingStats returns a snapshot of the binding cache's counters; ok
+// is false when the cache is disabled (negative Options.BindingCache).
+func (s *System) BindingStats() (st BindingStats, ok bool) { return s.store.BindingStats() }
 
 // CreatePartition allocates the next primer pair and returns an empty
 // partition with its own PCR-navigable index tree.

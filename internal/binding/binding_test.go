@@ -1,0 +1,353 @@
+package binding
+
+import (
+	"sync"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/pool"
+	"dnastore/internal/rng"
+)
+
+// randSeq fabricates a random sequence of length n.
+func randSeq(r *rng.Source, n int) dna.Seq {
+	s := make(dna.Seq, n)
+	for i := range s {
+		s[i] = dna.Base(r.Intn(4))
+	}
+	return s
+}
+
+// mutate returns a copy of s with k random substitutions, producing
+// templates near (but not at) binding distance 0.
+func mutate(r *rng.Source, s dna.Seq, k int) dna.Seq {
+	out := s.Clone()
+	for i := 0; i < k; i++ {
+		out[r.Intn(len(out))] = dna.Base(r.Intn(4))
+	}
+	return out
+}
+
+// testWorkload builds primer pairs and templates that exercise every
+// binding state: exact matches, near matches, and rejections.
+func testWorkload(seed uint64) (pairs []Pair, templates []dna.Seq) {
+	r := rng.New(seed)
+	for i := 0; i < 3; i++ {
+		pairs = append(pairs, Pair{Fwd: randSeq(r, 20+i*4), Rev: randSeq(r, 20)})
+	}
+	for _, p := range pairs {
+		body := randSeq(r, 100)
+		exact := dna.Concat(p.Fwd, body, p.Rev)
+		templates = append(templates, exact, mutate(r, exact, 2), mutate(r, exact, 8))
+	}
+	for i := 0; i < 4; i++ {
+		templates = append(templates, randSeq(r, 150)) // unrelated
+	}
+	return pairs, templates
+}
+
+// templatePool materializes the templates as a pool, giving them the
+// species indexes a reaction would see.
+func templatePool(templates []dna.Seq) *pool.Pool {
+	p := pool.New()
+	for i, t := range templates {
+		p.Add(t, float64(i+1), pool.Meta{Block: i})
+	}
+	return p
+}
+
+// TestCachedMatchesDirect pins the cache's only contract that matters:
+// for every (pair, species), the cached provider returns exactly the
+// binding the Direct provider computes — on the first (miss) pass, the
+// row-hit pass over the same pool, and a content-hit pass over a clone
+// of the pool (fresh identity, same sequences).
+func TestCachedMatchesDirect(t *testing.T) {
+	pairs, templates := testWorkload(1)
+	p := templatePool(templates)
+	const maxDist = 5
+	direct := Direct{}.Begin(pairs, maxDist, p)
+	cache := NewCache(0)
+	pools := []*pool.Pool{p, p, p.Clone()}
+	for pass, pp := range pools {
+		rx := cache.Begin(pairs, maxDist, pp)
+		for pi := range pairs {
+			for ti, tmpl := range templates {
+				want := direct.Bind(pi, ti, tmpl)
+				got := rx.Bind(pi, ti, tmpl)
+				if got != want {
+					t.Fatalf("pass %d pair %d template %d: cached %+v, direct %+v",
+						pass, pi, ti, got, want)
+				}
+				if got.State == Unknown {
+					t.Fatalf("Bind returned Unknown state")
+				}
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.RowHits == 0 {
+		t.Error("second pass over the same pool recorded no row hits")
+	}
+	if st.Hits == 0 {
+		t.Error("pass over the clone recorded no content hits")
+	}
+	if st.Misses == 0 || st.Entries == 0 {
+		t.Errorf("stats misses=%d entries=%d, want both > 0", st.Misses, st.Entries)
+	}
+	if got := st.HitRate(); got <= 0.5 {
+		t.Errorf("hit rate %.2f after two warm passes, want > 0.5", got)
+	}
+}
+
+// TestBudgetIsPartOfTheKey guards the subtle invalidation hazard: a
+// None verdict at a small budget must not be served for a larger one —
+// in the content store or in the identity rows.
+func TestBudgetIsPartOfTheKey(t *testing.T) {
+	r := rng.New(7)
+	p := Pair{Fwd: randSeq(r, 20), Rev: randSeq(r, 20)}
+	tmpl := dna.Concat(mutate(r, p.Fwd, 3), randSeq(r, 100), p.Rev)
+	pl := templatePool([]dna.Seq{tmpl})
+	cache := NewCache(0)
+	tight := cache.Begin([]Pair{p}, 1, pl).Bind(0, 0, tmpl)
+	loose := cache.Begin([]Pair{p}, 8, pl).Bind(0, 0, tmpl)
+	wantTight := Direct{}.Begin([]Pair{p}, 1, pl).Bind(0, 0, tmpl)
+	wantLoose := Direct{}.Begin([]Pair{p}, 8, pl).Bind(0, 0, tmpl)
+	if tight != wantTight {
+		t.Errorf("budget 1: cached %+v, direct %+v", tight, wantTight)
+	}
+	if loose != wantLoose {
+		t.Errorf("budget 8: cached %+v, direct %+v", loose, wantLoose)
+	}
+	if tight.State != None || loose.State != OK {
+		t.Fatalf("workload does not separate budgets: tight %+v loose %+v", tight, loose)
+	}
+}
+
+// TestPackBindingRoundTrip pins the packed row-slot codec, including
+// that no real binding packs to the reserved zero word.
+func TestPackBindingRoundTrip(t *testing.T) {
+	cases := []Binding{
+		{State: None},
+		{State: OK},
+		{State: OK, Dist: 5, End: 31},
+		{State: OK, Dist: 0x3fffffff, End: 1<<31 - 1},
+	}
+	for _, b := range cases {
+		x := packBinding(b)
+		if x == 0 {
+			t.Errorf("%+v packs to the reserved zero word", b)
+		}
+		if got := unpackBinding(x); got != b {
+			t.Errorf("round trip %+v -> %+v", b, got)
+		}
+	}
+}
+
+// TestEvictionUnderPressure runs a working set far above a tiny budget
+// and checks that answers stay correct (evicted entries are simply
+// recomputed) and that the clock hand actually evicts. Pools are
+// cloned per pass so every lookup exercises the content store, not the
+// identity rows.
+func TestEvictionUnderPressure(t *testing.T) {
+	pairs, templates := testWorkload(3)
+	r := rng.New(9)
+	for i := 0; i < 400; i++ {
+		templates = append(templates, randSeq(r, 150))
+	}
+	p := templatePool(templates)
+	const maxDist = 5
+	cache := NewCache(64) // 1 content entry per shard
+	direct := Direct{}.Begin(pairs, maxDist, p)
+	for pass := 0; pass < 2; pass++ {
+		rx := cache.Begin(pairs, maxDist, p.Clone())
+		for pi := range pairs {
+			for ti, tmpl := range templates {
+				if got, want := rx.Bind(pi, ti, tmpl), direct.Bind(pi, ti, tmpl); got != want {
+					t.Fatalf("pass %d pair %d template %d under pressure: %+v want %+v",
+						pass, pi, ti, got, want)
+				}
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("no evictions with %d lookups against a 64-entry budget", st.Hits+st.Misses)
+	}
+	if st.Entries > 64 {
+		t.Errorf("resident entries %d exceed the 64-entry budget", st.Entries)
+	}
+}
+
+// TestRowEviction cycles more pool identities through one cache than
+// the row budget admits and checks answers stay correct throughout.
+func TestRowEviction(t *testing.T) {
+	pairs, templates := testWorkload(21)
+	const maxDist = 5
+	base := templatePool(templates)
+	direct := Direct{}.Begin(pairs, maxDist, base)
+	cache := NewCache(0)
+	for i := 0; i < 3*maxRows; i++ {
+		pp := base.Clone()
+		rx := cache.Begin(pairs, maxDist, pp)
+		for ti, tmpl := range templates {
+			if got, want := rx.Bind(0, ti, tmpl), direct.Bind(0, ti, tmpl); got != want {
+				t.Fatalf("identity %d template %d: %+v want %+v", i, ti, got, want)
+			}
+		}
+	}
+	cache.rowMu.Lock()
+	n := len(cache.rows)
+	cache.rowMu.Unlock()
+	if n > maxRows {
+		t.Errorf("%d resident rows exceed the %d-row budget", n, maxRows)
+	}
+}
+
+// TestPatternMemo checks that Begin reuses compiled patterns across
+// reactions and that the decode-facing Pattern hook shares the memo.
+func TestPatternMemo(t *testing.T) {
+	pairs, templates := testWorkload(5)
+	p := templatePool(templates)
+	cache := NewCache(0)
+	cache.Begin(pairs, 5, p)
+	before := cache.Stats()
+	cache.Begin(pairs, 5, p)
+	after := cache.Stats()
+	if after.PatternMisses != before.PatternMisses {
+		t.Errorf("second Begin compiled %d new patterns", after.PatternMisses-before.PatternMisses)
+	}
+	if after.PatternHits <= before.PatternHits {
+		t.Error("second Begin did not hit the pattern memo")
+	}
+	p1 := cache.Pattern(pairs[0].Fwd)
+	p2 := cache.Pattern(pairs[0].Fwd)
+	if p1 != p2 {
+		t.Error("Pattern returned distinct compilations for one sequence")
+	}
+}
+
+// TestConcurrentBind hammers one cache from many goroutines (the shape
+// of a fanned range read: several reactions over one tube identity,
+// plus clones) and cross-checks every answer against Direct. Run with
+// -race.
+func TestConcurrentBind(t *testing.T) {
+	pairs, templates := testWorkload(11)
+	p := templatePool(templates)
+	const maxDist = 5
+	direct := Direct{}.Begin(pairs, maxDist, p)
+	want := make([][]Binding, len(pairs))
+	for pi := range pairs {
+		want[pi] = make([]Binding, len(templates))
+		for ti, tmpl := range templates {
+			want[pi][ti] = direct.Bind(pi, ti, tmpl)
+		}
+	}
+	cache := NewCache(128) // small enough to evict under the load below
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			input := p
+			if g%2 == 1 {
+				input = p.Clone() // exercise row growth + content path together
+			}
+			rx := cache.Begin(pairs, maxDist, input)
+			for rep := 0; rep < 20; rep++ {
+				for pi := range pairs {
+					for ti, tmpl := range templates {
+						if got := rx.Bind(pi, ti, tmpl); got != want[pi][ti] {
+							t.Errorf("goroutine %d: pair %d template %d mismatch", g, pi, ti)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDirectBindAllocs pins the zero-allocation property of the
+// alignment itself, the innermost loop of every reaction (moved here
+// from package pcr with the binding code).
+func TestDirectBindAllocs(t *testing.T) {
+	pairs, templates := testWorkload(13)
+	rx := Direct{}.Begin(pairs, 5, nil)
+	tmpl := templates[0]
+	far := templates[len(templates)-1]
+	if avg := testing.AllocsPerRun(200, func() { rx.Bind(0, 0, tmpl) }); avg != 0 {
+		t.Errorf("direct bind (match) allocates %.1f times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { rx.Bind(0, 0, far) }); avg != 0 {
+		t.Errorf("direct bind (reject) allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestCachedHitAllocs pins the warm paths: neither a row hit (atomic
+// load) nor a content hit (no-copy map probe with pooled scratch) may
+// allocate.
+func TestCachedHitAllocs(t *testing.T) {
+	pairs, templates := testWorkload(17)
+	p := templatePool(templates)
+	cache := NewCache(0)
+	rx := cache.Begin(pairs, 5, p)
+	tmpl := templates[0]
+	rx.Bind(0, 0, tmpl) // populate row + content store
+	if avg := testing.AllocsPerRun(200, func() { rx.Bind(0, 0, tmpl) }); avg != 0 {
+		t.Errorf("row hit allocates %.1f times per call, want 0", avg)
+	}
+	clone := cache.Begin(pairs, 5, p.Clone()).(*cachedReaction)
+	clone.Bind(0, 0, tmpl) // fills the clone's row from the content store
+	rowless := cache.Begin(pairs, 5, nil)
+	if avg := testing.AllocsPerRun(200, func() { rowless.Bind(0, 0, tmpl) }); avg != 0 {
+		t.Errorf("content hit allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// BenchmarkBindRowHit / BenchmarkBindContentHit / BenchmarkBindDirect
+// report the per-binding cost of the three regimes: an identity-row
+// hit, a content-store hit, and a fresh alignment.
+func BenchmarkBindRowHit(b *testing.B) {
+	pairs, templates := testWorkload(19)
+	p := templatePool(templates)
+	cache := NewCache(0)
+	rx := cache.Begin(pairs, 5, p)
+	for ti, tmpl := range templates {
+		rx.Bind(0, ti, tmpl)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ti := i % len(templates)
+		rx.Bind(0, ti, templates[ti])
+	}
+}
+
+func BenchmarkBindContentHit(b *testing.B) {
+	pairs, templates := testWorkload(19)
+	p := templatePool(templates)
+	cache := NewCache(0)
+	warm := cache.Begin(pairs, 5, p)
+	for ti, tmpl := range templates {
+		warm.Bind(0, ti, tmpl)
+	}
+	rx := cache.Begin(pairs, 5, nil) // no identity: every hit is a content probe
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ti := i % len(templates)
+		rx.Bind(0, ti, templates[ti])
+	}
+}
+
+func BenchmarkBindDirect(b *testing.B) {
+	pairs, templates := testWorkload(19)
+	rx := Direct{}.Begin(pairs, 5, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ti := i % len(templates)
+		rx.Bind(0, ti, templates[ti])
+	}
+}

@@ -1,0 +1,419 @@
+package binding
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/pool"
+)
+
+// DefaultEntries is the content-store entry budget of a Cache created
+// with a non-positive size: at 12 bytes of payload plus ~60 bytes of
+// key and map overhead per entry, one million entries cost on the
+// order of 100 MB — sized for the 10^5–10^6-strand pools the scale
+// experiments target (each species costs one entry per primer pair it
+// has been aligned against).
+const DefaultEntries = 1 << 20
+
+// shardCount spreads the content store over independently locked
+// shards so concurrent reactions (and the parallel scoring chunks
+// inside one reaction) rarely contend. Must be a power of two.
+const shardCount = 64
+
+// maxRows bounds how many (primer pair, pool identity) dense rows the
+// cache keeps, LRU-evicted at Begin time. Each row costs 8 bytes per
+// input species, so the worst case is maxRows x pool size x 8 bytes.
+const maxRows = 64
+
+// Stats is a snapshot of a Cache's counters.
+type Stats struct {
+	RowHits   uint64 // Bind answered by an index-addressed row (lock-free)
+	Hits      uint64 // Bind answered by the content store
+	Misses    uint64 // Bind computed an alignment
+	Evictions uint64 // content entries displaced by the clock hand
+	Entries   int    // content entries currently resident
+
+	// PatternHits and PatternMisses count the compiled-pattern memo:
+	// misses ran dna.CompilePattern, hits reused an Eq table.
+	PatternHits   uint64
+	PatternMisses uint64
+}
+
+// HitRate returns the fraction of Bind calls answered without aligning:
+// (RowHits + Hits) / (RowHits + Hits + Misses), or 0 before any Bind.
+func (s Stats) HitRate() float64 {
+	served := s.RowHits + s.Hits
+	total := served + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
+}
+
+// HitRateSince returns the hit rate over the window between an earlier
+// snapshot and this one, and whether the window saw any Bind calls at
+// all — the per-study accounting dnabench and the binding study share.
+func (s Stats) HitRateSince(prev Stats) (rate float64, any bool) {
+	w := Stats{
+		RowHits: s.RowHits - prev.RowHits,
+		Hits:    s.Hits - prev.Hits,
+		Misses:  s.Misses - prev.Misses,
+	}
+	if w.RowHits+w.Hits+w.Misses == 0 {
+		return 0, false
+	}
+	return w.HitRate(), true
+}
+
+// Cache is a bounded, store-level binding cache shared across
+// reactions. It layers two structures, both holding the same immutable
+// facts:
+//
+//   - A content-addressed store keyed by (primer pair, distance budget,
+//     template sequence) — all content, no identity — bounded by the
+//     entry budget with clock (second-chance) eviction. Entries never
+//     need invalidation: a pool gaining or losing species changes no
+//     key, and pools that share sequences (a tube and its PCR products,
+//     two stores with the same corpus) share entries.
+//
+//   - Per (primer pair, pool identity) dense rows indexed by species
+//     position, assembled at Begin from pool.Version()'s id. Pools are
+//     append-only, so a row slot, once filled, is valid forever; the
+//     id is purely an assembly address, never an invalidation hook.
+//     Rows exist because the bit-parallel engine made a single
+//     alignment (~0.2 µs) as cheap as packing a 150-base template and
+//     probing a locked map — a content hit alone barely wins, while a
+//     row hit is one atomic load. Row slots are published as packed
+//     uint64s, so readers never take a lock on the hot path.
+//
+// Cache also memoizes dna.CompilePattern per sequence, so repeated
+// reactions (and decode pipelines, via the PatternCompiler hook in
+// package decode) stop rebuilding Eq tables. The pattern memo is
+// unbounded but tiny: one entry per distinct primer or elongated
+// primer the store has ever used.
+//
+// All methods are safe for concurrent use.
+type Cache struct {
+	budget int // per-shard content entry budget
+	shards [shardCount]shard
+
+	rowHits   atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	patHits   atomic.Uint64
+	patMisses atomic.Uint64
+
+	rowMu   sync.Mutex
+	rows    map[string]*poolRow
+	rowTick int64
+
+	patMu sync.RWMutex
+	pats  map[string]*dna.Pattern
+}
+
+type shard struct {
+	mu    sync.Mutex
+	m     map[string]int // key -> slot index
+	slots []slot
+	hand  int
+}
+
+type slot struct {
+	key string
+	b   Binding
+	ref bool
+}
+
+// NewCache returns a cache whose content store is bounded to roughly
+// maxEntries bindings (rounded up to a multiple of the shard count).
+// maxEntries <= 0 selects DefaultEntries.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultEntries
+	}
+	per := (maxEntries + shardCount - 1) / shardCount
+	c := &Cache{
+		budget: per,
+		rows:   make(map[string]*poolRow),
+		pats:   make(map[string]*dna.Pattern),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]int)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the counters. Entries walks the shards
+// under their locks; the other counters are loaded atomically.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		RowHits:       c.rowHits.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		PatternHits:   c.patHits.Load(),
+		PatternMisses: c.patMisses.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Pattern returns the compiled bit-parallel pattern for seq, compiling
+// it at most once per distinct sequence.
+func (c *Cache) Pattern(seq dna.Seq) *dna.Pattern {
+	key := string(dna.AppendPacked(nil, seq))
+	c.patMu.RLock()
+	p := c.pats[key]
+	c.patMu.RUnlock()
+	if p != nil {
+		c.patHits.Add(1)
+		return p
+	}
+	c.patMisses.Add(1)
+	p = dna.CompilePattern(seq)
+	c.patMu.Lock()
+	if q, ok := c.pats[key]; ok {
+		p = q
+	} else {
+		c.pats[key] = p
+	}
+	c.patMu.Unlock()
+	return p
+}
+
+// --- packed row slots ----------------------------------------------------
+
+// Row slots pack a Binding into one uint64 so readers need only an
+// atomic load: state in the top bits, then distance, then end. The
+// zero word means "not yet filled" (State Unknown is 0, and both None
+// and OK set a state bit).
+func packBinding(b Binding) uint64 {
+	return uint64(b.State)<<62 | uint64(uint32(b.Dist)&0x3fffffff)<<32 | uint64(uint32(b.End))
+}
+
+func unpackBinding(x uint64) Binding {
+	return Binding{
+		State: uint8(x >> 62),
+		Dist:  int32(x >> 32 & 0x3fffffff),
+		End:   int32(uint32(x)),
+	}
+}
+
+// poolRow is one (primer pair, pool identity) dense row. The slice is
+// published through an atomic pointer; growth copies under mu and
+// swaps, so readers never block. A write racing a growth may land in
+// the retiring array and be lost — that only costs a recomputation of
+// a pure fact, never a wrong answer.
+type poolRow struct {
+	mu  sync.Mutex
+	arr atomic.Pointer[[]atomic.Uint64]
+	use atomic.Int64 // LRU stamp, bumped by Begin
+}
+
+// grow ensures the row has at least n slots.
+func (r *poolRow) grow(n int) {
+	cur := r.arr.Load()
+	if cur != nil && len(*cur) >= n {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur = r.arr.Load()
+	if cur != nil && len(*cur) >= n {
+		return
+	}
+	next := make([]atomic.Uint64, n)
+	if cur != nil {
+		for i := range *cur {
+			next[i].Store((*cur)[i].Load())
+		}
+	}
+	r.arr.Store(&next)
+}
+
+func (r *poolRow) load(si int) uint64 {
+	cur := r.arr.Load()
+	if cur == nil || si >= len(*cur) {
+		return 0
+	}
+	return (*cur)[si].Load()
+}
+
+func (r *poolRow) store(si int, x uint64) {
+	cur := r.arr.Load()
+	if cur != nil && si < len(*cur) {
+		(*cur)[si].Store(x)
+	}
+}
+
+// row returns (creating if needed) the dense row for a pair key and
+// pool id, bumping its LRU stamp and evicting the coldest row over
+// budget. Rows hold only redundant copies of pure facts, so eviction
+// is always safe.
+func (c *Cache) row(pairKey []byte, id uint64) *poolRow {
+	key := string(binary.BigEndian.AppendUint64(append([]byte(nil), pairKey...), id))
+	c.rowMu.Lock()
+	defer c.rowMu.Unlock()
+	c.rowTick++
+	r, ok := c.rows[key]
+	if !ok {
+		if len(c.rows) >= maxRows {
+			var coldKey string
+			coldUse := int64(1<<63 - 1)
+			for k, v := range c.rows {
+				if u := v.use.Load(); u < coldUse {
+					coldKey, coldUse = k, u
+				}
+			}
+			delete(c.rows, coldKey)
+		}
+		r = &poolRow{}
+		c.rows[key] = r
+	}
+	r.use.Store(c.rowTick)
+	return r
+}
+
+// --- the cached reaction -------------------------------------------------
+
+// Begin starts one reaction: patterns come from the memo, each pair
+// attaches its input-pool row (when the pool has an identity), and
+// every Bind consults the row, then the content store, then aligns.
+func (c *Cache) Begin(pairs []Pair, maxDist int, input *pool.Pool) Reaction {
+	rx := &cachedReaction{c: c, maxDist: maxDist, pairs: make([]cachedPair, len(pairs))}
+	var id uint64
+	if input != nil {
+		id, _ = input.Version()
+		rx.n0 = input.Len()
+	}
+	for i, p := range pairs {
+		cp := cachedPair{
+			cp:  compiledPair{fwd: c.Pattern(p.Fwd), rev: c.Pattern(p.Rev)},
+			key: appendPairKey(nil, p, maxDist),
+		}
+		// A pool that never saw an Add reports id 0 and could alias
+		// another fresh pool; it also has no species, so skip the row.
+		if id != 0 && rx.n0 > 0 {
+			cp.row = c.row(cp.key, id)
+			cp.row.grow(rx.n0)
+		}
+		rx.pairs[i] = cp
+	}
+	return rx
+}
+
+type cachedPair struct {
+	cp  compiledPair
+	key []byte // content key prefix: (fwd, rev, maxDist)
+	row *poolRow
+}
+
+type cachedReaction struct {
+	c       *Cache
+	maxDist int
+	n0      int // input species count at Begin; rows address [0, n0)
+	pairs   []cachedPair
+}
+
+// keyBufs recycles key scratch across Bind calls and goroutines; a
+// full key (pair prefix + packed 150-base template) is ~90 bytes.
+var keyBufs = sync.Pool{New: func() any { b := make([]byte, 0, 160); return &b }}
+
+func (r *cachedReaction) Bind(pi, si int, template dna.Seq) Binding {
+	p := &r.pairs[pi]
+	inRow := p.row != nil && si >= 0 && si < r.n0
+	if inRow {
+		if x := p.row.load(si); x != 0 {
+			r.c.rowHits.Add(1)
+			return unpackBinding(x)
+		}
+	}
+	bp := keyBufs.Get().(*[]byte)
+	key := append((*bp)[:0], p.key...)
+	key = dna.AppendPacked(key, template)
+	b, ok := r.c.get(key)
+	if !ok {
+		b = p.cp.bind(template, r.maxDist)
+		r.c.put(key, b)
+	}
+	*bp = key[:0]
+	keyBufs.Put(bp)
+	if inRow {
+		p.row.store(si, packBinding(b))
+	}
+	return b
+}
+
+// fnv1a hashes a key for shard selection.
+func fnv1a(key []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h
+}
+
+// get looks a key up in the content store, marking the entry
+// referenced. The map probe converts the byte key without copying, so
+// hits allocate nothing.
+func (c *Cache) get(key []byte) (Binding, bool) {
+	sh := &c.shards[fnv1a(key)&(shardCount-1)]
+	sh.mu.Lock()
+	if i, ok := sh.m[string(key)]; ok {
+		sh.slots[i].ref = true
+		b := sh.slots[i].b
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return b, true
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return Binding{}, false
+}
+
+// put inserts a freshly computed binding, evicting by clock when the
+// shard is at budget. Concurrent reactions may compute the same miss
+// and both put it; the second insert just overwrites the identical
+// value (bindings are pure, so the race is benign).
+func (c *Cache) put(key []byte, b Binding) {
+	sh := &c.shards[fnv1a(key)&(shardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if i, ok := sh.m[string(key)]; ok {
+		sh.slots[i].b = b
+		sh.slots[i].ref = true
+		return
+	}
+	k := string(key)
+	if len(sh.slots) < c.budget {
+		sh.m[k] = len(sh.slots)
+		sh.slots = append(sh.slots, slot{key: k, b: b, ref: true})
+		return
+	}
+	// Clock sweep: give referenced entries a second chance. The sweep
+	// terminates because it clears a bit on every step.
+	for {
+		if sh.hand >= len(sh.slots) {
+			sh.hand = 0
+		}
+		if !sh.slots[sh.hand].ref {
+			break
+		}
+		sh.slots[sh.hand].ref = false
+		sh.hand++
+	}
+	victim := &sh.slots[sh.hand]
+	delete(sh.m, victim.key)
+	*victim = slot{key: k, b: b, ref: true}
+	sh.m[k] = sh.hand
+	sh.hand++
+	c.evictions.Add(1)
+}

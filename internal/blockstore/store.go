@@ -22,13 +22,12 @@
 package blockstore
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
 
+	"dnastore/internal/binding"
 	"dnastore/internal/channel"
 	"dnastore/internal/codec"
 	"dnastore/internal/decode"
@@ -94,6 +93,37 @@ type Config struct {
 	// (serial); negative means GOMAXPROCS. Results are byte-identical
 	// for every setting.
 	Workers int
+
+	// BindingEntries is the entry budget of the store-level binding
+	// cache shared by every PCR reaction of the store: primer ⇄ species
+	// alignments are pure functions of their sequences, so one cache
+	// serves all partitions and concurrent readers, and a range read
+	// re-aligns the tube's stable species once instead of once per
+	// cover. 0 selects binding.DefaultEntries; a negative value
+	// disables the cache (every reaction re-aligns from scratch).
+	// Reads are byte-identical either way. New installs the cache as
+	// the PCR params' Provider, so Config().PCR carries it to direct
+	// pcr.Run call sites (experiments, mixing protocols) too. A
+	// provider already present in PCR.Provider is kept instead — set
+	// one explicitly (e.g. a binding.Cache shared across stores) and
+	// BindingEntries is ignored.
+	BindingEntries int
+}
+
+// BindingStats is a snapshot of the store binding cache's counters.
+type BindingStats = binding.Stats
+
+// SetTreeDepth sets the partition tree depth and adjusts the strand
+// geometry to fit: the sparse index needs 2 bases per level, and the
+// strand is trimmed so the payload stays a whole number of bytes.
+// dnastore.New and the scaled wetlab builds share this one adjustment;
+// New's Geometry.Validate still rejects infeasible depths.
+func (c *Config) SetTreeDepth(depth int) {
+	c.TreeDepth = depth
+	c.Geometry.IndexLen = 2 * depth
+	if rem := c.Geometry.PayloadBases() % 4; rem > 0 && c.Geometry.PayloadBases() > rem {
+		c.Geometry.StrandLen -= rem
+	}
 }
 
 // DefaultConfig returns the paper's wetlab configuration.
@@ -129,6 +159,7 @@ type Store struct {
 	cfg     Config
 	workers int
 	sampler *seqsim.Sampler // rates validated once at construction
+	binding *binding.Cache  // shared cross-reaction cache, nil when disabled
 
 	// mu guards the digital front-end state: partitions, the primer
 	// budget, and the store-level seed stream.
@@ -189,15 +220,43 @@ func New(cfg Config, primers []dna.Seq) (*Store, error) {
 	for i, p := range primers {
 		cp[i] = p.Clone()
 	}
+	var bcache *binding.Cache
+	switch provided := cfg.PCR.Provider; {
+	case provided == nil:
+		if cfg.BindingEntries >= 0 {
+			bcache = binding.NewCache(cfg.BindingEntries)
+			// Install the cache as the reaction provider so every
+			// pcr.Run parameterized from this config — the store's own
+			// reactions and the experiments' direct calls alike —
+			// shares it.
+			cfg.PCR.Provider = bcache
+		}
+	default:
+		// The caller threaded its own provider (e.g. one cache shared
+		// across several stores over the same corpus); keep it. When
+		// it is a binding.Cache, adopt it for stats and the decode
+		// pipelines' pattern memo.
+		bcache, _ = provided.(*binding.Cache)
+	}
 	return &Store{
 		cfg:        cfg,
 		workers:    parallel.Resolve(cfg.Workers),
 		sampler:    sampler,
+		binding:    bcache,
 		tube:       pool.New(),
 		partitions: make(map[string]*Partition),
 		primers:    cp,
 		src:        rng.New(cfg.Seed),
 	}, nil
+}
+
+// BindingStats returns a snapshot of the binding cache's counters; ok
+// is false when the cache is disabled (negative Config.BindingEntries).
+func (s *Store) BindingStats() (st BindingStats, ok bool) {
+	if s.binding == nil {
+		return BindingStats{}, false
+	}
+	return s.binding.Stats(), true
 }
 
 // Costs returns a snapshot of the accumulated physical-cost counters.
@@ -225,21 +284,7 @@ func (s *Store) Tube() *pool.Pool { return s.tube }
 // oracle behind the engines' determinism contract: two stores driven by
 // the same operation sequence must digest identically at any worker
 // count. Like Tube, it must not race with concurrent mutations.
-func (s *Store) TubeDigest() [32]byte {
-	h := sha256.New()
-	var word [8]byte
-	for _, sp := range s.tube.Species() {
-		h.Write([]byte(sp.Seq.String()))
-		binary.LittleEndian.PutUint64(word[:], math.Float64bits(sp.Abundance))
-		h.Write(word[:])
-		fmt.Fprintf(h, "%s/%d/%d/%d/%d/%v",
-			sp.Meta.Partition, sp.Meta.Block, sp.Meta.Version,
-			sp.Meta.Intra, sp.Meta.OriginBlock, sp.Meta.Misprimed)
-	}
-	var out [32]byte
-	h.Sum(out[:0])
-	return out
-}
+func (s *Store) TubeDigest() [32]byte { return s.tube.Digest() }
 
 // Config returns the store configuration.
 func (s *Store) Config() Config { return s.cfg }
@@ -301,6 +346,11 @@ func (s *Store) CreatePartition(name string) (*Partition, error) {
 	dcfg.Geometry = s.cfg.Geometry
 	dcfg.VerifyUnit = p.verifyUnit
 	dcfg.Workers = s.cfg.Workers
+	if s.binding != nil {
+		// Share the cache's pattern memo with the pipeline's primer
+		// compilation (a typed-nil cache must not reach the interface).
+		dcfg.Patterns = s.binding
+	}
 	pipeline, err := decode.New(dcfg, tree, fwd, rev, rand)
 	if err != nil {
 		return nil, err

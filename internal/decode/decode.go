@@ -45,12 +45,24 @@ type Config struct {
 	// codeword are rejected and the search continues. Package blockstore
 	// installs a CRC check over the unit padding.
 	VerifyUnit func(data []byte) bool
+	// Patterns, when non-nil, supplies the compiled primer patterns
+	// from a shared memo instead of compiling per pipeline. Package
+	// blockstore installs its binding cache here, so a store's many
+	// pipelines (and its PCR reactions) share one Eq table per primer.
+	Patterns PatternCompiler
 	// Workers fans the per-read primer filter, per-cluster trace
 	// reconstruction, and per-unit RS decoding out across a worker pool.
 	// 0 means 1 (serial); negative means GOMAXPROCS. Every stage is a
 	// pure function of its inputs, so results are identical for any
 	// worker count.
 	Workers int
+}
+
+// PatternCompiler memoizes dna.CompilePattern results across
+// consumers. *binding.Cache implements it; the interface is declared
+// here structurally so the pipeline does not depend on the cache.
+type PatternCompiler interface {
+	Pattern(seq dna.Seq) *dna.Pattern
 }
 
 // DefaultConfig returns a configuration matched to the paper's geometry.
@@ -100,13 +112,17 @@ func New(cfg Config, tree *indextree.Tree, fwd, rev dna.Seq, rand *codec.Randomi
 	if err != nil {
 		return nil, err
 	}
+	compile := dna.CompilePattern
+	if cfg.Patterns != nil {
+		compile = cfg.Patterns.Pattern
+	}
 	return &Pipeline{
 		cfg:     cfg,
 		unit:    unit,
 		tree:    tree,
 		rand:    rand,
-		fwdPat:  dna.CompilePattern(fwd),
-		revPat:  dna.CompilePattern(rev),
+		fwdPat:  compile(fwd),
+		revPat:  compile(rev),
 		workers: parallel.Resolve(cfg.Workers),
 	}, nil
 }

@@ -27,7 +27,11 @@ type Options struct {
 	Primers []pcr.Primer
 	// PCR holds reaction parameters for the amplification steps. The
 	// paper uses 15 cycles for these (Section 6.4.2). Capacity applies
-	// per reaction.
+	// per reaction. PCR.Provider, when set (blockstore installs the
+	// store's binding cache into its Config().PCR), shares primer ⇄
+	// species alignments with the store's other reactions: the pools
+	// mixed here are clones of the tube, so their species hit the
+	// content-addressed entries the tube's reads already paid for.
 	PCR pcr.Params
 }
 

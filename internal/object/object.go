@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"dnastore/internal/binding"
 	"dnastore/internal/channel"
 	"dnastore/internal/codec"
 	"dnastore/internal/decode"
@@ -108,6 +109,13 @@ func New(cfg Config, primers []dna.Seq) (*Store, error) {
 			return nil, fmt.Errorf("object: primer %d length %d", i, len(p))
 		}
 		cp[i] = p.Clone()
+	}
+	if cfg.PCR.Provider == nil {
+		// The baseline re-reads whole objects against a mostly-static
+		// tube, the ideal binding-reuse workload; give it its own cache
+		// unless the caller threaded one in. Purely a simulator-side
+		// speedup: the wet cost meters and outputs are unchanged.
+		cfg.PCR.Provider = binding.NewCache(0)
 	}
 	return &Store{
 		cfg:     cfg,

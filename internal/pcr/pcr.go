@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"dnastore/internal/binding"
 	"dnastore/internal/dna"
 	"dnastore/internal/parallel"
 	"dnastore/internal/pool"
@@ -79,6 +80,15 @@ type Params struct {
 	// the amplified pool is byte-identical at any worker count. 0 means
 	// 1 (serial); negative means GOMAXPROCS.
 	Workers int
+
+	// Provider supplies primer ⇄ template binding alignments. nil means
+	// binding.Direct: compile the pairs and align every (species,
+	// primer) once per reaction, the historical behavior. A shared
+	// binding.Cache amortizes both the alignments and the pattern
+	// compilation across reactions over mostly-unchanged pools; since
+	// bindings are pure functions of their sequences, the amplified
+	// pool is byte-identical with any provider.
+	Provider binding.Provider
 }
 
 // DefaultParams returns parameters calibrated to the paper's wetlab
@@ -145,64 +155,12 @@ type Stats struct {
 	MisprimedMass   float64 // total abundance of misprimed products at the end
 }
 
-// Binding-cache entry states. A species x primer pair is aligned at
-// most once per reaction; the dense cache below remembers the outcome.
-const (
-	bindUnknown uint8 = iota // not yet aligned
-	bindNone                 // aligned, no binding within MaxBindDist
-	bindOK                   // aligned, binds with the recorded distance
-)
-
-// binding holds the cached alignment of one primer against one species.
-type binding struct {
-	dist  int32 // combined forward+reverse edit distance
-	end   int32 // template position where the forward primer's match ends
-	state uint8
-}
-
-// alignSlack is how many extra template bases beyond the primer length
-// the aligner may consume, accommodating indels.
-const alignSlack = 6
-
-// compiledPrimer carries one primer pair's bit-parallel Eq tables,
-// built once per reaction so the per-species binding alignments only
-// stream template bases.
-type compiledPrimer struct {
-	fwd *dna.Pattern
-	rev *dna.Pattern
-}
-
-// compilePrimers builds the alignment tables for every pair.
-func compilePrimers(primers []Primer) []compiledPrimer {
-	out := make([]compiledPrimer, len(primers))
-	for i, pr := range primers {
-		out[i] = compiledPrimer{fwd: dna.CompilePattern(pr.Fwd), rev: dna.CompilePattern(pr.Rev)}
-	}
-	return out
-}
-
-// bind aligns a compiled primer pair against a template. Both
-// alignments are bounded by the remaining distance budget and allocate
-// nothing.
-func (cp compiledPrimer) bind(template dna.Seq, maxDist int) binding {
-	fn := cp.fwd.Len() + alignSlack
-	if fn > len(template) {
-		fn = len(template)
-	}
-	dFwd, end, ok := cp.fwd.PrefixAlignmentAtMost(template[:fn], maxDist)
-	if !ok {
-		return binding{state: bindNone}
-	}
-	rn := cp.rev.Len() + alignSlack
-	if rn > len(template) {
-		rn = len(template)
-	}
-	dRev, ok := cp.rev.SuffixAlignmentAtMost(template[len(template)-rn:], maxDist-dFwd)
-	if !ok {
-		return binding{state: bindNone}
-	}
-	return binding{dist: int32(dFwd + dRev), end: int32(end), state: bindOK}
-}
+// The binding computation itself — states, compiled pairs, the
+// alignment — lives in package binding; reactions consult a
+// binding.Provider for it. What stays here is the per-reaction dense
+// table: species index x primer index slots that remember each
+// provider answer so every (species, primer) pair is asked at most
+// once per reaction.
 
 // suffixDistance returns the edit distance between pattern and the
 // best-matching suffix of text (used by tests). Aligning against the
@@ -214,13 +172,25 @@ func suffixDistance(pattern, text dna.Seq) int {
 	return d
 }
 
-// delta is one unit of per-cycle growth: either additional abundance for
-// an existing species or a new misprimed product.
+// delta is one unit of per-cycle growth, kept pointer-free and 16
+// bytes because hundreds of thousands are staged per reaction (every
+// growing species, every cycle): species >= 0 boosts an existing
+// species directly, otherwise prod indexes the chunk's staged products.
 type delta struct {
-	species int // existing species receiving growth, or -1
-	seq     dna.Seq
-	meta    pool.Meta
+	species int32 // existing species receiving growth, or -1
+	prod    int32 // index into the chunk's products, or -1
 	amount  float64
+}
+
+// product is a new misprimed product staged by the scoring phase.
+// origin records which (species, primer) slot produced it, so the
+// apply phase can memoize the product's pool index and later cycles
+// boost it directly instead of rebuilding and re-hashing the same
+// sequence 28 times per reaction.
+type product struct {
+	origin int // producing table slot (si*np+pi)
+	seq    dna.Seq
+	meta   pool.Meta
 }
 
 // Run executes the reaction on a copy of the input pool and returns the
@@ -255,13 +225,30 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 	out := input.Clone()
 	stats := Stats{Cycles: params.Cycles, InitialTotal: out.Total()}
 
-	// Dense binding cache: species index x primer index, species-major.
-	// Species are appended, never removed, so indexes are stable; the
-	// cache grows with the pool. During the parallel scoring phase each
-	// chunk touches only its own species' rows, so writes never race.
+	// Dense per-reaction binding table: species index x primer index,
+	// species-major. Species are appended, never removed, so indexes
+	// are stable; the table grows with the pool, gated on the pool's
+	// revision (pool.Version is purely a growth signal here — the
+	// provider's entries are content-addressed and never invalidated).
+	// During the parallel scoring phase each chunk touches only its own
+	// species' rows, so writes never race.
 	np := len(primers)
-	var cache []binding
-	compiled := compilePrimers(primers)
+	var cache []binding.Binding
+	// prodIdx memoizes, per (species, primer) slot, 1 + the pool index
+	// of the slot's misprime product once the apply phase has created
+	// it (0 = no product yet, so freshly zeroed growth is correct):
+	// re-deriving the same sequence every cycle dominated the warm
+	// profile once bindings were cached.
+	var prodIdx []int32
+	prov := params.Provider
+	if prov == nil {
+		prov = binding.Direct{}
+	}
+	pairs := make([]binding.Pair, np)
+	for i, pr := range primers {
+		pairs[i] = binding.Pair{Fwd: pr.Fwd, Rev: pr.Rev}
+	}
+	rx := prov.Begin(pairs, params.MaxBindDist, input)
 
 	// negligible products below this absolute abundance are dropped to
 	// bound the species count.
@@ -279,6 +266,8 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 		nchunks = 4 * workers
 	}
 	chunkDeltas := make([][]delta, nchunks)
+	chunkProds := make([][]product, nchunks)
+	expPen := make([]float64, params.MaxBindDist+1)
 
 	for c := 0; c < params.Cycles; c++ {
 		total := out.Total()
@@ -289,11 +278,31 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 		pen := params.penalty(params.annealTemp(c))
 		species := out.Species()
 		n := len(species)
-		if len(cache) < n*np {
-			cache = append(cache, make([]binding, n*np-len(cache))...)
+		// Grow the reaction tables with doubling: products append a few
+		// species every cycle, and regrowing exactly-sized tables each
+		// cycle was measurable zeroing + copy traffic. Fresh capacity
+		// is zeroed by allocation, which is the Unknown state for both
+		// tables.
+		if need := n * np; len(cache) < need {
+			if cap(cache) >= need {
+				cache, prodIdx = cache[:need], prodIdx[:need]
+			} else {
+				nc := make([]binding.Binding, need, 2*need)
+				copy(nc, cache)
+				cache = nc
+				ni := make([]int32, need, 2*need)
+				copy(ni, prodIdx)
+				prodIdx = ni
+			}
+		}
+		// The mismatch penalty enters only as exp(-pen*d) for the few
+		// distances within the budget; tabulating it per cycle replaces
+		// a math.Exp per (species, primer) with an indexed load.
+		for d := 0; d <= params.MaxBindDist; d++ {
+			expPen[d] = math.Exp(-pen * float64(d))
 		}
 		// score emits the growth deltas of species [lo, hi) in order.
-		score := func(lo, hi int, deltas []delta) []delta {
+		score := func(lo, hi int, deltas []delta, prods []product) ([]delta, []product) {
 			for si := lo; si < hi; si++ {
 				s := species[si]
 				if s.Abundance <= 0 {
@@ -305,31 +314,38 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 				row := cache[si*np : (si+1)*np]
 				for pi := range primers {
 					b := &row[pi]
-					if b.state == bindUnknown {
-						*b = compiled[pi].bind(s.Seq, params.MaxBindDist)
+					if b.State == binding.Unknown {
+						*b = rx.Bind(pi, si, s.Seq)
 					}
-					if b.state == bindNone {
+					if b.State == binding.None {
 						continue
 					}
-					prob := params.Efficiency * primers[pi].Conc * math.Exp(-pen*float64(b.dist))
+					prob := params.Efficiency * primers[pi].Conc * expPen[b.Dist]
 					amount := s.Abundance * prob * sat
 					if amount < negligible {
 						continue
 					}
-					if b.dist == 0 {
-						deltas = append(deltas, delta{species: si, amount: amount})
+					if b.Dist == 0 {
+						deltas = append(deltas, delta{species: int32(si), prod: -1, amount: amount})
 						continue
 					}
 					// Misprime: product carries the primer as its prefix
 					// and the template's remainder (index overwritten,
-					// payload kept).
-					prod := dna.Concat(primers[pi].Fwd, s.Seq[b.end:])
+					// payload kept). Once the product exists its index
+					// is memoized and growth goes straight to it.
+					slot := si*np + pi
+					if idx := prodIdx[slot]; idx != 0 {
+						deltas = append(deltas, delta{species: idx - 1, prod: -1, amount: amount})
+						continue
+					}
+					seq := dna.Concat(primers[pi].Fwd, s.Seq[b.End:])
 					meta := s.Meta
 					meta.Misprimed = true
-					deltas = append(deltas, delta{species: -1, seq: prod, meta: meta, amount: amount})
+					prods = append(prods, product{origin: slot, seq: seq, meta: meta})
+					deltas = append(deltas, delta{species: -1, prod: int32(len(prods) - 1), amount: amount})
 				}
 			}
-			return deltas
+			return deltas, prods
 		}
 		chunk := (n + nchunks - 1) / nchunks
 		if chunk < 1 {
@@ -344,21 +360,27 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 			if hi > n {
 				hi = n
 			}
-			chunkDeltas[ci] = score(lo, hi, chunkDeltas[ci][:0])
+			chunkDeltas[ci], chunkProds[ci] = score(lo, hi, chunkDeltas[ci][:0], chunkProds[ci][:0])
 			return nil
 		})
 		// Apply phase: serial, in species order (chunks are contiguous
-		// and ordered), identical to the historical single-loop apply.
-		for _, deltas := range chunkDeltas {
+		// and ordered), identical to the historical single-loop apply:
+		// boosting a memoized product index mutates exactly the species
+		// that re-adding its sequence would have found.
+		for ci, deltas := range chunkDeltas {
+			prods := chunkProds[ci]
 			for _, d := range deltas {
 				if d.species >= 0 {
-					out.Boost(d.species, d.amount)
-				} else {
-					before := out.Len()
-					out.Add(d.seq, d.amount, d.meta)
-					if out.Len() > before {
-						stats.MisprimeSpecies++
-					}
+					out.Boost(int(d.species), d.amount)
+					continue
+				}
+				p := &prods[d.prod]
+				before := out.Len()
+				if idx := out.AddIndex(p.seq, d.amount, p.meta); idx >= 0 {
+					prodIdx[p.origin] = int32(idx) + 1
+				}
+				if out.Len() > before {
+					stats.MisprimeSpecies++
 				}
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"dnastore/internal/binding"
 	"dnastore/internal/dna"
 	"dnastore/internal/pool"
 	"dnastore/internal/rng"
@@ -404,19 +405,59 @@ func TestRunWorkersDeterministic(t *testing.T) {
 	}
 }
 
-// TestBindAllocs pins the zero-allocation property of the bit-parallel
-// binding alignment, the innermost loop of every reaction. Pattern
-// compilation allocates, but it happens once per reaction, not per
-// (species, primer) pair.
-func TestBindAllocs(t *testing.T) {
-	tmpl := strand("ACGTACGTAC", 3)
-	pr := compilePrimers([]Primer{{Fwd: elongated("ACGTACGTAC"), Rev: revP, Conc: 1}})[0]
-	far := compilePrimers([]Primer{{Fwd: elongated("TTTTTTTTTT"), Rev: revP, Conc: 1}})[0]
-	if avg := testing.AllocsPerRun(200, func() { pr.bind(tmpl, 5) }); avg != 0 {
-		t.Errorf("bind (match) allocates %.1f times per call, want 0", avg)
+// TestRunProviderByteIdentical pins the provider contract: a reaction
+// scored through a shared binding.Cache — cold, warm, or starved into
+// eviction — produces a pool byte-identical to the default Direct
+// provider at every worker count.
+func TestRunProviderByteIdentical(t *testing.T) {
+	input := buildPool(64)
+	pr := []Primer{
+		{Fwd: elongated("ACGTACGTAC"), Rev: revP, Conc: 1},
+		{Fwd: fwdP, Rev: revP, Conc: 0.02},
 	}
-	if avg := testing.AllocsPerRun(200, func() { far.bind(tmpl, 5) }); avg != 0 {
-		t.Errorf("bind (reject) allocates %.1f times per call, want 0", avg)
+	base := params(64 * 100 * 40)
+	ref, refStats, err := Run(input, pr, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := poolFingerprint(ref)
+	providers := map[string]binding.Provider{
+		"cache":      binding.NewCache(0),
+		"tiny-cache": binding.NewCache(64), // evicts constantly
+	}
+	for name, prov := range providers {
+		for _, workers := range []int{1, 4, -1} {
+			for pass := 0; pass < 2; pass++ { // cold then warm
+				ps := base
+				ps.Provider = prov
+				ps.Workers = workers
+				out, stats, err := Run(input, pr, ps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := poolFingerprint(out)
+				if len(got) != len(want) {
+					t.Fatalf("%s workers=%d pass=%d: %d species, want %d",
+						name, workers, pass, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s workers=%d pass=%d species %d = %q, want %q",
+							name, workers, pass, i, got[i], want[i])
+					}
+				}
+				if stats != refStats {
+					t.Fatalf("%s workers=%d pass=%d stats %+v, want %+v",
+						name, workers, pass, stats, refStats)
+				}
+			}
+		}
+	}
+	if st := providers["cache"].(*binding.Cache).Stats(); st.Hits == 0 {
+		t.Error("warm cached reactions recorded no hits")
+	}
+	if st := providers["tiny-cache"].(*binding.Cache).Stats(); st.Evictions == 0 {
+		t.Error("tiny cache recorded no evictions")
 	}
 }
 
@@ -429,6 +470,29 @@ func BenchmarkPCRRun(b *testing.B) {
 		{Fwd: fwdP, Rev: revP, Conc: 0.02},
 	}
 	ps := params(256 * 100 * 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(input, pr, ps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPCRRunCached is BenchmarkPCRRun through a warm shared
+// binding cache: after the first iteration every alignment is a hit,
+// the cross-reaction regime of a range read.
+func BenchmarkPCRRunCached(b *testing.B) {
+	input := buildPool(256)
+	pr := []Primer{
+		{Fwd: elongated("ACGTACGTAC"), Rev: revP, Conc: 1},
+		{Fwd: fwdP, Rev: revP, Conc: 0.02},
+	}
+	ps := params(256 * 100 * 40)
+	ps.Provider = binding.NewCache(0)
+	if _, _, err := Run(input, pr, ps); err != nil { // warm the cache
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -9,8 +9,11 @@
 package pool
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"maps"
+	"math"
 	"sort"
 	"sync/atomic"
 
@@ -87,18 +90,29 @@ func (p *Pool) Version() (id, rev uint64) { return p.id, p.rev }
 // molecules with the same sequence. The packed-key probe allocates only
 // when the sequence is new to the pool.
 func (p *Pool) Add(seq dna.Seq, abundance float64, meta Meta) {
+	p.AddIndex(seq, abundance, meta)
+}
+
+// AddIndex is Add returning the index of the species that received the
+// abundance (-1 when a non-positive abundance made the call a no-op).
+// Callers that re-add the same sequence repeatedly — the PCR apply
+// phase growing a misprime product every cycle — keep the index and
+// switch to Boost, skipping the per-call packing and probe.
+func (p *Pool) AddIndex(seq dna.Seq, abundance float64, meta Meta) int {
 	if abundance <= 0 {
-		return
+		return -1
 	}
 	p.init()
 	p.rev++
 	p.keyBuf = dna.AppendPacked(p.keyBuf[:0], seq)
 	if i, ok := p.byKey[string(p.keyBuf)]; ok { // no-copy map probe
 		p.species[i].Abundance += abundance
-		return
+		return i
 	}
-	p.byKey[string(p.keyBuf)] = len(p.species)
+	i := len(p.species)
+	p.byKey[string(p.keyBuf)] = i
 	p.species = append(p.species, &Species{Seq: seq.Clone(), Abundance: abundance, Meta: meta})
+	return i
 }
 
 // Boost adds amount to the abundance of the species at index i (as
@@ -157,6 +171,28 @@ func (p *Pool) Clone() *Pool {
 	if out.byKey == nil {
 		out.byKey = make(map[string]int)
 	}
+	return out
+}
+
+// Digest hashes the pool's full physical state — species order,
+// sequences, exact abundance bits, provenance — the byte-identity
+// oracle behind the simulator's determinism contracts. blockstore's
+// TubeDigest and the experiments' pool comparisons share this one
+// encoding, so the oracles can never drift apart. It must not race
+// with concurrent mutations.
+func (p *Pool) Digest() [32]byte {
+	h := sha256.New()
+	var word [8]byte
+	for _, s := range p.species {
+		h.Write([]byte(s.Seq.String()))
+		binary.LittleEndian.PutUint64(word[:], math.Float64bits(s.Abundance))
+		h.Write(word[:])
+		fmt.Fprintf(h, "%s/%d/%d/%d/%d/%v",
+			s.Meta.Partition, s.Meta.Block, s.Meta.Version,
+			s.Meta.Intra, s.Meta.OriginBlock, s.Meta.Misprimed)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
 	return out
 }
 
