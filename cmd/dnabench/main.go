@@ -36,7 +36,7 @@ var experimentIDs = []string{
 	"fig3", "fig9a", "fig9b", "fig9c", "multiplex", "fig10",
 	"cost", "latency", "updatecost", "decode", "misprime",
 	"scale", "tree", "density", "cache", "primers", "related", "alloc",
-	"parallel", "kernels", "write", "binding",
+	"parallel", "kernels", "write", "binding", "memory",
 }
 
 func main() {
@@ -45,6 +45,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "wetlab seed (0 = default)")
 	workers := flag.Int("workers", runtime.NumCPU(), "read-engine workers for the parallel experiment")
 	scale := flag.Int("scale", 1, "multiply the Alice partition's block count (12 ≈ a 10^5-strand pool)")
+	strands := flag.Int("strands", 1_000_000, "strand count for the memory study")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "write machine-readable timings and headline metrics to this file (e.g. BENCH_PR2.json)")
 	flag.Parse()
@@ -55,7 +56,7 @@ func main() {
 		}
 		return
 	}
-	if err := runExperiments(*run, *reads, *seed, *workers, *scale, *jsonPath); err != nil {
+	if err := runExperiments(*run, *reads, *seed, *workers, *scale, *strands, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "dnabench:", err)
 		os.Exit(1)
 	}
@@ -111,7 +112,7 @@ func (rc *recorder) write(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runExperiments(run string, reads int, seed uint64, workers, scale int, jsonPath string) error {
+func runExperiments(run string, reads int, seed uint64, workers, scale, strands int, jsonPath string) error {
 	want := map[string]bool{}
 	if run == "all" {
 		for _, id := range experimentIDs {
@@ -234,6 +235,21 @@ func runExperiments(run string, reads int, seed uint64, workers, scale int, json
 			return fmt.Errorf("binding: cached product not byte-identical to uncached")
 		}
 	}
+	if want["memory"] {
+		fmt.Fprintf(out, "running the pool memory study (%d strands)...\n", strands)
+		var r *experiment.MemoryResult
+		tm, err := rc.track("memory", func() error {
+			var err error
+			r, err = experiment.Memory(strands)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tm.Metrics = r.Metrics()
+		experiment.PrintMemory(out, r)
+		fmt.Fprintln(out)
+	}
 	if want["write"] {
 		fmt.Fprintf(out, "running the write-engine scaling study (workers=%d)...\n", workers)
 		var r *experiment.WriteResult
@@ -265,7 +281,7 @@ func runExperiments(run string, reads int, seed uint64, workers, scale int, json
 	fmt.Fprintf(out, "building the Section 6 wetlab (13 files, %d-block Alice partition)...\n",
 		aliceBlocks)
 	var w *experiment.Wetlab
-	_, err := rc.track("build", func() error {
+	buildTm, err := rc.track("build", func() error {
 		var err error
 		w, err = experiment.Build(experiment.Options{Seed: seed, Scale: scale})
 		return err
@@ -273,8 +289,20 @@ func runExperiments(run string, reads int, seed uint64, workers, scale int, json
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "built in %v: %d strands in the Alice pool, %d in the IDT update pool\n\n",
-		time.Since(t0).Round(time.Millisecond), w.AliceStrands(), w.IDTPool.Len())
+	// Memory metrics for the built store: retained heap per tube strand,
+	// the -scale trajectory the ROADMAP's 10^6-strand target tracks.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	tubeStrands := w.Store.Tube().Len()
+	buildTm.Metrics = map[string]float64{
+		"tube_strands":          float64(tubeStrands),
+		"heap_mb":               float64(ms.HeapAlloc) / (1 << 20),
+		"heap_bytes_per_strand": float64(ms.HeapAlloc) / float64(tubeStrands),
+	}
+	fmt.Fprintf(out, "built in %v: %d strands in the Alice pool, %d in the IDT update pool (heap %.1f MB)\n\n",
+		time.Since(t0).Round(time.Millisecond), w.AliceStrands(), w.IDTPool.Len(),
+		float64(ms.HeapAlloc)/(1<<20))
 
 	// The tracked wetlab studies record the store binding cache's hit
 	// rate over their own reactions: snapBind pins the window start

@@ -17,6 +17,7 @@ package binding
 
 import (
 	"encoding/binary"
+	"sync"
 
 	"dnastore/internal/dna"
 	"dnastore/internal/pool"
@@ -62,12 +63,15 @@ type Provider interface {
 // scoring workers, so implementations must be safe for concurrent use.
 type Reaction interface {
 	// Bind aligns pair pi against template, returning a Binding whose
-	// State is None or OK (never Unknown). si is the template's species
-	// index in the reaction pool: indexes below the input pool's length
-	// at Begin denote the input species in order (append-only pools
+	// State is None or OK (never Unknown). The template is a packed
+	// view — typically pool.PackedSeq's zero-copy alias of the
+	// reaction pool's arena — and only the primer-length prefix and
+	// suffix are ever unpacked. si is the template's species index in
+	// the reaction pool: indexes below the input pool's length at
+	// Begin denote the input species in order (append-only pools
 	// never reassign them, so they are stable addresses); higher
 	// indexes are reaction-local products and carry no identity.
-	Bind(pi, si int, template dna.Seq) Binding
+	Bind(pi, si int, template dna.Packed) Binding
 }
 
 // AlignSlack is how many extra template bases beyond the primer length
@@ -104,6 +108,43 @@ func (cp compiledPair) bind(template dna.Seq, maxDist int) Binding {
 	return Binding{Dist: int32(dFwd + dRev), End: int32(end), State: OK}
 }
 
+// seqBufs recycles the small prefix/suffix unpack scratch across Bind
+// calls and goroutines; a primer-length window is ~30 bases.
+var seqBufs = sync.Pool{New: func() any { s := make(dna.Seq, 0, 128); return &s }}
+
+// bindPacked aligns a compiled primer pair against a packed template
+// view, unpacking only the forward window (primer length plus slack
+// from the front) and the reverse window (from the back) — never the
+// payload between them. The alignments see exactly the bases the Seq
+// form of bind sees, so the outcome is bit-identical.
+func (cp compiledPair) bindPacked(template dna.Packed, maxDist int) Binding {
+	n := template.Len()
+	fn := cp.fwd.Len() + AlignSlack
+	if fn > n {
+		fn = n
+	}
+	sp := seqBufs.Get().(*dna.Seq)
+	buf := template.AppendRange((*sp)[:0], 0, fn)
+	dFwd, end, ok := cp.fwd.PrefixAlignmentAtMost(buf, maxDist)
+	if !ok {
+		*sp = buf[:0]
+		seqBufs.Put(sp)
+		return Binding{State: None}
+	}
+	rn := cp.rev.Len() + AlignSlack
+	if rn > n {
+		rn = n
+	}
+	buf = template.AppendRange(buf[:0], n-rn, n)
+	dRev, ok := cp.rev.SuffixAlignmentAtMost(buf, maxDist-dFwd)
+	*sp = buf[:0]
+	seqBufs.Put(sp)
+	if !ok {
+		return Binding{State: None}
+	}
+	return Binding{Dist: int32(dFwd + dRev), End: int32(end), State: OK}
+}
+
 // Direct is the no-reuse provider: Begin compiles the pairs and every
 // Bind aligns from scratch. It reproduces the historical per-reaction
 // behavior exactly and is the default when no provider is configured.
@@ -119,8 +160,8 @@ type directReaction struct {
 	maxDist int
 }
 
-func (r *directReaction) Bind(pi, _ int, template dna.Seq) Binding {
-	return r.pairs[pi].bind(template, r.maxDist)
+func (r *directReaction) Bind(pi, _ int, template dna.Packed) Binding {
+	return r.pairs[pi].bindPacked(template, r.maxDist)
 }
 
 // compilePairs builds the alignment tables for every pair.

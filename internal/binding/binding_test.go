@@ -46,6 +46,15 @@ func testWorkload(seed uint64) (pairs []Pair, templates []dna.Seq) {
 	return pairs, templates
 }
 
+// packAll packs templates into the zero-copy form Bind consumes.
+func packAll(ts []dna.Seq) []dna.Packed {
+	out := make([]dna.Packed, len(ts))
+	for i, t := range ts {
+		out[i] = dna.Pack(t)
+	}
+	return out
+}
+
 // templatePool materializes the templates as a pool, giving them the
 // species indexes a reaction would see.
 func templatePool(templates []dna.Seq) *pool.Pool {
@@ -63,6 +72,7 @@ func templatePool(templates []dna.Seq) *pool.Pool {
 // of the pool (fresh identity, same sequences).
 func TestCachedMatchesDirect(t *testing.T) {
 	pairs, templates := testWorkload(1)
+	pts := packAll(templates)
 	p := templatePool(templates)
 	const maxDist = 5
 	direct := Direct{}.Begin(pairs, maxDist, p)
@@ -71,7 +81,7 @@ func TestCachedMatchesDirect(t *testing.T) {
 	for pass, pp := range pools {
 		rx := cache.Begin(pairs, maxDist, pp)
 		for pi := range pairs {
-			for ti, tmpl := range templates {
+			for ti, tmpl := range pts {
 				want := direct.Bind(pi, ti, tmpl)
 				got := rx.Bind(pi, ti, tmpl)
 				if got != want {
@@ -107,11 +117,12 @@ func TestBudgetIsPartOfTheKey(t *testing.T) {
 	p := Pair{Fwd: randSeq(r, 20), Rev: randSeq(r, 20)}
 	tmpl := dna.Concat(mutate(r, p.Fwd, 3), randSeq(r, 100), p.Rev)
 	pl := templatePool([]dna.Seq{tmpl})
+	pt := dna.Pack(tmpl)
 	cache := NewCache(0)
-	tight := cache.Begin([]Pair{p}, 1, pl).Bind(0, 0, tmpl)
-	loose := cache.Begin([]Pair{p}, 8, pl).Bind(0, 0, tmpl)
-	wantTight := Direct{}.Begin([]Pair{p}, 1, pl).Bind(0, 0, tmpl)
-	wantLoose := Direct{}.Begin([]Pair{p}, 8, pl).Bind(0, 0, tmpl)
+	tight := cache.Begin([]Pair{p}, 1, pl).Bind(0, 0, pt)
+	loose := cache.Begin([]Pair{p}, 8, pl).Bind(0, 0, pt)
+	wantTight := Direct{}.Begin([]Pair{p}, 1, pl).Bind(0, 0, pt)
+	wantLoose := Direct{}.Begin([]Pair{p}, 8, pl).Bind(0, 0, pt)
 	if tight != wantTight {
 		t.Errorf("budget 1: cached %+v, direct %+v", tight, wantTight)
 	}
@@ -154,6 +165,7 @@ func TestEvictionUnderPressure(t *testing.T) {
 	for i := 0; i < 400; i++ {
 		templates = append(templates, randSeq(r, 150))
 	}
+	pts := packAll(templates)
 	p := templatePool(templates)
 	const maxDist = 5
 	cache := NewCache(64) // 1 content entry per shard
@@ -161,7 +173,7 @@ func TestEvictionUnderPressure(t *testing.T) {
 	for pass := 0; pass < 2; pass++ {
 		rx := cache.Begin(pairs, maxDist, p.Clone())
 		for pi := range pairs {
-			for ti, tmpl := range templates {
+			for ti, tmpl := range pts {
 				if got, want := rx.Bind(pi, ti, tmpl), direct.Bind(pi, ti, tmpl); got != want {
 					t.Fatalf("pass %d pair %d template %d under pressure: %+v want %+v",
 						pass, pi, ti, got, want)
@@ -182,6 +194,7 @@ func TestEvictionUnderPressure(t *testing.T) {
 // the row budget admits and checks answers stay correct throughout.
 func TestRowEviction(t *testing.T) {
 	pairs, templates := testWorkload(21)
+	pts := packAll(templates)
 	const maxDist = 5
 	base := templatePool(templates)
 	direct := Direct{}.Begin(pairs, maxDist, base)
@@ -189,7 +202,7 @@ func TestRowEviction(t *testing.T) {
 	for i := 0; i < 3*maxRows; i++ {
 		pp := base.Clone()
 		rx := cache.Begin(pairs, maxDist, pp)
-		for ti, tmpl := range templates {
+		for ti, tmpl := range pts {
 			if got, want := rx.Bind(0, ti, tmpl), direct.Bind(0, ti, tmpl); got != want {
 				t.Fatalf("identity %d template %d: %+v want %+v", i, ti, got, want)
 			}
@@ -232,13 +245,14 @@ func TestPatternMemo(t *testing.T) {
 // -race.
 func TestConcurrentBind(t *testing.T) {
 	pairs, templates := testWorkload(11)
+	pts := packAll(templates)
 	p := templatePool(templates)
 	const maxDist = 5
 	direct := Direct{}.Begin(pairs, maxDist, p)
 	want := make([][]Binding, len(pairs))
 	for pi := range pairs {
 		want[pi] = make([]Binding, len(templates))
-		for ti, tmpl := range templates {
+		for ti, tmpl := range pts {
 			want[pi][ti] = direct.Bind(pi, ti, tmpl)
 		}
 	}
@@ -255,7 +269,7 @@ func TestConcurrentBind(t *testing.T) {
 			rx := cache.Begin(pairs, maxDist, input)
 			for rep := 0; rep < 20; rep++ {
 				for pi := range pairs {
-					for ti, tmpl := range templates {
+					for ti, tmpl := range pts {
 						if got := rx.Bind(pi, ti, tmpl); got != want[pi][ti] {
 							t.Errorf("goroutine %d: pair %d template %d mismatch", g, pi, ti)
 							return
@@ -274,8 +288,8 @@ func TestConcurrentBind(t *testing.T) {
 func TestDirectBindAllocs(t *testing.T) {
 	pairs, templates := testWorkload(13)
 	rx := Direct{}.Begin(pairs, 5, nil)
-	tmpl := templates[0]
-	far := templates[len(templates)-1]
+	tmpl := dna.Pack(templates[0])
+	far := dna.Pack(templates[len(templates)-1])
 	if avg := testing.AllocsPerRun(200, func() { rx.Bind(0, 0, tmpl) }); avg != 0 {
 		t.Errorf("direct bind (match) allocates %.1f times per call, want 0", avg)
 	}
@@ -292,7 +306,7 @@ func TestCachedHitAllocs(t *testing.T) {
 	p := templatePool(templates)
 	cache := NewCache(0)
 	rx := cache.Begin(pairs, 5, p)
-	tmpl := templates[0]
+	tmpl := dna.Pack(templates[0])
 	rx.Bind(0, 0, tmpl) // populate row + content store
 	if avg := testing.AllocsPerRun(200, func() { rx.Bind(0, 0, tmpl) }); avg != 0 {
 		t.Errorf("row hit allocates %.1f times per call, want 0", avg)
@@ -310,44 +324,47 @@ func TestCachedHitAllocs(t *testing.T) {
 // hit, a content-store hit, and a fresh alignment.
 func BenchmarkBindRowHit(b *testing.B) {
 	pairs, templates := testWorkload(19)
+	pts := packAll(templates)
 	p := templatePool(templates)
 	cache := NewCache(0)
 	rx := cache.Begin(pairs, 5, p)
-	for ti, tmpl := range templates {
+	for ti, tmpl := range pts {
 		rx.Bind(0, ti, tmpl)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ti := i % len(templates)
-		rx.Bind(0, ti, templates[ti])
+		ti := i % len(pts)
+		rx.Bind(0, ti, pts[ti])
 	}
 }
 
 func BenchmarkBindContentHit(b *testing.B) {
 	pairs, templates := testWorkload(19)
+	pts := packAll(templates)
 	p := templatePool(templates)
 	cache := NewCache(0)
 	warm := cache.Begin(pairs, 5, p)
-	for ti, tmpl := range templates {
+	for ti, tmpl := range pts {
 		warm.Bind(0, ti, tmpl)
 	}
 	rx := cache.Begin(pairs, 5, nil) // no identity: every hit is a content probe
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ti := i % len(templates)
-		rx.Bind(0, ti, templates[ti])
+		ti := i % len(pts)
+		rx.Bind(0, ti, pts[ti])
 	}
 }
 
 func BenchmarkBindDirect(b *testing.B) {
 	pairs, templates := testWorkload(19)
+	pts := packAll(templates)
 	rx := Direct{}.Begin(pairs, 5, nil)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ti := i % len(templates)
-		rx.Bind(0, ti, templates[ti])
+		ti := i % len(pts)
+		rx.Bind(0, ti, pts[ti])
 	}
 }

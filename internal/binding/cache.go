@@ -327,7 +327,7 @@ type cachedReaction struct {
 // full key (pair prefix + packed 150-base template) is ~90 bytes.
 var keyBufs = sync.Pool{New: func() any { b := make([]byte, 0, 160); return &b }}
 
-func (r *cachedReaction) Bind(pi, si int, template dna.Seq) Binding {
+func (r *cachedReaction) Bind(pi, si int, template dna.Packed) Binding {
 	p := &r.pairs[pi]
 	inRow := p.row != nil && si >= 0 && si < r.n0
 	if inRow {
@@ -338,10 +338,10 @@ func (r *cachedReaction) Bind(pi, si int, template dna.Seq) Binding {
 	}
 	bp := keyBufs.Get().(*[]byte)
 	key := append((*bp)[:0], p.key...)
-	key = dna.AppendPacked(key, template)
+	key = template.AppendKey(key) // byte-identical to dna.AppendPacked of the bases
 	b, ok := r.c.get(key)
 	if !ok {
-		b = p.cp.bind(template, r.maxDist)
+		b = p.cp.bindPacked(template, r.maxDist)
 		r.c.put(key, b)
 	}
 	*bp = key[:0]

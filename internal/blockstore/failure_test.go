@@ -28,12 +28,11 @@ func randomSeqN(seed uint64, n int) dna.Seq {
 // synthesis dropout or molecular decay of whole species.
 func dropStrands(s *Store, partition string, block, n int) int {
 	dropped := 0
-	for _, sp := range s.Tube().Species() {
-		if dropped >= n {
-			break
-		}
-		if sp.Meta.Partition == partition && sp.Meta.Block == block && sp.Meta.Version == 0 {
-			sp.Abundance = 0
+	tube := s.Tube()
+	for i, ln := 0, tube.Len(); i < ln && dropped < n; i++ {
+		m := tube.MetaAt(i)
+		if m.Partition == partition && m.Block == block && m.Version == 0 {
+			tube.SetAbundance(i, 0)
 			dropped++
 		}
 	}

@@ -41,6 +41,23 @@ func Pack(seq Seq) Packed {
 	return Packed{b: appendPackedBytes(make([]byte, 0, (len(seq)+3)/4), seq), n: len(seq)}
 }
 
+// PackedView returns a Packed sequence of n bases viewing b without
+// copying. b must hold the 2-bit packing of exactly n bases — the bytes
+// Pack produces, or an AppendKey/AppendPacked key minus its trailing
+// marker byte — and must not be modified while the view is reachable.
+// It is how pool hands out zero-copy sequence views of its arena.
+func PackedView(b []byte, n int) Packed {
+	if (n+3)/4 != len(b) || n < 0 {
+		panic("dna: PackedView length mismatch")
+	}
+	return Packed{b: b, n: n}
+}
+
+// Bytes returns the packed byte payload backing p, without any length
+// marker. Callers must treat it as read-only; for views it aliases the
+// original storage.
+func (p Packed) Bytes() []byte { return p.b }
+
 // Len returns the number of bases.
 func (p Packed) Len() int { return p.n }
 
@@ -72,6 +89,51 @@ func (p Packed) Unpack() Seq {
 		}
 	}
 	return out
+}
+
+// AppendRange appends bases [from, to) of p to dst and returns the
+// extended slice, decoding straight from the packed bytes without
+// materializing the rest of the sequence. It is the ranged form of
+// Unpack used for zero-copy consumers that need only a prefix, suffix
+// or payload window of an arena-resident sequence.
+func (p Packed) AppendRange(dst Seq, from, to int) Seq {
+	if from < 0 || to > p.n || from > to {
+		panic("dna: Packed range out of bounds")
+	}
+	for i := from; i < to; {
+		g := i / 4
+		width := p.n - g*4
+		if width > 4 {
+			width = 4
+		}
+		acc := p.b[g]
+		end := g*4 + width
+		if end > to {
+			end = to
+		}
+		for r := i - g*4; g*4+r < end; r++ {
+			dst = append(dst, Base(acc>>(2*uint(width-1-r))&3))
+		}
+		i = end
+	}
+	return dst
+}
+
+// AppendText appends the sequence's ACGT text to dst, byte for byte
+// what Seq.String would produce, without materializing a Seq.
+func (p Packed) AppendText(dst []byte) []byte {
+	const baseText = "ACGT"
+	for g := 0; g*4 < p.n; g++ {
+		width := p.n - g*4
+		if width > 4 {
+			width = 4
+		}
+		acc := p.b[g]
+		for r := 0; r < width; r++ {
+			dst = append(dst, baseText[acc>>(2*uint(width-1-r))&3])
+		}
+	}
+	return dst
 }
 
 // Equal reports whether two packed sequences are identical.

@@ -132,17 +132,19 @@ func Misprime(w *Wetlab, b *Fig9bResult) (*MisprimeResult, error) {
 	// compile it once; index distances are bounded by the index length,
 	// which keeps the kernel's budget real.
 	targetPat := dna.CompilePattern(targetIdx)
-	for _, s := range b.Product.Species() {
-		if !s.Meta.Misprimed || s.Meta.Partition != "alice" {
+	for i, n := 0, b.Product.Len(); i < n; i++ {
+		meta := b.Product.MetaAt(i)
+		if !meta.Misprimed || meta.Partition != "alice" {
 			continue
 		}
-		idx, err := tree.Encode(s.Meta.OriginBlock)
+		idx, err := tree.Encode(meta.OriginBlock)
 		if err != nil {
 			continue
 		}
 		d := targetPat.Distance(idx)
-		res.MassByDist[d] += s.Abundance
-		res.TotalMisprimeMass += s.Abundance
+		a := b.Product.Abundance(i)
+		res.MassByDist[d] += a
+		res.TotalMisprimeMass += a
 	}
 	return res, nil
 }

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/pool"
+	"dnastore/internal/rng"
+)
+
+// MemoryResult is the pool-substrate memory study: the per-strand cost
+// of holding a sequencing-scale tube in memory, for the packed-arena
+// pool and for the pointer-per-species layout it replaced. The regime
+// is the ROADMAP's 10^6-10^7-strand tube, where the old layout's ~15
+// heap objects per strand dominated both footprint and GC time.
+type MemoryResult struct {
+	Strands   int
+	StrandLen int
+
+	// BytesPerStrand is the retained heap per strand of the arena pool
+	// (packed 2-bit sequence span + one 40-byte record + index slot).
+	BytesPerStrand float64
+	// BaselineBytesPerStrand is the same tube rebuilt in the pre-arena
+	// layout: one cloned Seq, one heap Species and one string map key
+	// per strand.
+	BaselineBytesPerStrand float64
+	// PeakHeapMB is HeapAlloc right after the arena build, before any
+	// collection — the build's high-water mark.
+	PeakHeapMB float64
+	// MallocsPerStrand counts heap allocations per inserted strand
+	// during the arena build (amortized chunk/segment/index growth).
+	MallocsPerStrand float64
+	// AllocsPerRead is the allocation count per sampled read when
+	// decoding species into a reused buffer — the seqsim hot path.
+	AllocsPerRead float64
+	// CloneAllocs is the allocation count of one Clone (the O(1)
+	// copy-on-write snapshot), independent of pool size.
+	CloneAllocs float64
+}
+
+func fillRandomSeq(s dna.Seq, r *rng.Source) {
+	for j := range s {
+		s[j] = dna.Base(r.Intn(4))
+	}
+}
+
+// Memory builds a tube of the given strand count twice — once in the
+// replaced pointer-per-species layout, once in the packed arena — and
+// measures retained bytes per strand for each, plus the arena pool's
+// build churn, read-path allocations and snapshot cost.
+func Memory(strands int) (*MemoryResult, error) {
+	if strands <= 0 {
+		return nil, fmt.Errorf("memory: strand count %d", strands)
+	}
+	const strandLen = 150 // the paper's strand geometry
+	res := &MemoryResult{Strands: strands, StrandLen: strandLen}
+
+	readHeap := func(m *runtime.MemStats, collect bool) {
+		if collect {
+			runtime.GC()
+		}
+		runtime.ReadMemStats(m)
+	}
+
+	// Baseline: the pre-arena layout. One cloned Seq (1 byte/base), one
+	// heap-allocated Species and one packed-string map key per strand.
+	var m0, m1 runtime.MemStats
+	readHeap(&m0, true)
+	baselineN := 0
+	{
+		type headSpecies struct {
+			Seq       dna.Seq
+			Abundance float64
+			Meta      pool.Meta
+		}
+		species := make([]*headSpecies, 0, strands)
+		byKey := make(map[string]int, strands)
+		scratch := make(dna.Seq, strandLen)
+		var key []byte
+		r := rng.New(97)
+		for i := 0; i < strands; i++ {
+			fillRandomSeq(scratch, r)
+			key = dna.AppendPacked(key[:0], scratch)
+			if _, ok := byKey[string(key)]; ok {
+				continue
+			}
+			byKey[string(key)] = len(species)
+			species = append(species, &headSpecies{
+				Seq: scratch.Clone(), Abundance: 1, Meta: pool.Meta{Block: i, OriginBlock: i},
+			})
+		}
+		readHeap(&m1, true)
+		baselineN = len(species)
+		res.BaselineBytesPerStrand =
+			float64(m1.HeapAlloc-m0.HeapAlloc) / float64(baselineN)
+		runtime.KeepAlive(species)
+		runtime.KeepAlive(byKey)
+	}
+
+	// Arena pool: the same strands through pool.Add.
+	var m2, m3, m4 runtime.MemStats
+	readHeap(&m2, true) // baseline structures are unreachable now
+	p := pool.New()
+	scratch := make(dna.Seq, strandLen)
+	r := rng.New(97)
+	for i := 0; i < strands; i++ {
+		fillRandomSeq(scratch, r)
+		p.Add(scratch, 1, pool.Meta{Block: i, OriginBlock: i})
+	}
+	readHeap(&m3, false)
+	res.PeakHeapMB = float64(m3.HeapAlloc) / (1 << 20)
+	res.MallocsPerStrand = float64(m3.Mallocs-m2.Mallocs) / float64(strands)
+	readHeap(&m4, true)
+	res.BytesPerStrand = float64(m4.HeapAlloc-m2.HeapAlloc) / float64(p.Len())
+	if p.Len() != baselineN {
+		return nil, fmt.Errorf("memory: arena holds %d species, baseline %d", p.Len(), baselineN)
+	}
+
+	// Read path: decode pseudo-random species into one reused buffer,
+	// the way seqsim samples reads off a tube.
+	var buf dna.Seq
+	n := p.Len()
+	const readsPerRun = 1000
+	res.AllocsPerRead = testing.AllocsPerRun(5, func() {
+		for i := 0; i < readsPerRun; i++ {
+			buf = p.AppendSeq(buf[:0], (i*7919+13)%n)
+		}
+	}) / readsPerRun
+	res.CloneAllocs = testing.AllocsPerRun(100, func() { _ = p.Clone() })
+	return res, nil
+}
+
+// Metrics returns the study's headline numbers for the -json report.
+func (r *MemoryResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"strands":                   float64(r.Strands),
+		"bytes_per_strand":          r.BytesPerStrand,
+		"baseline_bytes_per_strand": r.BaselineBytesPerStrand,
+		"memory_reduction":          r.BaselineBytesPerStrand / r.BytesPerStrand,
+		"peak_heap_mb":              r.PeakHeapMB,
+		"mallocs_per_strand":        r.MallocsPerStrand,
+		"allocs_per_read":           r.AllocsPerRead,
+		"clone_allocs":              r.CloneAllocs,
+	}
+}
+
+// PrintMemory writes the memory study.
+func PrintMemory(out io.Writer, r *MemoryResult) {
+	fmt.Fprintf(out, "Pool memory substrate (%d strands x %d nt)\n", r.Strands, r.StrandLen)
+	fmt.Fprintf(out, "  arena pool:      %6.1f bytes/strand retained\n", r.BytesPerStrand)
+	fmt.Fprintf(out, "  pointer layout:  %6.1f bytes/strand retained -> %.1fx reduction\n",
+		r.BaselineBytesPerStrand, r.BaselineBytesPerStrand/r.BytesPerStrand)
+	fmt.Fprintf(out, "  build: peak heap %.1f MB, %.2f mallocs/strand\n",
+		r.PeakHeapMB, r.MallocsPerStrand)
+	fmt.Fprintf(out, "  reads: %.3f allocs/read (reused buffer); Clone: %.0f allocs (copy-on-write)\n",
+		r.AllocsPerRead, r.CloneAllocs)
+}

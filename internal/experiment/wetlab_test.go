@@ -41,11 +41,12 @@ func TestMixIDTBalancesTube(t *testing.T) {
 	// per-molecule average rather than 50000x above it.
 	perMol := tube.Total() / float64(tube.Len())
 	var worst float64
-	for _, s := range tube.Species() {
-		if s.Meta.Version > 0 {
+	for i, ln := 0, tube.Len(); i < ln; i++ {
+		m := tube.MetaAt(i)
+		if m.Version > 0 {
 			for _, b := range IDTUpdateBlocks {
-				if s.Meta.Block == b {
-					ratio := s.Abundance / perMol
+				if m.Block == b {
+					ratio := tube.Abundance(i) / perMol
 					if ratio > worst {
 						worst = ratio
 					}

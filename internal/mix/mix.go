@@ -69,12 +69,12 @@ func summarize(mixed *pool.Pool) Result {
 	res := Result{Mixed: mixed}
 	var origMass, updMass float64
 	var origN, updN int
-	for _, s := range mixed.Species() {
-		if s.Meta.Version > 0 {
-			updMass += s.Abundance
+	for i, n := 0, mixed.Len(); i < n; i++ {
+		if mixed.MetaAt(i).Version > 0 {
+			updMass += mixed.Abundance(i)
 			updN++
 		} else {
-			origMass += s.Abundance
+			origMass += mixed.Abundance(i)
 			origN++
 		}
 	}

@@ -276,8 +276,7 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 			break
 		}
 		pen := params.penalty(params.annealTemp(c))
-		species := out.Species()
-		n := len(species)
+		n := out.Len()
 		// Grow the reaction tables with doubling: products append a few
 		// species every cycle, and regrowing exactly-sized tables each
 		// cycle was measurable zeroing + copy traffic. Fresh capacity
@@ -304,24 +303,25 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 		// score emits the growth deltas of species [lo, hi) in order.
 		score := func(lo, hi int, deltas []delta, prods []product) ([]delta, []product) {
 			for si := lo; si < hi; si++ {
-				s := species[si]
-				if s.Abundance <= 0 {
+				ab := out.Abundance(si)
+				if ab <= 0 {
 					continue
 				}
-				if s.Abundance*maxProb*sat < negligible {
+				if ab*maxProb*sat < negligible {
 					continue
 				}
+				tmpl := out.PackedSeq(si) // zero-copy arena view
 				row := cache[si*np : (si+1)*np]
 				for pi := range primers {
 					b := &row[pi]
 					if b.State == binding.Unknown {
-						*b = rx.Bind(pi, si, s.Seq)
+						*b = rx.Bind(pi, si, tmpl)
 					}
 					if b.State == binding.None {
 						continue
 					}
 					prob := params.Efficiency * primers[pi].Conc * expPen[b.Dist]
-					amount := s.Abundance * prob * sat
+					amount := ab * prob * sat
 					if amount < negligible {
 						continue
 					}
@@ -338,8 +338,12 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 						deltas = append(deltas, delta{species: idx - 1, prod: -1, amount: amount})
 						continue
 					}
-					seq := dna.Concat(primers[pi].Fwd, s.Seq[b.End:])
-					meta := s.Meta
+					fwd := primers[pi].Fwd
+					tn := tmpl.Len()
+					seq := make(dna.Seq, 0, len(fwd)+tn-int(b.End))
+					seq = append(seq, fwd...)
+					seq = tmpl.AppendRange(seq, int(b.End), tn)
+					meta := out.MetaAt(si)
 					meta.Misprimed = true
 					prods = append(prods, product{origin: slot, seq: seq, meta: meta})
 					deltas = append(deltas, delta{species: -1, prod: int32(len(prods) - 1), amount: amount})
@@ -387,9 +391,9 @@ func Run(input *pool.Pool, primers []Primer, params Params) (*pool.Pool, Stats, 
 	}
 
 	stats.FinalTotal = out.Total()
-	for _, s := range out.Species() {
-		if s.Meta.Misprimed {
-			stats.MisprimedMass += s.Abundance
+	for i, nOut := 0, out.Len(); i < nOut; i++ {
+		if out.MetaAt(i).Misprimed {
+			stats.MisprimedMass += out.Abundance(i)
 		}
 	}
 	return out, stats, nil

@@ -117,11 +117,11 @@ func TestUnrelatedSpeciesDoNotAmplify(t *testing.T) {
 		t.Fatal(err)
 	}
 	var targetMass, otherMass float64
-	for _, s := range out.Species() {
-		if s.Meta.Block == 5 {
-			otherMass += s.Abundance
+	for i, n := 0, out.Len(); i < n; i++ {
+		if out.MetaAt(i).Block == 5 {
+			otherMass += out.Abundance(i)
 		} else {
-			targetMass += s.Abundance
+			targetMass += out.Abundance(i)
 		}
 	}
 	if otherMass > 110 {
@@ -168,9 +168,10 @@ func TestMisprimeOverwritesIndexKeepsPayload(t *testing.T) {
 		t.Fatal("no misprimed species created from a distance-2 neighbor")
 	}
 	var misprimed *pool.Species
-	for _, s := range out.Species() {
-		if s.Meta.Misprimed {
-			misprimed = s
+	for i, n := 0, out.Len(); i < n; i++ {
+		if out.MetaAt(i).Misprimed {
+			sp := out.SpeciesAt(i)
+			misprimed = &sp
 			break
 		}
 	}
@@ -185,9 +186,9 @@ func TestMisprimeOverwritesIndexKeepsPayload(t *testing.T) {
 	}
 	// The misprimed mass should be visible but the true target dominant.
 	var targetMass float64
-	for _, s := range out.Species() {
-		if s.Meta.OriginBlock == 531 && !s.Meta.Misprimed {
-			targetMass += s.Abundance
+	for i, n := 0, out.Len(); i < n; i++ {
+		if m := out.MetaAt(i); m.OriginBlock == 531 && !m.Misprimed {
+			targetMass += out.Abundance(i)
 		}
 	}
 	if stats.MisprimedMass <= 0 {
@@ -361,7 +362,8 @@ func buildPool(n int) *pool.Pool {
 // bits for byte-identity comparisons.
 func poolFingerprint(p *pool.Pool) []string {
 	out := make([]string, 0, p.Len())
-	for _, s := range p.Species() {
+	for i, n := 0, p.Len(); i < n; i++ {
+		s := p.SpeciesAt(i)
 		out = append(out, s.Seq.String()+"|"+strconv.FormatUint(math.Float64bits(s.Abundance), 16))
 	}
 	return out

@@ -20,7 +20,7 @@ func TestAddMergesIdenticalSequences(t *testing.T) {
 		t.Errorf("total %v want 15", got)
 	}
 	// First writer's metadata is retained.
-	if p.Species()[0].Meta.Block != 1 {
+	if p.MetaAt(0).Block != 1 {
 		t.Error("metadata overwritten on merge")
 	}
 }
@@ -139,12 +139,13 @@ func TestSynthesizeSkewWithinTwoFold(t *testing.T) {
 		t.Fatal(err)
 	}
 	min, max := math.Inf(1), 0.0
-	for _, s := range p.Species() {
-		if s.Abundance < min {
-			min = s.Abundance
+	for i, n := 0, p.Len(); i < n; i++ {
+		a := p.Abundance(i)
+		if a < min {
+			min = a
 		}
-		if s.Abundance > max {
-			max = s.Abundance
+		if a > max {
+			max = a
 		}
 	}
 	if ratio := max / min; ratio > 2.5 {
@@ -191,9 +192,9 @@ func TestPackedKeysDistinguishLengths(t *testing.T) {
 	if p.Len() != 10 {
 		t.Fatalf("A-padding collision: %d species, want 10", p.Len())
 	}
-	for i, s := range p.Species() {
-		if s.Abundance != 1 {
-			t.Errorf("species %d abundance %v, want 1", i, s.Abundance)
+	for i, n := 0, p.Len(); i < n; i++ {
+		if a := p.Abundance(i); a != 1 {
+			t.Errorf("species %d abundance %v, want 1", i, a)
 		}
 	}
 }
@@ -210,10 +211,10 @@ func TestCloneIndependence(t *testing.T) {
 	c.Add(a, 3, Meta{})                          // grow existing in clone
 	c.Add(dna.MustFromString("GGGG"), 2, Meta{}) // new species in clone
 	p.Scale(10)                                  // mutate original
-	if got := c.Species()[0].Abundance; got != 8 {
+	if got := c.Abundance(0); got != 8 {
 		t.Errorf("clone abundance %v, want 8", got)
 	}
-	if got := p.Species()[0].Abundance; got != 50 {
+	if got := p.Abundance(0); got != 50 {
 		t.Errorf("original abundance %v, want 50", got)
 	}
 	if p.Len() != 2 || c.Len() != 3 {

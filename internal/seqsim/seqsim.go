@@ -58,23 +58,24 @@ type aliasTable struct {
 // construction is deterministic, so the sampling stream is a pure
 // function of (seed, pool contents).
 func buildAlias(p *pool.Pool) (*aliasTable, error) {
-	species := p.Species()
-	if len(species) == 0 {
+	n := p.Len()
+	if n == 0 {
 		return nil, fmt.Errorf("seqsim: empty pool")
 	}
 	t := &aliasTable{
-		idx: make([]int32, 0, len(species)),
+		idx: make([]int32, 0, n),
 	}
 	t.poolID, t.rev = p.Version()
-	scaled := make([]float64, 0, len(species))
+	scaled := make([]float64, 0, n)
 	total := 0.0
-	for i, s := range species {
-		if s.Abundance <= 0 {
+	for i := 0; i < n; i++ {
+		a := p.Abundance(i)
+		if a <= 0 {
 			continue
 		}
-		total += s.Abundance
+		total += a
 		t.idx = append(t.idx, int32(i))
-		scaled = append(scaled, s.Abundance)
+		scaled = append(scaled, a)
 	}
 	if total <= 0 {
 		return nil, fmt.Errorf("seqsim: pool has zero total abundance")
@@ -212,13 +213,14 @@ func Sample(r *rng.Source, p *pool.Pool, n int, prof Profile) ([]Read, error) {
 }
 
 func sampleTable(r *rng.Source, p *pool.Pool, n int, t *aliasTable, prof Profile) []Read {
-	species := p.Species()
 	reads := make([]Read, 0, n)
+	var tmpl dna.Seq // reused decode buffer; Corrupt copies out of it
 	for i := 0; i < n; i++ {
-		s := species[t.draw(r)]
+		si := int(t.draw(r))
+		tmpl = p.AppendSeq(tmpl[:0], si)
 		reads = append(reads, Read{
-			Seq:  channel.Corrupt(r, s.Seq, prof.Rates),
-			Meta: s.Meta,
+			Seq:  channel.Corrupt(r, tmpl, prof.Rates),
+			Meta: p.MetaAt(si),
 		})
 	}
 	return reads

@@ -222,7 +222,7 @@ func TestSampleSkipsZeroAbundance(t *testing.T) {
 		t.Fatal("expected both species in the noiseless sample")
 	}
 	// Zero one species out; only the other may appear.
-	p.Species()[0].Abundance = 0
+	p.SetAbundance(0, 0)
 	reads, err = Sample(rng.New(4), p, 200, Profile{Rates: channel.Noiseless()})
 	if err != nil {
 		t.Fatal(err)
