@@ -36,7 +36,7 @@ var experimentIDs = []string{
 	"fig3", "fig9a", "fig9b", "fig9c", "multiplex", "fig10",
 	"cost", "latency", "updatecost", "decode", "misprime",
 	"scale", "tree", "density", "cache", "primers", "related", "alloc",
-	"parallel", "kernels", "write", "binding", "memory",
+	"parallel", "kernels", "write", "binding", "memory", "aging",
 }
 
 func main() {
@@ -46,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "read-engine workers for the parallel experiment")
 	scale := flag.Int("scale", 1, "multiply the Alice partition's block count (12 ≈ a 10^5-strand pool)")
 	strands := flag.Int("strands", 1_000_000, "strand count for the memory study")
+	days := flag.Float64("days", 1000, "accelerated-aging horizon in days for the aging study")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "write machine-readable timings and headline metrics to this file (e.g. BENCH_PR2.json)")
 	flag.Parse()
@@ -56,7 +57,7 @@ func main() {
 		}
 		return
 	}
-	if err := runExperiments(*run, *reads, *seed, *workers, *scale, *strands, *jsonPath); err != nil {
+	if err := runExperiments(*run, *reads, *seed, *workers, *scale, *strands, *days, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "dnabench:", err)
 		os.Exit(1)
 	}
@@ -112,7 +113,7 @@ func (rc *recorder) write(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runExperiments(run string, reads int, seed uint64, workers, scale, strands int, jsonPath string) error {
+func runExperiments(run string, reads int, seed uint64, workers, scale, strands int, days float64, jsonPath string) error {
 	want := map[string]bool{}
 	if run == "all" {
 		for _, id := range experimentIDs {
@@ -248,6 +249,21 @@ func runExperiments(run string, reads int, seed uint64, workers, scale, strands 
 		}
 		tm.Metrics = r.Metrics()
 		experiment.PrintMemory(out, r)
+		fmt.Fprintln(out)
+	}
+	if want["aging"] {
+		fmt.Fprintf(out, "running the tube-aging study (%.0f accelerated days)...\n", days)
+		var r *experiment.AgingResult
+		tm, err := rc.track("aging", func() error {
+			var err error
+			r, err = experiment.AgingStudy(days, 10, workers)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tm.Metrics = r.Metrics()
+		experiment.PrintAgingStudy(out, r)
 		fmt.Fprintln(out)
 	}
 	if want["write"] {

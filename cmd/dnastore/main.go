@@ -15,6 +15,20 @@
 //	dnastore -journal tube.json read mydocs 3
 //	dnastore -journal tube.json range mydocs 0 7
 //	dnastore -journal tube.json costs
+//	dnastore -journal tube.json -decay accelerated create mydocs
+//	dnastore -journal tube.json advance 20
+//	dnastore -journal tube.json health mydocs 0 7
+//	dnastore -journal tube.json scrub
+//
+// The -decay flag picks the tube's aging profile when the journal is
+// first created; thereafter the journal remembers it. Aging (advance)
+// and maintenance (scrub) are journaled mutations like writes, so a
+// replay rebuilds the same aged tube byte for byte.
+//
+// Exit codes: 0 success, 1 generic failure, 2 usage, 3 a read failed
+// for insufficient coverage (curable: re-amplify or scrub), 4 a read
+// failed with the Reed-Solomon margin exceeded (strands corrupted;
+// only re-synthesis cures it).
 package main
 
 import (
@@ -32,10 +46,15 @@ import (
 // a single entry: a batch draws noise once per commit, so replaying it
 // op by op would rebuild a different tube.
 type journalEntry struct {
-	Op        string `json:"op"` // "create", "write", "update", "writebatch", "updatebatch"
-	Partition string `json:"partition"`
+	Op        string `json:"op"` // "create", "write", "update", "writebatch", "updatebatch", "advance", "scrub"
+	Partition string `json:"partition,omitempty"`
 	Block     int    `json:"block,omitempty"`
 	Data      []byte `json:"data,omitempty"`
+	// Days is the aging horizon of an "advance" entry.
+	Days float64 `json:"days,omitempty"`
+	// Scrub carries the maintenance policy of a "scrub" entry, so a
+	// replay repeats the repairs exactly even if the defaults move.
+	Scrub *dnastore.ScrubPolicy `json:"scrub,omitempty"`
 	// Patch fields for "update".
 	DeleteStart int    `json:"deleteStart,omitempty"`
 	DeleteCount int    `json:"deleteCount,omitempty"`
@@ -56,23 +75,44 @@ type journalItem struct {
 }
 
 type journal struct {
-	Seed    uint64         `json:"seed"`
-	Entries []journalEntry `json:"entries"`
+	Seed uint64 `json:"seed"`
+	// Decay is the tube's aging profile, fixed at journal creation:
+	// the profile shapes every strand the tube ever ages, so changing
+	// it mid-life would replay history under different physics.
+	Decay   *dnastore.DecayProfile `json:"decay,omitempty"`
+	Entries []journalEntry         `json:"entries"`
 }
 
-func loadJournal(path string) (*journal, error) {
+// loadJournal reads the journal at path; fresh reports whether the
+// file did not exist yet (a brand-new tube, still configurable).
+func loadJournal(path string) (j *journal, fresh bool, err error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return &journal{Seed: 1}, nil
+		return &journal{Seed: 1}, true, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	var j journal
-	if err := json.Unmarshal(data, &j); err != nil {
-		return nil, fmt.Errorf("corrupt journal %s: %v", path, err)
+	j = &journal{}
+	if err := json.Unmarshal(data, j); err != nil {
+		return nil, false, fmt.Errorf("corrupt journal %s: %v", path, err)
 	}
-	return &j, nil
+	return j, false, nil
+}
+
+// decayProfile resolves the -decay flag value to a profile.
+func decayProfile(name string) (*dnastore.DecayProfile, error) {
+	switch name {
+	case "", "off":
+		return nil, nil
+	case "room":
+		p := dnastore.RoomTempDecay()
+		return &p, nil
+	case "accelerated", "accel":
+		p := dnastore.AcceleratedDecay()
+		return &p, nil
+	}
+	return nil, fmt.Errorf("unknown decay profile %q (want off, room or accelerated)", name)
 }
 
 func (j *journal) save(path string) error {
@@ -87,7 +127,7 @@ func (j *journal) save(path string) error {
 // the read-engine parallelism; it is a per-invocation runtime knob, not
 // journal state, because results are byte-identical for every setting.
 func (j *journal) replay(workers int) (*dnastore.System, error) {
-	sys, err := dnastore.New(dnastore.Options{Seed: j.Seed, Workers: workers})
+	sys, err := dnastore.New(dnastore.Options{Seed: j.Seed, Workers: workers, Decay: j.Decay})
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +188,18 @@ func (j *journal) replay(workers int) (*dnastore.System, error) {
 			if err := p.UpdateBlocks(patches); err != nil {
 				return nil, fmt.Errorf("journal entry %d: %v", i, err)
 			}
+		case "advance":
+			if _, err := sys.Advance(e.Days); err != nil {
+				return nil, fmt.Errorf("journal entry %d: %v", i, err)
+			}
+		case "scrub":
+			pol := dnastore.DefaultScrubPolicy()
+			if e.Scrub != nil {
+				pol = *e.Scrub
+			}
+			if _, err := sys.Scrub(pol); err != nil {
+				return nil, fmt.Errorf("journal entry %d: %v", i, err)
+			}
 		default:
 			return nil, fmt.Errorf("journal entry %d: unknown op %q", i, e.Op)
 		}
@@ -158,20 +210,34 @@ func (j *journal) replay(workers int) (*dnastore.System, error) {
 func main() {
 	journalPath := flag.String("journal", "dnastore.json", "journal file holding the tube's write history")
 	workers := flag.Int("workers", 0, "read-engine workers (0 = serial, -1 = all CPUs)")
+	decayName := flag.String("decay", "", "aging profile for a NEW journal: off, room or accelerated")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	if err := runCommand(*journalPath, *workers, args); err != nil {
+	if err := runCommand(*journalPath, *workers, *decayName, args); err != nil {
 		fmt.Fprintln(os.Stderr, "dnastore:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
+// exitCode maps a failure to its shell-visible class: callers
+// scripting the tube can tell a curable coverage shortfall (3) from
+// permanent strand corruption (4) without parsing the message.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, dnastore.ErrInsufficientCoverage):
+		return 3
+	case errors.Is(err, dnastore.ErrRSMarginExceeded):
+		return 4
+	}
+	return 1
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dnastore [-journal file] <command> ...
+	fmt.Fprintln(os.Stderr, `usage: dnastore [-journal file] [-decay off|room|accelerated] <command> ...
 commands:
   create      <partition>
   write       <partition> <block> <text>
@@ -180,13 +246,24 @@ commands:
   updatebatch <partition> <block> <delStart> <delCount> <insPos> <text> [...]
   read        <partition> <block>
   range       <partition> <lo> <hi>
+  advance     <days>
+  scrub
+  health      <partition> <lo> <hi>
   costs`)
 }
 
-func runCommand(journalPath string, workers int, args []string) error {
-	j, err := loadJournal(journalPath)
+func runCommand(journalPath string, workers int, decayName string, args []string) error {
+	j, fresh, err := loadJournal(journalPath)
 	if err != nil {
 		return err
+	}
+	if fresh {
+		// A new tube adopts the requested physics for life.
+		if j.Decay, err = decayProfile(decayName); err != nil {
+			return err
+		}
+	} else if decayName != "" {
+		return fmt.Errorf("journal %s already exists; its decay profile is fixed", journalPath)
 	}
 	sys, err := j.replay(workers)
 	if err != nil {
@@ -379,6 +456,82 @@ func runCommand(journalPath string, workers int, args []string) error {
 		}
 		for i, b := range blocks {
 			fmt.Printf("block %d: %s\n", lo+i, trimZeros(b))
+		}
+	case "advance":
+		if len(args) != 2 {
+			return errors.New("advance needs: days")
+		}
+		days, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return fmt.Errorf("not a number of days: %q", args[1])
+		}
+		stats, err := sys.Advance(days)
+		if err != nil {
+			return err
+		}
+		j.Entries = append(j.Entries, journalEntry{Op: "advance", Days: days})
+		if err := j.save(journalPath); err != nil {
+			return err
+		}
+		fmt.Printf("aged %g days (tube age %g): %.0f strands lost, %d species extinct, %d mutant species\n",
+			days, sys.AgeDays(), stats.StrandsLost, stats.SpeciesExtinct, stats.MutantSpecies)
+	case "scrub":
+		if len(args) != 1 {
+			return errors.New("scrub takes no arguments")
+		}
+		pol := dnastore.DefaultScrubPolicy()
+		report, err := sys.Scrub(pol)
+		if err != nil {
+			return err
+		}
+		j.Entries = append(j.Entries, journalEntry{Op: "scrub", Scrub: &pol})
+		if err := j.save(journalPath); err != nil {
+			return err
+		}
+		fmt.Printf("scrubbed %d blocks: %d flagged, %d repaired (%d boosts, %d resyntheses), %d beyond repair\n",
+			report.BlocksProbed, report.BlocksFlagged, report.Repaired,
+			report.Boosts, report.Resyntheses, report.Failed)
+		for _, r := range report.Flagged {
+			fmt.Printf("  %s/%d: %s", r.Partition, r.Block, r.Action)
+			if r.Err != nil {
+				fmt.Printf(" FAILED: %v", r.Err)
+			}
+			fmt.Println()
+		}
+	case "health":
+		// Read-only diagnosis: like read/range, it is not journaled.
+		if len(args) != 4 {
+			return errors.New("health needs: partition lo hi")
+		}
+		lo, err := atoi(args[2])
+		if err != nil {
+			return err
+		}
+		hi, err := atoi(args[3])
+		if err != nil {
+			return err
+		}
+		p, ok := sys.Partition(args[1])
+		if !ok {
+			return fmt.Errorf("unknown partition %q", args[1])
+		}
+		_, health, err := p.ReadRangeHealth(lo, hi)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6s %-12s %9s %9s %8s\n", "block", "status", "coverage", "rsmargin", "missing")
+		for _, h := range health {
+			status := "ok"
+			switch {
+			case errors.Is(h.Err, dnastore.ErrRSMarginExceeded):
+				status = "corrupted"
+			case errors.Is(h.Err, dnastore.ErrInsufficientCoverage):
+				status = "low-cover"
+			case h.Err != nil:
+				status = "error"
+			}
+			fmt.Printf("%-6d %-12s %9.2f %9.2f %8d\n",
+				h.Block, status, h.Coverage, h.RSMarginUsed, h.MissingSlots)
 		}
 	case "costs":
 		c := sys.Costs()

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dnastore"
 )
 
 // journalPath returns a fresh journal file in a test temp dir.
@@ -21,7 +24,7 @@ func TestCreateWriteReadRoundTrip(t *testing.T) {
 		{"read", "docs", "3"},
 	}
 	for _, args := range steps {
-		if err := runCommand(j, -1, args); err != nil {
+		if err := runCommand(j, -1, "", args); err != nil {
 			t.Fatalf("%v: %v", args, err)
 		}
 	}
@@ -45,12 +48,12 @@ func TestUpdateThroughJournal(t *testing.T) {
 		{"costs"},
 	}
 	for _, args := range steps {
-		if err := runCommand(j, -1, args); err != nil {
+		if err := runCommand(j, -1, "", args); err != nil {
 			t.Fatalf("%v: %v", args, err)
 		}
 	}
 	// Replay from the journal must reproduce the updated state.
-	jj, err := loadJournal(j)
+	jj, _, err := loadJournal(j)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +89,11 @@ func TestBatchCommandsThroughJournal(t *testing.T) {
 		{"read", "docs", "0"},
 	}
 	for _, args := range steps {
-		if err := runCommand(j, -1, args); err != nil {
+		if err := runCommand(j, -1, "", args); err != nil {
 			t.Fatalf("%v: %v", args, err)
 		}
 	}
-	jj, err := loadJournal(j)
+	jj, _, err := loadJournal(j)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,10 +138,16 @@ func TestCommandErrors(t *testing.T) {
 		{"updatebatch", "ghost", "0", "0", "5", "0"},      // incomplete 5-tuple
 		{"updatebatch", "ghost", "0", "0", "5", "0", "x"}, // unknown partition
 		{"range", "ghost", "0", "1"},                      // unknown partition
+		{"advance"},                                       // missing days
+		{"advance", "soon"},                               // bad number
+		{"advance", "-3"},                                 // negative horizon
+		{"scrub", "hard"},                                 // wrong arity
+		{"health", "ghost", "0", "1"},                     // unknown partition
+		{"health", "ghost", "0"},                          // wrong arity
 		{"explode"},                                       // unknown command
 	}
 	for _, args := range cases {
-		if err := runCommand(j, -1, args); err == nil {
+		if err := runCommand(j, -1, "", args); err == nil {
 			t.Errorf("%v: expected error", args)
 		}
 	}
@@ -149,7 +158,7 @@ func TestCorruptJournal(t *testing.T) {
 	if err := os.WriteFile(j, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCommand(j, -1, []string{"costs"}); err == nil {
+	if err := runCommand(j, -1, "", []string{"costs"}); err == nil {
 		t.Error("corrupt journal accepted")
 	}
 }
@@ -163,9 +172,115 @@ func TestRangeCommand(t *testing.T) {
 		{"range", "docs", "0", "1"},
 	}
 	for _, args := range steps {
-		if err := runCommand(j, -1, args); err != nil {
+		if err := runCommand(j, -1, "", args); err != nil {
 			t.Fatalf("%v: %v", args, err)
 		}
+	}
+}
+
+// TestAgingThroughJournal exercises the durability verbs end to end:
+// advance and scrub journal like writes, and a fresh replay of the
+// journal rebuilds the identical aged tube.
+func TestAgingThroughJournal(t *testing.T) {
+	j := journalPath(t)
+	steps := [][]string{
+		{"create", "docs"},
+		{"write", "docs", "0", "block zero"},
+		{"write", "docs", "1", "block one"},
+		{"advance", "10"},
+		{"scrub"},
+		{"health", "docs", "0", "1"},
+		{"advance", "5"},
+		{"read", "docs", "0"},
+	}
+	for i, args := range steps {
+		decay := ""
+		if i == 0 {
+			decay = "accelerated"
+		}
+		if err := runCommand(j, -1, decay, args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	jj, _, err := loadJournal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jj.Decay == nil || jj.Decay.Thermal <= 0 {
+		t.Fatal("journal lost the decay profile")
+	}
+	// read/health are diagnostics; the six mutations journal.
+	if len(jj.Entries) != 6 {
+		t.Fatalf("journal entries %d want 6", len(jj.Entries))
+	}
+	if jj.Entries[3].Op != "advance" || jj.Entries[3].Days != 10 {
+		t.Errorf("entry 3 = %q days %g", jj.Entries[3].Op, jj.Entries[3].Days)
+	}
+	if jj.Entries[4].Op != "scrub" || jj.Entries[4].Scrub == nil {
+		t.Errorf("entry 4 = %q policy %v", jj.Entries[4].Op, jj.Entries[4].Scrub)
+	}
+	// Replaying twice — at different worker counts — rebuilds the same
+	// aged tube byte for byte.
+	sysA, err := jj.replay(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := jj.replay(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sysA.TubeDigest() != sysB.TubeDigest() {
+		t.Error("replay digests diverge across worker counts")
+	}
+	if got := sysA.AgeDays(); got != 15 {
+		t.Errorf("replayed age %g want 15", got)
+	}
+}
+
+// TestDecayFlagRules pins the -decay flag contract: only a fresh
+// journal accepts a profile, and unknown names are rejected.
+func TestDecayFlagRules(t *testing.T) {
+	j := journalPath(t)
+	if err := runCommand(j, -1, "volcanic", []string{"create", "docs"}); err == nil {
+		t.Error("unknown decay profile accepted")
+	}
+	if err := runCommand(j, -1, "room", []string{"create", "docs"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCommand(j, -1, "room", []string{"costs"}); err == nil {
+		t.Error("re-specifying decay on an existing journal accepted")
+	}
+	if err := runCommand(j, -1, "", []string{"costs"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdvanceWithoutProfile confirms a decay-free tube still keeps a
+// clock: advance is legal, moves time, and changes nothing physical.
+func TestAdvanceWithoutProfile(t *testing.T) {
+	j := journalPath(t)
+	steps := [][]string{
+		{"create", "docs"},
+		{"write", "docs", "0", "timeless"},
+		{"advance", "1000"},
+		{"read", "docs", "0"},
+	}
+	for _, args := range steps {
+		if err := runCommand(j, -1, "", args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	if got := exitCode(os.ErrNotExist); got != 1 {
+		t.Errorf("generic error -> %d want 1", got)
+	}
+	if got := exitCode(fmt.Errorf("read: %w", dnastore.ErrInsufficientCoverage)); got != 3 {
+		t.Errorf("coverage error -> %d want 3", got)
+	}
+	if got := exitCode(fmt.Errorf("read: %w", dnastore.ErrRSMarginExceeded)); got != 4 {
+		t.Errorf("margin error -> %d want 4", got)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"dnastore/internal/blockstore"
+	"dnastore/internal/decay"
 	"dnastore/internal/primer"
 	"dnastore/internal/rng"
 	"dnastore/internal/update"
@@ -84,6 +85,15 @@ var (
 	// concurrency race: a block it staged changed between planning and
 	// commit. The batch committed nothing and can be restaged.
 	ErrBatchConflict = blockstore.ErrBatchConflict
+	// ErrInsufficientCoverage reports a decode that failed for lack of
+	// material: slots never observed in the reads, typically because
+	// decay drove their species extinct or sequencing was too shallow.
+	// Curable by deeper sequencing, re-amplification, or re-synthesis.
+	ErrInsufficientCoverage = blockstore.ErrInsufficientCoverage
+	// ErrRSMarginExceeded reports strands observed but corrupted past
+	// the Reed-Solomon correction margin; only re-synthesis from a
+	// surviving copy (or the original data) cures it.
+	ErrRSMarginExceeded = blockstore.ErrRSMarginExceeded
 )
 
 // Costs are the accumulated physical-cost counters of a System:
@@ -133,7 +143,70 @@ type Options struct {
 	// the cache. Reads return byte-identical results either way — only
 	// the wall clock changes. BindingStats reports hit rates.
 	BindingCache int
+
+	// Decay enables the tube-aging channel: per-day thermal,
+	// hydrolytic, and oxidative strand loss, mutation accrual, and
+	// per-access mechanical wear, applied when System.Advance moves the
+	// clock. nil leaves the system outside time — every operation is
+	// byte-identical to a system built without decay. Use
+	// RoomTempDecay or AcceleratedDecay for calibrated profiles.
+	Decay *DecayProfile
 }
+
+// DecayProfile sets the per-day hazard and mutation rates of the aging
+// channel; see RoomTempDecay and AcceleratedDecay for calibrated
+// presets and the decay package for field semantics.
+type DecayProfile = decay.Profile
+
+// DecayStats accumulates what aging has done to the tube: species
+// aged, strands lost, species driven extinct, mutants created, and
+// mechanical wear charged per access.
+type DecayStats = decay.Stats
+
+// RoomTempDecay returns the decay profile of dry DNA at room
+// temperature, the slow baseline of the durability literature.
+func RoomTempDecay() DecayProfile { return decay.RoomTemp() }
+
+// AcceleratedDecay returns an accelerated-aging profile (hazards ~50x
+// room temperature, mirroring ~65°C incubation studies), the practical
+// choice for simulation horizons measured in hundreds of days.
+func AcceleratedDecay() DecayProfile { return decay.Accelerated() }
+
+// Health is the per-block condition report of a health-aware read or a
+// scrub probe: typed failure class, estimated sequencing coverage, and
+// the worst unit's consumed Reed-Solomon erasure margin.
+type Health = blockstore.Health
+
+// ScrubPolicy tunes System.Scrub: probe depth, coverage and RS-margin
+// floors, repair mode, boost gain, and retry budget.
+type ScrubPolicy = blockstore.ScrubPolicy
+
+// ScrubReport summarizes one scrub pass: blocks probed, flagged,
+// repaired, and failed, the repair actions taken, and the pass's
+// physical cost.
+type ScrubReport = blockstore.ScrubReport
+
+// BlockRepair records one flagged block's diagnosis and treatment.
+type BlockRepair = blockstore.BlockRepair
+
+// RepairMode selects what Scrub does about an unhealthy block.
+type RepairMode = blockstore.RepairMode
+
+// Repair modes.
+const (
+	// RepairAuto re-amplifies thinned-but-complete blocks and
+	// re-synthesizes blocks with extinct slots or corrupted strands.
+	RepairAuto = blockstore.RepairAuto
+	// RepairNone diagnoses without touching the tube.
+	RepairNone = blockstore.RepairNone
+	// RepairBoost always re-amplifies.
+	RepairBoost = blockstore.RepairBoost
+	// RepairResynth always re-reads and re-synthesizes.
+	RepairResynth = blockstore.RepairResynth
+)
+
+// DefaultScrubPolicy returns the documented scrub defaults.
+func DefaultScrubPolicy() ScrubPolicy { return blockstore.DefaultScrubPolicy() }
 
 // BindingStats is a snapshot of the system's binding-cache counters:
 // row and content hits (alignments skipped), misses (alignments
@@ -164,6 +237,7 @@ func New(opt Options) (*System, error) {
 	cfg.Seed = opt.Seed
 	cfg.Workers = opt.Workers
 	cfg.BindingEntries = opt.BindingCache
+	cfg.Decay = opt.Decay
 	if opt.TreeDepth != 5 {
 		// The payload shrinks or grows with the index field; the shared
 		// adjustment trims the strand so the payload stays a whole
@@ -186,9 +260,36 @@ func New(opt Options) (*System, error) {
 // Costs returns the system's accumulated physical-cost counters.
 func (s *System) Costs() Costs { return s.store.Costs() }
 
+// TubeDigest returns a digest of the tube's full physical state —
+// every species' sequence and abundance. Two systems that executed the
+// same operations under the same seed have equal digests, whatever
+// their worker counts; useful for verifying deterministic replay.
+func (s *System) TubeDigest() [32]byte { return s.store.TubeDigest() }
+
 // BindingStats returns a snapshot of the binding cache's counters; ok
 // is false when the cache is disabled (negative Options.BindingCache).
 func (s *System) BindingStats() (st BindingStats, ok bool) { return s.store.BindingStats() }
+
+// Advance moves the system's clock forward by days and applies the
+// configured decay profile to every species in the tube: exponential
+// strand loss, mutant accrual, extinction of depleted species. With no
+// profile configured (Options.Decay nil) only the clock moves. Aging
+// is deterministic: the same seed, horizon, and profile reproduce the
+// same tube at any worker count, however the days are split across
+// calls.
+func (s *System) Advance(days float64) (DecayStats, error) { return s.store.Advance(days) }
+
+// AgeDays returns the total simulated days the system has aged.
+func (s *System) AgeDays() float64 { return s.store.AgeDays() }
+
+// DecayStats returns the accumulated decay and wear statistics.
+func (s *System) DecayStats() DecayStats { return s.store.DecayStats() }
+
+// Scrub probes every written block with cheap shallow reads, flags
+// blocks whose health has dipped below the policy's floors, and —
+// policy permitting — repairs them by re-amplification or
+// re-synthesis. The zero ScrubPolicy selects the defaults.
+func (s *System) Scrub(pol ScrubPolicy) (*ScrubReport, error) { return s.store.Scrub(pol) }
 
 // CreatePartition allocates the next primer pair and returns an empty
 // partition with its own PCR-navigable index tree.
@@ -271,6 +372,21 @@ func (p *Partition) ReadBlocks(blocks []int) ([][]byte, error) { return p.p.Read
 // access — with the per-prefix reactions fanned across the configured
 // workers.
 func (p *Partition) ReadRange(lo, hi int) ([][]byte, error) { return p.p.ReadRange(lo, hi) }
+
+// ReadBlocksHealth is ReadBlocks with graceful degradation: blocks
+// that fail to decode return nil instead of aborting the batch, and
+// every block gets a Health report with a typed failure class
+// (errors.Is against ErrInsufficientCoverage / ErrRSMarginExceeded).
+func (p *Partition) ReadBlocksHealth(blocks []int) ([][]byte, []Health, error) {
+	return p.p.ReadBlocksHealth(blocks)
+}
+
+// ReadRangeHealth is ReadRange with graceful degradation: one entry
+// per written data block of [lo, hi] in block order, nil where
+// recovery failed, plus per-block Health reports.
+func (p *Partition) ReadRangeHealth(lo, hi int) ([][]byte, []Health, error) {
+	return p.p.ReadRangeHealth(lo, hi)
+}
 
 // ReadAll retrieves every written block with a whole-partition PCR.
 func (p *Partition) ReadAll() ([][]byte, error) { return p.p.ReadAll() }

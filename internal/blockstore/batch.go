@@ -58,13 +58,18 @@ func (e *BatchError) Unwrap() []error {
 
 // batchOp is one staged mutation.
 type batchOp struct {
-	write bool
-	block int
-	data  []byte       // write payload
-	patch update.Patch // update patch
+	write   bool
+	resynth bool // scrub repair: re-synthesize an existing unit verbatim
+	block   int
+	version int          // resynth target version
+	data    []byte       // write payload, or resynth's sealed unit bytes
+	patch   update.Patch // update patch
 }
 
 func (op batchOp) name() string {
+	if op.resynth {
+		return "resynth"
+	}
 	if op.write {
 		return "write"
 	}
@@ -99,6 +104,21 @@ func (b *Batch) Write(block int, data []byte) *Batch {
 // updates of one block land in consecutive slots.
 func (b *Batch) Update(block int, patch update.Patch) *Batch {
 	b.ops = append(b.ops, batchOp{block: block, patch: patch})
+	return b
+}
+
+// resynthesize stages fresh physical copies of one existing
+// (block, version) unit, from its already-sealed unit bytes (exactly
+// DataBytes long, pad CRC included — typically a decoded
+// BlockResult.Versions entry). The version table is untouched: the
+// commit only adds strands, restoring a decayed unit's population.
+// It is the scrubber's re-synthesis repair; commit-time conflict
+// detection still aborts the batch if the block mutates concurrently.
+func (b *Batch) resynthesize(block, version int, sealed []byte) *Batch {
+	b.ops = append(b.ops, batchOp{
+		resynth: true, block: block, version: version,
+		data: append([]byte(nil), sealed...),
+	})
 	return b
 }
 
@@ -230,6 +250,16 @@ func (pl *batchPlan) stage(p *Partition, ops []batchOp, sealed [][]byte) []*OpEr
 		errs = append(errs, &OpError{Index: i, Op: ops[i].name(), Block: ops[i].block, Err: err})
 	}
 	for i, op := range ops {
+		if op.resynth {
+			// Repair: fresh copies of an existing unit. The version table
+			// is read (for conflict detection via touch) but never moved.
+			if !pl.written(op.block, i) {
+				fail(i, fmt.Errorf("%w: block %d", ErrBlockNotFound, op.block))
+				continue
+			}
+			pl.addUnit(i, op.block, op.version, sealed[i])
+			continue
+		}
 		if op.write {
 			if pl.written(op.block, i) {
 				fail(i, fmt.Errorf("%w: block %d", ErrBlockWritten, op.block))
@@ -375,10 +405,19 @@ func (b *Batch) validate() []*OpError {
 	var errs []*OpError
 	for i, op := range b.ops {
 		err := p.checkBlock(op.block)
-		if err == nil && op.write && len(op.data) > p.BlockSize() {
-			err = fmt.Errorf("%w: %d > %d", ErrBlockSize, len(op.data), p.BlockSize())
-		}
-		if err == nil && !op.write {
+		switch {
+		case err != nil:
+		case op.resynth:
+			if len(op.data) != p.unit.DataBytes() {
+				err = fmt.Errorf("%w: resynth unit %d bytes, want %d", ErrBlockSize, len(op.data), p.unit.DataBytes())
+			} else if op.version < 0 {
+				err = fmt.Errorf("blockstore: resynth of negative version %d", op.version)
+			}
+		case op.write:
+			if len(op.data) > p.BlockSize() {
+				err = fmt.Errorf("%w: %d > %d", ErrBlockSize, len(op.data), p.BlockSize())
+			}
+		default:
 			err = op.patch.Validate()
 		}
 		if err != nil {
@@ -397,6 +436,10 @@ func (b *Batch) seal() ([][]byte, []*OpError) {
 	var errs []*OpError
 	sealed := make([][]byte, len(b.ops))
 	for i, op := range b.ops {
+		if op.resynth {
+			sealed[i] = op.data // already full sealed unit bytes
+			continue
+		}
 		if op.write {
 			sealed[i] = p.sealUnit(op.data)
 			continue
@@ -460,12 +503,20 @@ func (b *Batch) prepare(plan *batchPlan) error {
 func (b *Batch) commit(plan *batchPlan) error {
 	p := b.p
 	// Merge the per-unit pools outside the lock; plan order keeps the
-	// species insertion order identical at every worker count.
+	// species insertion order identical at any worker count. Repair
+	// units merge separately: their material is concentration-normalized
+	// against the live tube at mix time (see Store.resynthScale).
 	merged := pool.New()
+	repairs := pool.New()
 	strands := 0
 	for i := range plan.units {
-		merged.MixInto(plan.units[i].synth, 1)
-		strands += plan.units[i].strands
+		u := &plan.units[i]
+		if b.ops[u.op].resynth {
+			repairs.MixInto(u.synth, 1)
+		} else {
+			merged.MixInto(u.synth, 1)
+		}
+		strands += u.strands
 	}
 	blocks := make([]int, 0, len(plan.touched))
 	for blk := range plan.touched {
@@ -517,7 +568,12 @@ func (b *Batch) commit(plan *batchPlan) error {
 	if plan.nextOp >= 0 {
 		p.nextOverflow = plan.next
 	}
-	p.store.mixIntoTube(merged, 1)
+	if merged.Len() > 0 {
+		p.store.mixIntoTube(merged, 1)
+	}
+	if repairs.Len() > 0 {
+		p.store.mixIntoTube(repairs, p.store.resynthScale(repairs))
+	}
 	p.mu.Unlock()
 	p.store.addCosts(func(c *Costs) { c.StrandsSynthesized += strands })
 	return nil

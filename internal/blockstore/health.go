@@ -1,0 +1,369 @@
+package blockstore
+
+import (
+	"errors"
+	"fmt"
+
+	"dnastore/internal/decode"
+	"dnastore/internal/parallel"
+	"dnastore/internal/rng"
+	"dnastore/internal/update"
+)
+
+// Health is the per-block condition report of a health-aware read or a
+// scrub probe: how close the block is to undecodability, in the two
+// currencies that matter for durability — sequencing coverage (the
+// Heckel floor a repair policy defends) and the Reed-Solomon erasure
+// margin its units have already spent.
+type Health struct {
+	Block int
+	// Recovered reports whether the block's current content was fully
+	// reconstructed (original version plus every patch).
+	Recovered bool
+	// Err classifies the failure when Recovered is false: errors.Is
+	// against ErrInsufficientCoverage (curable by deeper sequencing or
+	// re-amplification) or ErrRSMarginExceeded (the strands themselves
+	// are corrupted; only re-synthesis cures it). nil when recovered.
+	Err error
+	// Units is the number of (block, version) encoding units observed,
+	// recovered or not.
+	Units int
+	// Coverage estimates the sequencing reads per strand that supported
+	// the access — compare against Config.CoverageDepth.
+	Coverage float64
+	// MissingSlots and ErasedSlots count strand slots never observed
+	// and observed slots the decoder erased, across the block's units.
+	MissingSlots int
+	ErasedSlots  int
+	// Corrected is the number of RS symbol corrections applied.
+	Corrected int
+	// RSMarginUsed is the worst single unit's consumed erasure budget:
+	// the unit's missing plus erased slots over its parity slot count.
+	// 0 is a pristine block, ≥ 1 means some unit is unrecoverable —
+	// Reed-Solomon lives or dies per unit, so the block's durability is
+	// its weakest unit's margin, not an average.
+	RSMarginUsed float64
+}
+
+// versionZeroErr picks the typed error explaining a missing original
+// version: the unit's own recorded failure when the decoder saw it
+// fail, otherwise insufficient coverage (no strand of version 0 was
+// ever observed).
+func versionZeroErr(res *decode.BlockResult) error {
+	if res != nil {
+		if ue, ok := res.UnitErrors[0]; ok {
+			return ue
+		}
+	}
+	return decode.ErrInsufficientCoverage
+}
+
+// expectedVersions returns the set of unit versions that physically
+// exist for the block per the partition's tables: the original, the
+// direct update slots consumed so far, and the overflow pointer slot if
+// the block has overflowed. Sequencing noise routinely conjures phantom
+// versions (a read whose index or version field misdecodes lands in a
+// unit that was never synthesized); health accounting must ignore them
+// or every probe looks like a disaster.
+func (p *Partition) expectedVersions(block int) map[int]bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.written[block] || p.versions[block] < 0 {
+		return nil
+	}
+	exp := map[int]bool{0: true}
+	n := p.versions[block]
+	if n > directUpdateSlots {
+		n = directUpdateSlots
+	}
+	for v := 1; v <= n; v++ {
+		exp[v] = true
+	}
+	if _, ok := p.overflow[block]; ok {
+		exp[directUpdateSlots+1] = true
+	}
+	return exp
+}
+
+// healthOf condenses a decode outcome into a Health report, counting
+// only the versions the partition tables say physically exist. res may
+// be nil (the retrieval itself failed); err is the access error, if
+// any. The caller must not hold p.mu.
+func (p *Partition) healthOf(block int, res *decode.BlockResult, err error) Health {
+	h := Health{Block: block, Err: err}
+	exp := p.expectedVersions(block)
+	mol := p.unit.Molecules()
+	parity := mol - p.unit.DataMolecules()
+	h.Units = len(exp)
+	if res == nil {
+		h.MissingSlots = h.Units * mol
+		if h.Units > 0 {
+			h.RSMarginUsed = float64(mol) / float64(parity)
+		}
+		if h.Err == nil {
+			h.Err = fmt.Errorf("%w: block %d", decode.ErrInsufficientCoverage, block)
+		}
+		return h
+	}
+	reads := 0
+	var coverageErr, marginErr error
+	worst := 0
+	for v := range exp {
+		st, observed := res.UnitStats[v]
+		if !observed {
+			// The unit never produced a single primary strand.
+			h.MissingSlots += mol
+			if mol > worst {
+				worst = mol
+			}
+			if coverageErr == nil {
+				coverageErr = fmt.Errorf("%w: block %d version %d never observed",
+					decode.ErrInsufficientCoverage, block, v)
+			}
+			continue
+		}
+		h.MissingSlots += st.Missing
+		h.ErasedSlots += st.Erased
+		h.Corrected += st.Corrected
+		reads += st.Reads
+		if st.Missing+st.Erased > worst {
+			worst = st.Missing + st.Erased
+		}
+		if ue, failed := res.UnitErrors[v]; failed {
+			// A failed unit whose read support sits far below the
+			// configured depth failed for lack of material, whatever the
+			// decoder tripped on: the observed slots are mostly phantoms
+			// conjured by index misreads of other blocks' strands.
+			starved := float64(st.Reads) < float64(mol)*p.store.cfg.CoverageDepth/2
+			switch {
+			case starved:
+				if coverageErr == nil {
+					coverageErr = fmt.Errorf("%w: block %d version %d: %d reads for %d strands",
+						decode.ErrInsufficientCoverage, block, v, st.Reads, mol)
+				}
+			case errors.Is(ue, ErrRSMarginExceeded):
+				marginErr = ue
+			default:
+				if coverageErr == nil {
+					coverageErr = ue
+				}
+			}
+		}
+	}
+	if h.Units > 0 {
+		h.Coverage = float64(reads) / float64(h.Units*mol)
+		h.RSMarginUsed = float64(worst) / float64(parity)
+	}
+	// Permanent corruption dominates a curable coverage shortfall. The
+	// access error's own class is recomputed here too: the decoder
+	// summarizes over every unit it saw, phantoms included, while the
+	// per-unit pass above is filtered to the versions that physically
+	// exist. Infrastructure errors pass through untouched.
+	class := coverageErr
+	if marginErr != nil {
+		class = marginErr
+	}
+	if class != nil && (h.Err == nil || errors.Is(h.Err, decode.ErrDecode)) {
+		h.Err = class
+	}
+	h.Recovered = h.Err == nil
+	return h
+}
+
+// ReadBlocksHealth is ReadBlocks with graceful degradation: blocks
+// that fail to decode do not abort the batch. The content slice holds
+// nil at failed positions, and the Health slice reports every block's
+// condition — typed Err, estimated coverage, RS margin consumed. The
+// returned error covers only digital failures (bad block number,
+// unwritten block); wet failures land in the per-block reports.
+func (p *Partition) ReadBlocksHealth(blocks []int) ([][]byte, []Health, error) {
+	for _, b := range blocks {
+		if err := p.checkBlock(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	depths := make([]int, len(blocks))
+	srcs := make([]*rng.Source, len(blocks))
+	p.mu.Lock()
+	accesses := 0
+	for i, b := range blocks {
+		if !p.written[b] {
+			p.mu.Unlock()
+			return nil, nil, fmt.Errorf("%w: block %d", ErrBlockNotFound, b)
+		}
+		depths[i] = 1 + p.versions[b]
+		p.chargeElongated(blockPrimerKey(b))
+		accesses += 1 + p.chargeOverflow(b)
+		srcs[i] = p.noise.Fork()
+	}
+	p.store.wear(accesses)
+	p.mu.Unlock()
+	pcrWorkers := p.store.cfg.Workers
+	if len(blocks) > 1 && p.workers > 1 {
+		pcrWorkers = 1
+	}
+	out := make([][]byte, len(blocks))
+	health := make([]Health, len(blocks))
+	parallel.Run(p.workers, len(blocks), func(i int) error {
+		out[i], health[i] = p.readBlockHealth(srcs[i], blocks[i], depths[i], pcrWorkers, 1)
+		return nil
+	})
+	return out, health, nil
+}
+
+// readBlockHealth runs one block's full wet read, converting every
+// failure into a Health report instead of an error. scale multiplies
+// the sequencing budget (shallow scrub probes pass < 1).
+func (p *Partition) readBlockHealth(r *rng.Source, block, depth, pcrWorkers int, scale float64) ([]byte, Health) {
+	res, err := p.retrieveScaled(r, block, depth, pcrWorkers, scale)
+	if err != nil {
+		return nil, p.healthOf(block, res, err)
+	}
+	bv, err := p.finishBlock(r, block, res, pcrWorkers)
+	if err != nil {
+		return nil, p.healthOf(block, res, err)
+	}
+	content, err := update.ApplyAll(bv.Data, bv.Patches)
+	if err != nil {
+		return nil, p.healthOf(block, res, err)
+	}
+	h := p.healthOf(block, res, nil)
+	if !h.Recovered {
+		// A physically-expected unit failed to decode: the assembled
+		// content would silently miss a patch, so degrade to a report.
+		return nil, h
+	}
+	return content, h
+}
+
+// ReadBlockHealth reads one block with graceful degradation at an
+// adjustable sequencing budget: scale multiplies the configured
+// per-strand read depth (scale <= 0 means the standard budget).
+// Operators re-sequence deeper before declaring a block lost; a
+// scale > 1 retry distinguishes a genuinely degraded block from one
+// shallow read that happened to fall short.
+func (p *Partition) ReadBlockHealth(block int, scale float64) ([]byte, Health, error) {
+	if err := p.checkBlock(block); err != nil {
+		return nil, Health{}, err
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	p.mu.Lock()
+	if !p.written[block] {
+		p.mu.Unlock()
+		return nil, Health{}, fmt.Errorf("%w: block %d", ErrBlockNotFound, block)
+	}
+	depth := 1 + p.versions[block]
+	p.chargeElongated(blockPrimerKey(block))
+	accesses := 1 + p.chargeOverflow(block)
+	src := p.noise.Fork()
+	p.store.wear(accesses)
+	p.mu.Unlock()
+	content, h := p.readBlockHealth(src, block, depth, p.store.cfg.Workers, scale)
+	return content, h, nil
+}
+
+// ReadRangeHealth is ReadRange with graceful degradation: per-block
+// decode failures do not abort the range. It returns one entry per
+// written data block of [lo, hi], in block order — content nil where
+// recovery failed — plus the per-block Health reports. The returned
+// error covers only digital failures.
+func (p *Partition) ReadRangeHealth(lo, hi int) ([][]byte, []Health, error) {
+	if err := p.checkBlock(lo); err != nil {
+		return nil, nil, err
+	}
+	if err := p.checkBlock(hi); err != nil {
+		return nil, nil, err
+	}
+	if lo > hi {
+		return nil, nil, fmt.Errorf("%w: inverted range [%d, %d]", ErrBlockRange, lo, hi)
+	}
+	covers, err := p.tree.Cover(lo, hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	reactions, assembleSrc := p.planCovers(covers)
+	pcrWorkers := p.store.cfg.Workers
+	if len(reactions) > 1 && p.workers > 1 {
+		pcrWorkers = 1
+	}
+	perCover := make([]map[int]*decode.BlockResult, len(reactions))
+	coverErrs := make([]error, len(reactions))
+	parallel.Run(p.workers, len(reactions), func(i int) error {
+		perCover[i], coverErrs[i] = p.runCoverHealth(reactions[i], pcrWorkers)
+		return nil
+	})
+	for _, cerr := range coverErrs {
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+	}
+	results := make(map[int]*decode.BlockResult)
+	for _, m := range perCover {
+		for b, res := range m {
+			results[b] = res
+		}
+	}
+	return p.assembleHealth(assembleSrc, lo, hi, results)
+}
+
+// runCoverHealth is runCover except a whole-cover decode failure
+// (e.g. every unit of the cover beyond recovery) degrades to the
+// partial per-block results instead of aborting; only infrastructure
+// errors (PCR or sequencing configuration) still propagate.
+func (p *Partition) runCoverHealth(cr coverReaction, pcrWorkers int) (map[int]*decode.BlockResult, error) {
+	results, err := p.runCover(cr, pcrWorkers)
+	if err != nil && errors.Is(err, decode.ErrDecode) {
+		return results, nil
+	}
+	return results, err
+}
+
+// assembleHealth is assemble with graceful degradation: every written
+// data block of [lo, hi] yields an output slot and a Health report;
+// failures leave the slot nil instead of aborting the whole range.
+func (p *Partition) assembleHealth(r *rng.Source, lo, hi int, results map[int]*decode.BlockResult) ([][]byte, []Health, error) {
+	p.mu.Lock()
+	wanted := make([]int, 0, hi-lo+1)
+	logBlocks := make(map[int]bool, len(p.overflow))
+	for _, log := range p.overflow {
+		logBlocks[log] = true
+	}
+	for b := lo; b <= hi; b++ {
+		if !p.written[b] || logBlocks[b] {
+			continue
+		}
+		wanted = append(wanted, b)
+	}
+	p.mu.Unlock()
+	out := make([][]byte, len(wanted))
+	health := make([]Health, len(wanted))
+	for i, b := range wanted {
+		res, ok := results[b]
+		if !ok {
+			health[i] = p.healthOf(b, nil, fmt.Errorf("%w: block %d not recovered", decode.ErrInsufficientCoverage, b))
+			continue
+		}
+		raw, ok := res.Versions[0]
+		if !ok {
+			health[i] = p.healthOf(b, res, fmt.Errorf("%w: block %d original version missing", versionZeroErr(res), b))
+			continue
+		}
+		patches, err := p.collectPatches(r, res, false, 8, p.store.cfg.Workers)
+		if err != nil {
+			health[i] = p.healthOf(b, res, err)
+			continue
+		}
+		content, err := update.ApplyAll(raw[:p.BlockSize()], patches)
+		if err != nil {
+			health[i] = p.healthOf(b, res, err)
+			continue
+		}
+		health[i] = p.healthOf(b, res, nil)
+		if health[i].Recovered {
+			out[i] = content
+		}
+	}
+	return out, health, nil
+}

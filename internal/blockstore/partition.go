@@ -122,16 +122,19 @@ func (p *Partition) chargeElongated(key string) {
 }
 
 // chargeOverflow charges the elongated primers of the block's
-// overflow-log chain. The digital front-end knows the chain without any
-// wet work, so the charging stays in the serial phase even though the
+// overflow-log chain and returns the chain length — the extra PCR
+// retrievals assembly will perform, which the caller's wear accounting
+// includes. The digital front-end knows the chain without any wet
+// work, so the charging stays in the serial phase even though the
 // chain retrievals themselves run inside (possibly parallel) decode
 // work. The caller must hold p.mu.
-func (p *Partition) chargeOverflow(block int) {
+func (p *Partition) chargeOverflow(block int) int {
 	hops := 0
 	for log, ok := p.overflow[block]; ok && hops < 16; log, ok = p.overflow[log] {
 		p.chargeElongated(blockPrimerKey(log))
 		hops++
 	}
+	return hops
 }
 
 // buildUnitOrders encodes one (block, version) unit into its synthesis
@@ -325,6 +328,13 @@ type BlockVersions struct {
 // paid for the block and its overflow chain — so retrievals are free of
 // shared cache state and safe to fan out.
 func (p *Partition) retrieve(r *rng.Source, block, depth, pcrWorkers int) (*decode.BlockResult, error) {
+	return p.retrieveScaled(r, block, depth, pcrWorkers, 1)
+}
+
+// retrieveScaled is retrieve with the sequencing read budget multiplied
+// by scale: the scrubber's shallow probes run the same wet protocol at
+// a fraction of the depth, and its repair retries escalate past 1.
+func (p *Partition) retrieveScaled(r *rng.Source, block, depth, pcrWorkers int, scale float64) (*decode.BlockResult, error) {
 	ep, err := p.ElongatedPrimer(block)
 	if err != nil {
 		return nil, err
@@ -337,7 +347,14 @@ func (p *Partition) retrieve(r *rng.Source, block, depth, pcrWorkers int) (*deco
 	if err != nil {
 		return nil, err
 	}
-	reads, err := p.store.sequence(r, amplified, p.store.readBudget(depth))
+	budget := p.store.readBudget(depth)
+	if scale != 1 {
+		budget = int(float64(budget)*scale + 0.5)
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	reads, err := p.store.sequence(r, amplified, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -362,8 +379,9 @@ func (p *Partition) ReadBlockVersions(block int) (*BlockVersions, error) {
 	}
 	depth := 1 + p.versions[block]
 	p.chargeElongated(blockPrimerKey(block))
-	p.chargeOverflow(block)
+	hops := p.chargeOverflow(block)
 	r := p.noise.Fork()
+	p.store.wear(1 + hops)
 	p.mu.Unlock()
 	res, err := p.retrieve(r, block, depth, p.store.cfg.Workers)
 	if err != nil {
@@ -384,8 +402,11 @@ func (p *Partition) DecodeReads(seqs []dna.Seq, block int) (*BlockVersions, erro
 		return nil, err
 	}
 	p.mu.Lock()
-	p.chargeOverflow(block)
+	hops := p.chargeOverflow(block)
 	r := p.noise.Fork()
+	// The caller supplied the reads, so only the overflow-chain
+	// retrievals below touch the tube.
+	p.store.wear(hops)
 	p.mu.Unlock()
 	return p.finishBlock(r, block, res, p.store.cfg.Workers)
 }
@@ -396,7 +417,7 @@ func (p *Partition) DecodeReads(seqs []dna.Seq, block int) (*BlockVersions, erro
 func (p *Partition) finishBlock(r *rng.Source, block int, res *decode.BlockResult, pcrWorkers int) (*BlockVersions, error) {
 	raw, ok := res.Versions[0]
 	if !ok {
-		return nil, fmt.Errorf("%w: original version missing for block %d", decode.ErrDecode, block)
+		return nil, fmt.Errorf("%w: original version missing for block %d", versionZeroErr(res), block)
 	}
 	out := &BlockVersions{Data: raw[:p.BlockSize()], Decode: *res}
 	patches, err := p.collectPatches(r, res, false, 8, pcrWorkers)
@@ -474,6 +495,7 @@ func (p *Partition) ReadBlocks(blocks []int) ([][]byte, error) {
 	depths := make([]int, len(blocks))
 	srcs := make([]*rng.Source, len(blocks))
 	p.mu.Lock()
+	accesses := 0
 	for i, b := range blocks {
 		if !p.written[b] {
 			p.mu.Unlock()
@@ -481,9 +503,10 @@ func (p *Partition) ReadBlocks(blocks []int) ([][]byte, error) {
 		}
 		depths[i] = 1 + p.versions[b]
 		p.chargeElongated(blockPrimerKey(b))
-		p.chargeOverflow(b)
+		accesses += 1 + p.chargeOverflow(b)
 		srcs[i] = p.noise.Fork()
 	}
+	p.store.wear(accesses)
 	p.mu.Unlock()
 	// With several reactions fanned across the store's workers, each
 	// reaction scores serially; a lone reaction gets the full budget.
@@ -534,6 +557,7 @@ func (p *Partition) planCovers(covers []indextree.CoverRange) ([]coverReaction, 
 		logBlocks[log] = true
 	}
 	reactions := make([]coverReaction, 0, len(covers))
+	accesses := 0
 	for _, c := range covers {
 		units := 0
 		for b := c.Lo; b <= c.Hi; b++ {
@@ -545,7 +569,7 @@ func (p *Partition) planCovers(covers []indextree.CoverRange) ([]coverReaction, 
 				// Assembly will chase this block's overflow chain with
 				// extra fully elongated retrievals; pay for them here, in
 				// the serial phase.
-				p.chargeOverflow(b)
+				accesses += p.chargeOverflow(b)
 			}
 		}
 		if units == 0 {
@@ -554,10 +578,13 @@ func (p *Partition) planCovers(covers []indextree.CoverRange) ([]coverReaction, 
 			continue
 		}
 		p.chargeElongated(coverPrimerKey(c.Prefix))
+		accesses++
 		reactions = append(reactions, coverReaction{cover: c, units: units, src: p.noise.Fork()})
 	}
 	// One extra source for overflow-chain retrievals during assembly.
-	return reactions, p.noise.Fork()
+	assembleSrc := p.noise.Fork()
+	p.store.wear(accesses)
+	return reactions, assembleSrc
 }
 
 // runCover executes one cover's PCR → sequence → decode reaction with
@@ -580,19 +607,21 @@ func (p *Partition) runCover(cr coverReaction, pcrWorkers int) (map[int]*decode.
 	for i, r := range reads {
 		seqs[i] = r.Seq
 	}
-	decoded, err := p.pipeline.DecodeAll(seqs)
-	if err != nil {
-		return nil, err
-	}
+	decoded, derr := p.pipeline.DecodeAll(seqs)
 	// A cover's reaction is authoritative only for its own interval:
 	// carryover reads give other blocks fragmentary coverage whose
 	// single-read consensus strands would otherwise overwrite good
-	// results from their own cover.
+	// results from their own cover. The filter runs even on a failed
+	// decode: the partial map carries the typed per-block failures the
+	// health-aware range read reports.
 	results := make(map[int]*decode.BlockResult)
 	for b, res := range decoded {
 		if b >= cr.cover.Lo && b <= cr.cover.Hi {
 			results[b] = res
 		}
+	}
+	if derr != nil {
+		return results, derr
 	}
 	return results, nil
 }
@@ -663,12 +692,16 @@ func (p *Partition) ReadAll() ([][]byte, error) {
 	}
 	// Charge overflow chains in block order so the cache sees a
 	// deterministic access sequence.
+	accesses := 0
 	for b := lo; b <= hi && lo >= 0; b++ {
 		if p.written[b] && !logBlocks[b] {
-			p.chargeOverflow(b)
+			accesses += p.chargeOverflow(b)
 		}
 	}
 	r := p.noise.Fork()
+	if units > 0 {
+		p.store.wear(1 + accesses)
+	}
 	p.mu.Unlock()
 	if units == 0 {
 		return nil, ErrBlockNotFound
@@ -716,11 +749,11 @@ func (p *Partition) assemble(r *rng.Source, lo, hi int, results map[int]*decode.
 	for _, b := range wanted {
 		res, ok := results[b]
 		if !ok {
-			return nil, fmt.Errorf("%w: block %d not recovered", decode.ErrDecode, b)
+			return nil, fmt.Errorf("%w: block %d not recovered", decode.ErrInsufficientCoverage, b)
 		}
 		raw, ok := res.Versions[0]
 		if !ok {
-			return nil, fmt.Errorf("%w: block %d original version missing", decode.ErrDecode, b)
+			return nil, fmt.Errorf("%w: block %d original version missing", versionZeroErr(res), b)
 		}
 		patches, err := p.collectPatches(r, res, false, 8, p.store.cfg.Workers)
 		if err != nil {

@@ -30,6 +30,7 @@ import (
 	"dnastore/internal/binding"
 	"dnastore/internal/channel"
 	"dnastore/internal/codec"
+	"dnastore/internal/decay"
 	"dnastore/internal/decode"
 	"dnastore/internal/dna"
 	"dnastore/internal/indextree"
@@ -52,6 +53,15 @@ var (
 	ErrOverflowFull  = errors.New("blockstore: overflow log space exhausted")
 	ErrBatchConflict = errors.New("blockstore: batch conflicts with a concurrent mutation")
 	ErrNoPrimers     = errors.New("blockstore: primer budget exhausted")
+)
+
+// Typed health errors, re-exported from the decode pipeline so callers
+// can classify read failures — transient sequencing shortfall versus
+// permanently corrupted strands — without importing internal/decode.
+// Both wrap decode.ErrDecode.
+var (
+	ErrInsufficientCoverage = decode.ErrInsufficientCoverage
+	ErrRSMarginExceeded     = decode.ErrRSMarginExceeded
 )
 
 // Config parameterizes a Store.
@@ -93,6 +103,14 @@ type Config struct {
 	// (serial); negative means GOMAXPROCS. Results are byte-identical
 	// for every setting.
 	Workers int
+
+	// Decay selects the tube's physical-degradation model. nil (the
+	// default) keeps the tube outside time: Advance is an exact no-op,
+	// no wear is charged on accesses, and every output stays
+	// byte-identical to a decay-free store. With a profile installed,
+	// Store.Advance ages the tube and every PCR access charges the
+	// profile's mechanical wear.
+	Decay *decay.Profile
 
 	// BindingEntries is the entry budget of the store-level binding
 	// cache shared by every PCR reaction of the store: primer ⇄ species
@@ -177,7 +195,22 @@ type Store struct {
 
 	costMu sync.Mutex
 	costs  Costs
+
+	// decayMu guards the aging clock and accumulated decay statistics.
+	// The decay rng stream is independent of the front-end seed stream
+	// (src), so installing a profile or advancing the clock never
+	// perturbs partition seeds or reaction noise — and an aged tube is
+	// reproducible from (Seed, horizon) alone, whatever was read in
+	// between. Lock order: decayMu → tubeMu.
+	decayMu    sync.Mutex
+	decaySrc   *rng.Source
+	ageDays    float64
+	decayStats decay.Stats
 }
+
+// decaySeedSalt separates the decay channel's rng stream from the
+// store's front-end stream derived from the same configured seed.
+const decaySeedSalt = 0x6465636179 // "decay"
 
 // New creates a store. primers supplies the mutually compatible main
 // primer library (two are consumed per partition); it must contain at
@@ -211,6 +244,15 @@ func New(cfg Config, primers []dna.Seq) (*Store, error) {
 	}
 	if cfg.CoverageDepth <= 0 || cfg.WasteFactor < 1 || cfg.CapacityFactor <= 1 {
 		return nil, fmt.Errorf("blockstore: invalid read/capacity parameters")
+	}
+	if cfg.Decay != nil {
+		if err := cfg.Decay.Validate(); err != nil {
+			return nil, err
+		}
+		// Privatize the profile so later caller mutations cannot skew an
+		// already-running store.
+		prof := *cfg.Decay
+		cfg.Decay = &prof
 	}
 	sampler, err := seqsim.NewSampler(seqsim.Profile{Rates: cfg.Rates})
 	if err != nil {
@@ -247,6 +289,7 @@ func New(cfg Config, primers []dna.Seq) (*Store, error) {
 		partitions: make(map[string]*Partition),
 		primers:    cp,
 		src:        rng.New(cfg.Seed),
+		decaySrc:   rng.New(cfg.Seed ^ decaySeedSalt),
 	}, nil
 }
 
@@ -364,11 +407,151 @@ func (s *Store) CreatePartition(name string) (*Partition, error) {
 	return p, nil
 }
 
+// Advance moves the tube's monotonic clock forward by days, applying
+// the configured decay profile: strand-loss attenuation sampled per
+// species, mutation and indel accrual materialized as new
+// low-abundance species. With no profile configured (or a disabled
+// one), Advance(d) — and in particular Advance(0) — is an exact
+// no-op: no randomness is drawn and the tube digest is unchanged.
+//
+// Aging draws from a decay rng stream forked deterministically from
+// the store seed and independent of every other stream, so the same
+// (seed, horizon) always produces the same aged tube, byte for byte,
+// at any worker count and regardless of interleaved reads.
+func (s *Store) Advance(days float64) (decay.Stats, error) {
+	if days < 0 || math.IsNaN(days) || math.IsInf(days, 0) {
+		return decay.Stats{}, fmt.Errorf("blockstore: cannot advance %g days", days)
+	}
+	s.decayMu.Lock()
+	defer s.decayMu.Unlock()
+	if days == 0 || !s.cfg.Decay.Enabled() {
+		s.ageDays += days
+		return decay.Stats{}, nil
+	}
+	// Long horizons age in bounded substeps (see advanceMutationQuantum)
+	// so the severity of aging depends only on the horizon, not on how
+	// the caller slices it across Advance calls.
+	step := days
+	if mu := s.cfg.Decay.MutationRate(); mu > 0 {
+		if q := advanceMutationQuantum / mu; q < step {
+			step = q
+		}
+	}
+	var st decay.Stats
+	s.tubeMu.Lock()
+	for left := days; left > 1e-12; left -= step {
+		d := step
+		if left < step {
+			d = left
+		}
+		st.Merge(decay.Age(s.decaySrc, s.tube, d, *s.cfg.Decay))
+	}
+	s.tubeMu.Unlock()
+	s.ageDays += days
+	s.decayStats.Merge(st)
+	return st, nil
+}
+
+// advanceMutationQuantum caps the per-base mutation hazard one
+// decay.Age call may apply: Advance splits horizons longer than
+// quantum/MutationRate into substeps. One Age call materializes at
+// most Profile.MutantSpecies mutant species per parent, so a single
+// huge step would concentrate heavily-edited mass into a few species
+// while the same horizon taken in small steps diffuses it — the
+// discretization, not the physics, would decide whether consensus
+// survives. At 4.5e-3 per base (≈50% of a 150-base strand accruing
+// some mutation per substep) the artifact is negligible: ~5-day
+// substeps under the Accelerated profile, ~250-day under RoomTemp.
+// Mutation-free profiles age in one step — exponential thinning
+// composes exactly at any split.
+const advanceMutationQuantum = 4.5e-3
+
+// AgeDays returns the tube's age: the sum of every Advance horizon.
+func (s *Store) AgeDays() float64 {
+	s.decayMu.Lock()
+	defer s.decayMu.Unlock()
+	return s.ageDays
+}
+
+// DecayStats returns the accumulated decay and wear statistics across
+// every Advance and worn access of the store's lifetime.
+func (s *Store) DecayStats() decay.Stats {
+	s.decayMu.Lock()
+	defer s.decayMu.Unlock()
+	return s.decayStats
+}
+
+// wear charges the mechanical damage of the given number of tube
+// accesses (PCR reactions, including overflow-chain hops). Callers
+// invoke it in the serial front-end phase of an access — before the
+// wet work fans out — so every reaction of the access sees the worn
+// tube and results stay byte-identical at any worker count. With
+// decay disabled it returns immediately without touching any lock.
+func (s *Store) wear(accesses int) {
+	if accesses <= 0 || !s.cfg.Decay.Enabled() || s.cfg.Decay.Mechanical <= 0 {
+		return
+	}
+	s.decayMu.Lock()
+	s.tubeMu.Lock()
+	st := decay.Touch(s.tube, accesses, *s.cfg.Decay)
+	s.tubeMu.Unlock()
+	s.decayStats.Merge(st)
+	s.decayMu.Unlock()
+}
+
 // mixIntoTube adds a synthesized pool to the tube.
 func (s *Store) mixIntoTube(p *pool.Pool, factor float64) {
 	s.tubeMu.Lock()
 	s.tube.MixInto(p, factor)
 	s.tubeMu.Unlock()
+}
+
+// resynthFloorCopies is the smallest per-species copy number repair
+// material is normalized down to: below it a repaired unit would be
+// diluted into sequencing invisibility and the repair wasted.
+const resynthFloorCopies = 50
+
+// resynthScale returns the dilution factor applied to re-synthesized
+// repair material before it rejoins the tube. Fresh synthesis lands at
+// the nominal copy number, but the tube being repaired may have
+// decayed far below it, and repair strands injected at full strength
+// would dominate every downstream reaction: their misprimed products
+// contaminate other blocks' reads in proportion to template abundance,
+// so each repair would degrade the rest of the tube and successive
+// scrub passes would compound the skew until unrepaired blocks become
+// unreadable. Real repair protocols quantify and normalize molarity
+// when returning material to a pool; this models that normalization —
+// repair material is scaled to the tube's mean surviving-species
+// abundance, floored at resynthFloorCopies, and never concentrated
+// above the synthesis draw itself.
+func (s *Store) resynthScale(repairs *pool.Pool) float64 {
+	if repairs.Len() == 0 {
+		return 1
+	}
+	synthMean := repairs.Total() / float64(repairs.Len())
+	if synthMean <= 0 {
+		return 1
+	}
+	s.tubeMu.Lock()
+	total, alive := 0.0, 0
+	for i := 0; i < s.tube.Len(); i++ {
+		if a := s.tube.Abundance(i); a > 0 {
+			total += a
+			alive++
+		}
+	}
+	s.tubeMu.Unlock()
+	if alive == 0 {
+		return 1
+	}
+	target := total / float64(alive)
+	if target < resynthFloorCopies {
+		target = resynthFloorCopies
+	}
+	if f := target / synthMean; f < 1 {
+		return f
+	}
+	return 1
 }
 
 // readBudget returns the sequencing read count for retrieving the given

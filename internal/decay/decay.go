@@ -1,0 +1,331 @@
+// Package decay models the physical degradation of a stored DNA tube
+// over time: strand loss from thermal, hydrolytic and oxidative damage,
+// point-mutation and indel accrual, and mechanical wear charged per
+// tube access (PCR thermal cycling, pipetting, sequencing aliquots).
+//
+// The factor model follows the BiologicalStorageManager degradation
+// template and the measured rates surveyed in "DNA-Based Storage:
+// Trends and Methods" (Yazdi et al.): each damage mode is a per-day
+// hazard rate, so a species of abundance A keeps on average
+// A·exp(-λ·days) copies after aging, with the survivors sampled
+// per species (binomially for small copy counts, so rare species can
+// genuinely go extinct; by normal approximation for large ones).
+// Mutated survivors are materialized as new low-abundance species via
+// pool.AddPacked, carrying the parent's provenance so ground-truth
+// classification still works.
+//
+// All sampling draws from a caller-provided rng.Source, so an aged
+// tube is byte-reproducible for a given (seed, horizon): same seed,
+// same days, same pool ⇒ same aged pool, at any worker count.
+package decay
+
+import (
+	"fmt"
+	"math"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dna"
+	"dnastore/internal/pool"
+	"dnastore/internal/rng"
+)
+
+// Profile configures the decay channel. The zero value (and a nil
+// *Profile) disables decay entirely: aging a tube with a disabled
+// profile is an exact no-op.
+type Profile struct {
+	// Per-day fractional strand-loss hazard rates. The effective decay
+	// constant is their sum: survival over d days is exp(-(T+H+O)·d).
+	Thermal    float64 // backbone damage from ambient heat
+	Hydrolytic float64 // depurination / strand scission from moisture
+	Oxidative  float64 // base oxidation from ambient oxygen
+
+	// Mechanical is the fractional strand loss charged per tube access
+	// (one PCR reaction or sequencing aliquot = one access): adsorption
+	// to tube walls and pipette tips, shear during handling.
+	Mechanical float64
+
+	// Per-base per-day mutation hazard rates. Surviving strands accrue
+	// substitutions and indels at these rates; mutated survivors split
+	// off as new species.
+	Substitution float64
+	Insertion    float64
+	Deletion     float64
+
+	// MutantSpecies caps how many distinct mutant species one parent
+	// materializes per Age call (the mutated mass is split evenly).
+	// Zero keeps mutated strands merged with their parent (loss-only
+	// aging).
+	MutantSpecies int
+
+	// ExtinctionFloor zeroes any species whose surviving abundance
+	// falls below it; fewer than one physical molecule cannot exist.
+	// Zero means 1.0.
+	ExtinctionFloor float64
+}
+
+// RoomTemp returns the baseline profile: dehydrated DNA stored at
+// room temperature, using the BiologicalStorageManager factor rates
+// (thermal 1e-4, hydrolytic 5e-5, oxidative 2e-5 per day; mechanical
+// 1e-5 per access; point mutation 1e-5, deletion 5e-6, insertion
+// 3e-6 per base per day). Mutated mass splits across 8 species per
+// parent: real strands mutate independently, so concentrating the
+// mutant mass into fewer sequences would let a single wrong base
+// outvote the survivors during consensus far earlier than physical
+// tubes degrade.
+func RoomTemp() Profile {
+	return Profile{
+		Thermal:    1e-4,
+		Hydrolytic: 5e-5,
+		Oxidative:  2e-5,
+		Mechanical: 1e-5,
+
+		Substitution: 1e-5,
+		Deletion:     5e-6,
+		Insertion:    3e-6,
+
+		MutantSpecies:   8,
+		ExtinctionFloor: 1,
+	}
+}
+
+// Accelerated returns an accelerated-aging profile: the RoomTemp
+// hazards scaled 50x, modeling the elevated-temperature (~65°C)
+// protocols real durability studies use to compress decades into
+// months (Arrhenius acceleration). Mechanical wear scales 10x for
+// the rougher handling of repeated thermal cycling.
+func Accelerated() Profile {
+	p := RoomTemp()
+	p.Thermal *= 50
+	p.Hydrolytic *= 50
+	p.Oxidative *= 50
+	p.Substitution *= 50
+	p.Deletion *= 50
+	p.Insertion *= 50
+	p.Mechanical *= 10
+	return p
+}
+
+// LossRate returns the combined per-day strand-loss hazard.
+func (p Profile) LossRate() float64 { return p.Thermal + p.Hydrolytic + p.Oxidative }
+
+// MutationRate returns the combined per-base per-day mutation hazard.
+func (p Profile) MutationRate() float64 { return p.Substitution + p.Insertion + p.Deletion }
+
+// Enabled reports whether the profile causes any physical change.
+// It is nil-safe: a nil profile is disabled.
+func (p *Profile) Enabled() bool {
+	return p != nil && (p.LossRate() > 0 || p.MutationRate() > 0 || p.Mechanical > 0)
+}
+
+// Validate checks the profile's rates are usable hazards.
+func (p Profile) Validate() error {
+	for _, v := range []float64{
+		p.Thermal, p.Hydrolytic, p.Oxidative, p.Mechanical,
+		p.Substitution, p.Insertion, p.Deletion,
+	} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("decay: negative or non-finite rate in %+v", p)
+		}
+	}
+	if p.Mechanical >= 1 {
+		return fmt.Errorf("decay: mechanical loss %.3f per access >= 1", p.Mechanical)
+	}
+	if p.MutantSpecies < 0 {
+		return fmt.Errorf("decay: negative mutant species cap %d", p.MutantSpecies)
+	}
+	if p.ExtinctionFloor < 0 {
+		return fmt.Errorf("decay: negative extinction floor %g", p.ExtinctionFloor)
+	}
+	return nil
+}
+
+func (p Profile) floor() float64 {
+	if p.ExtinctionFloor <= 0 {
+		return 1
+	}
+	return p.ExtinctionFloor
+}
+
+// mutantMinMass is the smallest copy count worth materializing as a
+// distinct mutant species. Below it a lineage never forms a
+// distinguishable sequencing cluster at realistic depths, so its mass stays merged with
+// the parent. The floor also bounds the species bookkeeping: without
+// it, repeated Age calls would mutate mutants of mutants into a
+// combinatorial tree of near-empty species.
+const mutantMinMass = 64
+
+// Stats reports what one aging or wear step did to a tube.
+type Stats struct {
+	Days           float64 // horizon aged
+	SpeciesAged    int     // species with mass at the start of the step
+	StrandsLost    float64 // copies destroyed by decay (incl. extinctions)
+	SpeciesExtinct int     // species driven to zero abundance
+	MutantSpecies  int     // new mutant species materialized
+	MutantStrands  float64 // copies moved from parents into mutants
+	Accesses       int     // tube accesses charged as mechanical wear
+	WearLost       float64 // copies destroyed by mechanical wear
+}
+
+// Merge accumulates o into s.
+func (s *Stats) Merge(o Stats) {
+	s.Days += o.Days
+	s.SpeciesAged += o.SpeciesAged
+	s.StrandsLost += o.StrandsLost
+	s.SpeciesExtinct += o.SpeciesExtinct
+	s.MutantSpecies += o.MutantSpecies
+	s.MutantStrands += o.MutantStrands
+	s.Accesses += o.Accesses
+	s.WearLost += o.WearLost
+}
+
+// Age applies days of decay to every species of pl under prof, drawing
+// all randomness from r. Species are visited in index order over the
+// pool as it stood at entry; mutants appended during the pass age from
+// the next call on. A disabled profile or non-positive horizon is an
+// exact no-op (no draws, no pool mutation).
+func Age(r *rng.Source, pl *pool.Pool, days float64, prof Profile) Stats {
+	st := Stats{Days: days}
+	if days <= 0 || !(&prof).Enabled() {
+		st.Days = 0
+		return st
+	}
+	surv := math.Exp(-prof.LossRate() * days)
+	// Per-base mutation probabilities over the horizon, exact under the
+	// constant-hazard model: q = 1 - exp(-μ·days). Corrupt needs the
+	// total < 1; badly over-aged strands saturate at 0.75 total.
+	rates := channel.Rates{
+		Sub: -math.Expm1(-prof.Substitution * days),
+		Ins: -math.Expm1(-prof.Insertion * days),
+		Del: -math.Expm1(-prof.Deletion * days),
+	}
+	if t := rates.Total(); t >= 0.75 {
+		s := 0.75 / t
+		rates.Sub *= s
+		rates.Ins *= s
+		rates.Del *= s
+	}
+	qtot := rates.Total()
+	floor := prof.floor()
+
+	n := pl.Len() // snapshot: mutants appended below are not re-aged
+	var seqBuf, mutBuf dna.Seq
+	var packBuf []byte
+	for i := 0; i < n; i++ {
+		a := pl.Abundance(i)
+		if a <= 0 {
+			continue
+		}
+		st.SpeciesAged++
+		kept := thin(r, a, surv)
+
+		// Mutation accrual among the survivors: each surviving strand
+		// carries ≥1 mutation with probability 1-(1-q)^L.
+		if qtot > 0 && prof.MutantSpecies > 0 && kept >= mutantMinMass {
+			L := pl.SeqLen(i)
+			pAny := -math.Expm1(float64(L) * math.Log1p(-qtot))
+			mutMass := thin(r, kept, pAny)
+			k := prof.MutantSpecies
+			if m := int(mutMass / mutantMinMass); m < k {
+				k = m // never materialize a species below the cluster floor
+			}
+			if k > 0 {
+				per := mutMass / float64(k)
+				meta := pl.MetaAt(i)
+				seqBuf = pl.AppendSeq(seqBuf[:0], i)
+				for j := 0; j < k; j++ {
+					mutBuf = mutate(r, seqBuf, rates, mutBuf)
+					packBuf = dna.AppendPacked(packBuf[:0], mutBuf)
+					pl.AddPacked(dna.PackedView(packBuf[:len(packBuf)-1], len(mutBuf)), per, meta)
+				}
+				kept -= mutMass
+				st.MutantSpecies += k
+				st.MutantStrands += mutMass
+			}
+		}
+
+		if kept < floor {
+			if kept > 0 || a >= floor {
+				st.SpeciesExtinct++
+			}
+			kept = 0
+		}
+		st.StrandsLost += a - kept
+		pl.SetAbundance(i, kept)
+	}
+	// Materialized mutant mass moved, it was not lost.
+	st.StrandsLost -= st.MutantStrands
+	return st
+}
+
+// mutate draws a corrupted copy of seq guaranteed to differ from it:
+// the conditional "given at least one mutation" draw that Age needs
+// for strands already selected as mutated. Corrupt occasionally
+// returns the input unchanged at low rates, so it retries a few times
+// and then forces a single substitution.
+func mutate(r *rng.Source, seq dna.Seq, rates channel.Rates, buf dna.Seq) dna.Seq {
+	for try := 0; try < 4; try++ {
+		out := channel.Corrupt(r, seq, rates)
+		if !equalSeq(out, seq) {
+			return out
+		}
+	}
+	out := append(buf[:0], seq...)
+	i := r.Intn(len(out))
+	out[i] = dna.Base((int(out[i]) + 1 + r.Intn(3)) % 4)
+	return out
+}
+
+func equalSeq(a, b dna.Seq) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Touch charges accesses tube touches of mechanical wear: every
+// species loses the same (1-Mechanical)^accesses fraction — wall and
+// tip adsorption is not sequence-selective, so wear attenuates the
+// whole tube without changing its composition. It is deterministic
+// (no sampling) and an exact no-op when disabled.
+func Touch(pl *pool.Pool, accesses int, prof Profile) Stats {
+	var st Stats
+	if accesses <= 0 || prof.Mechanical <= 0 {
+		return st
+	}
+	factor := math.Pow(1-prof.Mechanical, float64(accesses))
+	before := pl.Total()
+	pl.Scale(factor)
+	st.Accesses = accesses
+	st.WearLost = before * (1 - factor)
+	return st
+}
+
+// thin samples how many of a copies survive an independent
+// keep-probability s. Small copy counts are drawn binomially (exact
+// Bernoulli sums below rng's normal-approximation threshold), so a
+// five-copy species can genuinely die; large counts use the normal
+// approximation directly to avoid 10^8 trials.
+func thin(r *rng.Source, a, s float64) float64 {
+	if s >= 1 {
+		return a
+	}
+	if s <= 0 {
+		return 0
+	}
+	if a <= 1<<20 {
+		return float64(r.Binomial(int(a+0.5), s))
+	}
+	v := a*s + math.Sqrt(a*s*(1-s))*r.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	if v > a {
+		return a
+	}
+	return v
+}

@@ -23,6 +23,22 @@ import (
 // given reads.
 var ErrDecode = errors.New("decode: cannot reconstruct block")
 
+// Typed health errors classify why a unit failed, so callers can
+// distinguish a transient sequencing shortfall from permanent data
+// loss. Both wrap ErrDecode, so existing errors.Is(err, ErrDecode)
+// checks keep working.
+var (
+	// ErrInsufficientCoverage: too few distinct strands of the unit
+	// were observed — more slots are missing than the Reed-Solomon
+	// parity can erase. Deeper sequencing (or re-amplification of a
+	// thinned tube) can cure it; the data may still be present.
+	ErrInsufficientCoverage = fmt.Errorf("%w: insufficient coverage", ErrDecode)
+	// ErrRSMarginExceeded: every slot was observed but the unit still
+	// failed RS decoding and candidate recursion — the strands
+	// themselves are too corrupted. Only re-synthesis cures it.
+	ErrRSMarginExceeded = fmt.Errorf("%w: correction margin exceeded", ErrDecode)
+)
+
 // Config tunes the pipeline.
 type Config struct {
 	Geometry layout.Geometry
@@ -257,6 +273,33 @@ type BlockResult struct {
 	ClustersUsed int
 	// CandidateRetries counts Section 8.1 recursive retries performed.
 	CandidateRetries int
+	// UnitErrors maps version number to the typed failure of units that
+	// could not be recovered (errors.Is-able against
+	// ErrInsufficientCoverage / ErrRSMarginExceeded). Versions present
+	// in Versions never appear here.
+	UnitErrors map[int]error
+	// MissingSlots and ErasedSlots total, across the block's units, the
+	// strand slots that were never observed and the observed slots the
+	// decoder had to treat as erasures — the raw inputs of the RS-margin
+	// health estimate.
+	MissingSlots int
+	ErasedSlots  int
+	// ReadsUsed is the number of sequencing reads supporting the
+	// block's primary strand candidates, the per-block coverage
+	// estimate a scrubber compares against the Heckel floor.
+	ReadsUsed int
+	// UnitStats breaks the health numbers down per (observed) version,
+	// so a caller that knows which versions physically exist can ignore
+	// phantom units conjured by index- or version-field read errors.
+	UnitStats map[int]UnitStat
+}
+
+// UnitStat is one unit's raw health accounting.
+type UnitStat struct {
+	Missing   int // slots never observed
+	Erased    int // observed slots the decoder erased
+	Corrected int // RS symbol corrections applied
+	Reads     int // sequencing reads behind the unit's primary strands
 }
 
 // addrKey identifies one strand slot.
@@ -277,14 +320,45 @@ func (p *Pipeline) DecodeAll(reads []dna.Seq) (map[int]*BlockResult, error) {
 // paper's procedure of sequencing only ~225 reads.
 func (p *Pipeline) DecodeBlock(reads []dna.Seq, block int) (*BlockResult, error) {
 	results, err := p.decode(reads, block)
+	res := results[block]
 	if err != nil {
-		return nil, err
+		return res, err
 	}
-	res, ok := results[block]
-	if !ok {
-		return nil, fmt.Errorf("%w: block %d not recovered", ErrDecode, block)
+	if res == nil {
+		// No strand of the block ever surfaced in the reads.
+		return nil, fmt.Errorf("%w: block %d not recovered", ErrInsufficientCoverage, block)
+	}
+	if len(res.Versions) == 0 {
+		return res, fmt.Errorf("%w: block %d not recovered", worstUnitError(res), block)
 	}
 	return res, nil
+}
+
+// Err summarizes the block's unit failures as the worst typed health
+// error — ErrRSMarginExceeded (permanent corruption) dominates
+// ErrInsufficientCoverage (curable shortfall) — or nil when every
+// observed unit decoded.
+func (r *BlockResult) Err() error {
+	if r == nil || len(r.UnitErrors) == 0 {
+		return nil
+	}
+	return worstUnitError(r)
+}
+
+// worstUnitError picks the error that best summarizes a failed block:
+// permanent corruption (RS margin) dominates a coverage shortfall,
+// which dominates the generic sentinel.
+func worstUnitError(res *BlockResult) error {
+	err := error(ErrDecode)
+	for _, ue := range res.UnitErrors {
+		if errors.Is(ue, ErrRSMarginExceeded) {
+			return ErrRSMarginExceeded
+		}
+		if errors.Is(ue, ErrInsufficientCoverage) {
+			err = ErrInsufficientCoverage
+		}
+	}
+	return err
 }
 
 func (p *Pipeline) decode(reads []dna.Seq, target int) (map[int]*BlockResult, error) {
@@ -293,7 +367,7 @@ func (p *Pipeline) decode(reads []dna.Seq, target int) (map[int]*BlockResult, er
 	// out; the kept list is rebuilt in input order either way.
 	kept := p.filterReads(reads)
 	if len(kept) == 0 {
-		return nil, fmt.Errorf("%w: no reads contain the partition primers", ErrDecode)
+		return nil, fmt.Errorf("%w: no reads contain the partition primers", ErrInsufficientCoverage)
 	}
 	// Step 2: cluster the full reads.
 	clusters, err := cluster.Group(kept, p.cfg.Cluster)
@@ -386,33 +460,77 @@ func (p *Pipeline) decode(reads []dna.Seq, target int) (map[int]*BlockResult, er
 		return tasks[i].version < tasks[j].version
 	})
 	type unitResult struct {
-		data               []byte
-		corrected, retries int
-		err                error
+		data                                []byte
+		corrected, retries, missing, erased int
+		err                                 error
 	}
 	decoded := make([]unitResult, len(tasks))
 	parallel.Run(p.workers, len(tasks), func(i int) error {
 		t := tasks[i]
 		r := &decoded[i]
-		r.data, r.corrected, r.retries, r.err = p.decodeUnit(primary, alternates, t.block, t.version)
+		r.data, r.corrected, r.retries, r.missing, r.erased, r.err = p.decodeUnit(primary, alternates, t.block, t.version)
 		return nil
 	})
+	// Per-block and per-unit coverage: reads supporting the primary
+	// strands.
+	readsByBlock := make(map[int]int)
+	readsByUnit := make(map[unitTask]int)
+	for k, cand := range primary {
+		readsByBlock[k.block] += cand.clusterSize
+		readsByUnit[unitTask{k.block, k.version}] += cand.clusterSize
+	}
 	results := make(map[int]*BlockResult)
+	recovered := 0
 	for i, t := range tasks {
-		if decoded[i].err != nil {
-			continue
-		}
 		res, ok := results[t.block]
 		if !ok {
-			res = &BlockResult{Block: t.block, Versions: make(map[int][]byte), ClustersUsed: clustersUsed}
+			res = &BlockResult{
+				Block: t.block, Versions: make(map[int][]byte),
+				ClustersUsed: clustersUsed, ReadsUsed: readsByBlock[t.block],
+			}
 			results[t.block] = res
+		}
+		res.MissingSlots += decoded[i].missing
+		res.ErasedSlots += decoded[i].erased
+		if res.UnitStats == nil {
+			res.UnitStats = make(map[int]UnitStat)
+		}
+		res.UnitStats[t.version] = UnitStat{
+			Missing:   decoded[i].missing,
+			Erased:    decoded[i].erased,
+			Corrected: decoded[i].corrected,
+			Reads:     readsByUnit[t],
+		}
+		if decoded[i].err != nil {
+			// A failed unit stays visible as a typed health error instead
+			// of vanishing: graceful degradation needs the distinction
+			// between "never written" and "written but unrecoverable".
+			if res.UnitErrors == nil {
+				res.UnitErrors = make(map[int]error)
+			}
+			res.UnitErrors[t.version] = decoded[i].err
+			continue
 		}
 		res.Versions[t.version] = decoded[i].data
 		res.Corrected += decoded[i].corrected
 		res.CandidateRetries += decoded[i].retries
+		recovered++
 	}
-	if len(results) == 0 {
-		return nil, fmt.Errorf("%w: no unit decoded", ErrDecode)
+	if recovered == 0 {
+		// Summarize with the worst failure class across blocks (a
+		// priority max, so the pick is deterministic over the map).
+		err := error(ErrDecode)
+		for _, res := range results {
+			e := worstUnitError(res)
+			if errors.Is(e, ErrRSMarginExceeded) {
+				err = e
+				break
+			}
+			if errors.Is(e, ErrInsufficientCoverage) {
+				err = e
+			}
+		}
+		return results, fmt.Errorf("%w: no unit decoded", err)
 	}
 	return results, nil
 }
@@ -483,11 +601,12 @@ func (p *Pipeline) targetComplete(primary map[addrKey]strandCandidate, target in
 // failure it retries with alternate candidates (Section 8.1's
 // "recursively try to decode the original data using each of these
 // candidates"), and finally treats the lowest-confidence slots (smallest
-// clusters, whose consensus is least reliable) as erasures.
-func (p *Pipeline) decodeUnit(primary map[addrKey]strandCandidate, alternates map[addrKey][]strandCandidate, block, version int) (data []byte, corrected, retries int, err error) {
+// clusters, whose consensus is least reliable) as erasures. The missing
+// and erased counts report the unit's health: slots never observed, and
+// observed slots the successful (or final) attempt treated as erasures.
+func (p *Pipeline) decodeUnit(primary map[addrKey]strandCandidate, alternates map[addrKey][]strandCandidate, block, version int) (data []byte, corrected, retries, missing, erased int, err error) {
 	n := p.unit.Molecules()
 	payloads := make([][]byte, n)
-	missing := 0
 	var alternateSlots []addrKey
 	var filled []strandCandidate
 	for intra := 0; intra < n; intra++ {
@@ -502,6 +621,16 @@ func (p *Pipeline) decodeUnit(primary map[addrKey]strandCandidate, alternates ma
 			missing++
 		}
 	}
+	parity := p.unit.Molecules() - p.unit.DataMolecules()
+	if missing > parity {
+		// More slots lost than the RS parity can erase: no candidate
+		// substitution or erasure schedule can succeed (alternates only
+		// exist for observed slots), so fail fast with the coverage
+		// classification.
+		return nil, 0, 0, missing, 0,
+			fmt.Errorf("%w: block %d version %d: %d of %d slots missing",
+				ErrInsufficientCoverage, block, version, missing, n)
+	}
 	try := func(pl [][]byte) ([]byte, int, error) {
 		raw, corr, err := p.unit.Decode(pl)
 		if err != nil {
@@ -515,7 +644,7 @@ func (p *Pipeline) decodeUnit(primary map[addrKey]strandCandidate, alternates ma
 		return out, corr, nil
 	}
 	if out, corr, err := try(payloads); err == nil {
-		return out, corr, 0, nil
+		return out, corr, 0, missing, 0, nil
 	}
 	// Candidate recursion: substitute alternates one slot at a time, then
 	// in pairs, bounded by MaxCombinations.
@@ -533,13 +662,12 @@ func (p *Pipeline) decodeUnit(primary map[addrKey]strandCandidate, alternates ma
 			copy(pl, payloads)
 			pl[k.intra] = alt.payload
 			if out, corr, err := try(pl); err == nil {
-				return out, corr, combos, nil
+				return out, corr, combos, missing, 0, nil
 			}
 		}
 	}
 	// Erase suspicious slots (the ones that had competing candidates) and
 	// let the RS erasure capability fill them in.
-	parity := p.unit.Molecules() - p.unit.DataMolecules()
 	if len(alternateSlots) > 0 && missing+len(alternateSlots) <= parity {
 		pl := make([][]byte, n)
 		copy(pl, payloads)
@@ -548,7 +676,7 @@ func (p *Pipeline) decodeUnit(primary map[addrKey]strandCandidate, alternates ma
 		}
 		combos++
 		if out, corr, err := try(pl); err == nil {
-			return out, corr, combos, nil
+			return out, corr, combos, missing, len(alternateSlots), nil
 		}
 	}
 	// Last resort for low-coverage retrievals: the consensus of a 1- or
@@ -567,10 +695,14 @@ func (p *Pipeline) decodeUnit(primary map[addrKey]strandCandidate, alternates ma
 		}
 		combos++
 		if out, corr, err := try(pl); err == nil {
-			return out, corr, combos, nil
+			return out, corr, combos, missing, k, nil
 		}
 	}
-	return nil, 0, combos, fmt.Errorf("%w: block %d version %d", ErrDecode, block, version)
+	// Every slot was observed (or within erasure budget) yet every
+	// attempt failed: the strands themselves are beyond the code's
+	// correction margin.
+	return nil, 0, combos, missing, 0,
+		fmt.Errorf("%w: block %d version %d", ErrRSMarginExceeded, block, version)
 }
 
 // unitSeed derives the per-unit randomizer stream id.

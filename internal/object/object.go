@@ -292,11 +292,15 @@ func (s *Store) Get(name string) ([]byte, error) {
 	for u := 0; u < obj.units; u++ {
 		res, ok := decoded[u]
 		if !ok {
-			return nil, fmt.Errorf("%w: unit %d not recovered", decode.ErrDecode, u)
+			return nil, fmt.Errorf("%w: unit %d not recovered", decode.ErrInsufficientCoverage, u)
 		}
 		raw, ok := res.Versions[0]
 		if !ok {
-			return nil, fmt.Errorf("%w: unit %d empty", decode.ErrDecode, u)
+			cause := res.Err()
+			if cause == nil {
+				cause = decode.ErrDecode
+			}
+			return nil, fmt.Errorf("%w: unit %d empty", cause, u)
 		}
 		out = append(out, raw...)
 	}
