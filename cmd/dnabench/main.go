@@ -10,7 +10,7 @@
 //
 // Experiment ids: fig3, fig9a, fig9b, fig9c, multiplex, fig10, cost,
 // latency, updatecost, decode, misprime, scale, tree, density, cache,
-// primers, parallel, kernels, write, binding.
+// primers, parallel, kernels, write, binding, memory, aging, faults.
 //
 // The -scale flag multiplies the Alice partition's block count for the
 // wetlab-backed studies (fig9*, fig10, decode, ...): -scale 12 grows
@@ -37,6 +37,7 @@ var experimentIDs = []string{
 	"cost", "latency", "updatecost", "decode", "misprime",
 	"scale", "tree", "density", "cache", "primers", "related", "alloc",
 	"parallel", "kernels", "write", "binding", "memory", "aging",
+	"faults",
 }
 
 func main() {
@@ -265,6 +266,28 @@ func runExperiments(run string, reads int, seed uint64, workers, scale, strands 
 		tm.Metrics = r.Metrics()
 		experiment.PrintAgingStudy(out, r)
 		fmt.Fprintln(out)
+	}
+	if want["faults"] {
+		fmt.Fprintf(out, "running the operational fault-injection campaign (workers=%d)...\n", workers)
+		var r *experiment.FaultsResult
+		tm, err := rc.track("faults", func() error {
+			var err error
+			r, err = experiment.FaultsStudy(workers)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tm.Metrics = r.Metrics()
+		experiment.PrintFaultsStudy(out, r)
+		fmt.Fprintln(out)
+		// The CI smoke step advertises these gates; make them bite.
+		if !r.Identical {
+			return fmt.Errorf("faults: zero-rate injector not byte-identical to the nil-injector store")
+		}
+		if !r.Deterministic {
+			return fmt.Errorf("faults: supervised campaign diverged across worker counts")
+		}
 	}
 	if want["write"] {
 		fmt.Fprintf(out, "running the write-engine scaling study (workers=%d)...\n", workers)

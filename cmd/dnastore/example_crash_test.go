@@ -1,0 +1,66 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Example_crashRecovery walks the journal's crash window: a mutation
+// is acknowledged only after its entry is framed, appended and fsynced,
+// so a process that dies between the append and the acknowledgment
+// leaves a journal that the next invocation replays to the exact tube
+// the operation committed — nothing acknowledged is ever lost, and
+// nothing torn ever replays.
+func Example_crashRecovery() {
+	dir, err := os.MkdirTemp("", "dnastore-crash")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	j := filepath.Join(dir, "tube.json")
+
+	run := func(args ...string) error { return runCommand(j, -1, "", args) }
+	if err := run("create", "docs"); err != nil {
+		panic(err)
+	}
+	if err := run("write", "docs", "0", "block zero"); err != nil {
+		panic(err)
+	}
+
+	// Die right after the next write's journal append — the entry is
+	// durable, but the command never acknowledges.
+	crashAfterAppend = true
+	err = run("write", "docs", "1", "block one")
+	crashAfterAppend = false
+	fmt.Println("crashed:", errors.Is(err, errSimulatedCrash))
+
+	// Recovery is plain replay: the journal loads whole (torn tails
+	// would be truncated here) and rebuilds the tube including the
+	// unacknowledged-but-durable write.
+	jj, _, err := loadJournal(j)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("entries:", len(jj.Entries))
+	sys, err := jj.replay(-1)
+	if err != nil {
+		panic(err)
+	}
+	p, ok := sys.Partition("docs")
+	if !ok {
+		panic("partition lost")
+	}
+	data, err := p.ReadBlock(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("block 1: %q\n", trimZeros(data))
+	// Output:
+	// created partition "docs"
+	// synthesized block 0 of "docs" (15 strands)
+	// crashed: true
+	// entries: 3
+	// block 1: "block one"
+}

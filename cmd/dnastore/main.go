@@ -25,6 +25,12 @@
 // and maintenance (scrub) are journaled mutations like writes, so a
 // replay rebuilds the same aged tube byte for byte.
 //
+// The journal is crash-consistent: entries are length-prefixed,
+// checksummed, and fsynced before an operation is acknowledged, and a
+// torn tail left by a crash mid-append is detected and truncated on
+// the next open. Journals from older builds (whole-file JSON) load
+// as-is and migrate to the framed format on their next append.
+//
 // Exit codes: 0 success, 1 generic failure, 2 usage, 3 a read failed
 // for insufficient coverage (curable: re-amplify or scrub), 4 a read
 // failed with the Reed-Solomon margin exceeded (strands corrupted;
@@ -32,7 +38,6 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -74,32 +79,6 @@ type journalItem struct {
 	Insert      []byte `json:"insert,omitempty"`
 }
 
-type journal struct {
-	Seed uint64 `json:"seed"`
-	// Decay is the tube's aging profile, fixed at journal creation:
-	// the profile shapes every strand the tube ever ages, so changing
-	// it mid-life would replay history under different physics.
-	Decay   *dnastore.DecayProfile `json:"decay,omitempty"`
-	Entries []journalEntry         `json:"entries"`
-}
-
-// loadJournal reads the journal at path; fresh reports whether the
-// file did not exist yet (a brand-new tube, still configurable).
-func loadJournal(path string) (j *journal, fresh bool, err error) {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return &journal{Seed: 1}, true, nil
-	}
-	if err != nil {
-		return nil, false, err
-	}
-	j = &journal{}
-	if err := json.Unmarshal(data, j); err != nil {
-		return nil, false, fmt.Errorf("corrupt journal %s: %v", path, err)
-	}
-	return j, false, nil
-}
-
 // decayProfile resolves the -decay flag value to a profile.
 func decayProfile(name string) (*dnastore.DecayProfile, error) {
 	switch name {
@@ -113,14 +92,6 @@ func decayProfile(name string) (*dnastore.DecayProfile, error) {
 		return &p, nil
 	}
 	return nil, fmt.Errorf("unknown decay profile %q (want off, room or accelerated)", name)
-}
-
-func (j *journal) save(path string) error {
-	data, err := json.MarshalIndent(j, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, data, 0o644)
 }
 
 // replay rebuilds the in-memory system from the journal. workers sets
@@ -211,7 +182,9 @@ func main() {
 	journalPath := flag.String("journal", "dnastore.json", "journal file holding the tube's write history")
 	workers := flag.Int("workers", 0, "read-engine workers (0 = serial, -1 = all CPUs)")
 	decayName := flag.String("decay", "", "aging profile for a NEW journal: off, room or accelerated")
+	crash := flag.Bool("crash-after-append", false, "testing hook: die after the journal append, before acknowledging")
 	flag.Parse()
+	crashAfterAppend = *crash
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -249,6 +222,7 @@ commands:
   advance     <days>
   scrub
   health      <partition> <lo> <hi>
+  digest
   costs`)
 }
 
@@ -284,8 +258,7 @@ func runCommand(journalPath string, workers int, decayName string, args []string
 		if _, err := sys.CreatePartition(args[1]); err != nil {
 			return err
 		}
-		j.Entries = append(j.Entries, journalEntry{Op: "create", Partition: args[1]})
-		if err := j.save(journalPath); err != nil {
+		if err := j.append(journalEntry{Op: "create", Partition: args[1]}); err != nil {
 			return err
 		}
 		fmt.Printf("created partition %q\n", args[1])
@@ -304,10 +277,9 @@ func runCommand(journalPath string, workers int, decayName string, args []string
 		if err := p.WriteBlock(block, []byte(args[3])); err != nil {
 			return err
 		}
-		j.Entries = append(j.Entries, journalEntry{
+		if err := j.append(journalEntry{
 			Op: "write", Partition: args[1], Block: block, Data: []byte(args[3]),
-		})
-		if err := j.save(journalPath); err != nil {
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("synthesized block %d of %q (15 strands)\n", block, args[1])
@@ -339,11 +311,10 @@ func runCommand(journalPath string, workers int, decayName string, args []string
 		if err := p.UpdateBlock(block, patch); err != nil {
 			return err
 		}
-		j.Entries = append(j.Entries, journalEntry{
+		if err := j.append(journalEntry{
 			Op: "update", Partition: args[1], Block: block,
 			DeleteStart: ds, DeleteCount: dc, InsertPos: ip, Insert: []byte(args[6]),
-		})
-		if err := j.save(journalPath); err != nil {
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("logged update %d for block %d of %q\n", p.Versions(block), block, args[1])
@@ -369,8 +340,7 @@ func runCommand(journalPath string, workers int, decayName string, args []string
 		if err := b.Apply(); err != nil {
 			return err
 		}
-		j.Entries = append(j.Entries, journalEntry{Op: "writebatch", Partition: args[1], Items: items})
-		if err := j.save(journalPath); err != nil {
+		if err := j.append(journalEntry{Op: "writebatch", Partition: args[1], Items: items}); err != nil {
 			return err
 		}
 		fmt.Printf("synthesized %d blocks of %q in one batch (%d strands)\n",
@@ -412,8 +382,7 @@ func runCommand(journalPath string, workers int, decayName string, args []string
 		if err := p.UpdateBlocks(patches); err != nil {
 			return err
 		}
-		j.Entries = append(j.Entries, journalEntry{Op: "updatebatch", Partition: args[1], Items: items})
-		if err := j.save(journalPath); err != nil {
+		if err := j.append(journalEntry{Op: "updatebatch", Partition: args[1], Items: items}); err != nil {
 			return err
 		}
 		fmt.Printf("logged %d updates for %q in one batch\n", len(items), args[1])
@@ -469,8 +438,7 @@ func runCommand(journalPath string, workers int, decayName string, args []string
 		if err != nil {
 			return err
 		}
-		j.Entries = append(j.Entries, journalEntry{Op: "advance", Days: days})
-		if err := j.save(journalPath); err != nil {
+		if err := j.append(journalEntry{Op: "advance", Days: days}); err != nil {
 			return err
 		}
 		fmt.Printf("aged %g days (tube age %g): %.0f strands lost, %d species extinct, %d mutant species\n",
@@ -484,8 +452,7 @@ func runCommand(journalPath string, workers int, decayName string, args []string
 		if err != nil {
 			return err
 		}
-		j.Entries = append(j.Entries, journalEntry{Op: "scrub", Scrub: &pol})
-		if err := j.save(journalPath); err != nil {
+		if err := j.append(journalEntry{Op: "scrub", Scrub: &pol}); err != nil {
 			return err
 		}
 		fmt.Printf("scrubbed %d blocks: %d flagged, %d repaired (%d boosts, %d resyntheses), %d beyond repair\n",
@@ -533,6 +500,13 @@ func runCommand(journalPath string, workers int, decayName string, args []string
 			fmt.Printf("%-6d %-12s %9.2f %9.2f %8d\n",
 				h.Block, status, h.Coverage, h.RSMarginUsed, h.MissingSlots)
 		}
+	case "digest":
+		// Read-only: the tube's physical state digest, for scripting
+		// crash-recovery and replay-equivalence checks.
+		if len(args) != 1 {
+			return errors.New("digest takes no arguments")
+		}
+		fmt.Printf("%x\n", sys.TubeDigest())
 	case "costs":
 		c := sys.Costs()
 		fmt.Printf("strands synthesized:  %d\n", c.StrandsSynthesized)

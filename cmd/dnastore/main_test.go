@@ -28,12 +28,15 @@ func TestCreateWriteReadRoundTrip(t *testing.T) {
 			t.Fatalf("%v: %v", args, err)
 		}
 	}
-	// The journal persists across invocations.
+	// The journal persists across invocations in the framed format.
 	data, err := os.ReadFile(j)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), `"op": "write"`) {
+	if !strings.HasPrefix(string(data), journalMagic) {
+		t.Error("journal not in the framed format")
+	}
+	if !strings.Contains(string(data), `"op":"write"`) {
 		t.Error("journal missing write entry")
 	}
 }

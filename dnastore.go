@@ -37,6 +37,7 @@ import (
 
 	"dnastore/internal/blockstore"
 	"dnastore/internal/decay"
+	"dnastore/internal/fault"
 	"dnastore/internal/primer"
 	"dnastore/internal/rng"
 	"dnastore/internal/update"
@@ -94,6 +95,26 @@ var (
 	// the Reed-Solomon correction margin; only re-synthesis from a
 	// surviving copy (or the original data) cures it.
 	ErrRSMarginExceeded = blockstore.ErrRSMarginExceeded
+	// ErrDepthScale reports a non-positive (or NaN) sequencing-depth
+	// scale passed to ReadBlockHealth.
+	ErrDepthScale = blockstore.ErrDepthScale
+)
+
+// Typed operational-failure classes reported through Health records by
+// the supervised read paths when fault injection is enabled; all are
+// errors.Is-able through whatever wrapping recovery applied.
+var (
+	// ErrReactionFailed classifies a PCR reaction that never amplified.
+	ErrReactionFailed = fault.ErrReactionFailed
+	// ErrRunAborted classifies a sequencing run that aborted
+	// mid-flowcell and delivered fewer reads than budgeted.
+	ErrRunAborted = fault.ErrRunAborted
+	// ErrContaminated classifies a reaction whose amplified pool held
+	// significant foreign (cross-tube contaminant) mass.
+	ErrContaminated = fault.ErrContaminated
+	// ErrRetryBudgetExhausted reports a supervised read that failed
+	// every retry its policy allowed; it wraps the last failure class.
+	ErrRetryBudgetExhausted = fault.ErrRetryBudgetExhausted
 )
 
 // Costs are the accumulated physical-cost counters of a System:
@@ -151,7 +172,53 @@ type Options struct {
 	// byte-identical to a system built without decay. Use
 	// RoomTempDecay or AcceleratedDecay for calibrated profiles.
 	Decay *DecayProfile
+
+	// Faults enables seeded operational fault injection at every
+	// wet-lab stage boundary: PCR reaction failure and partial yield,
+	// sequencing-run aborts, synthesis-order dropout, and cross-tube
+	// contamination, per the plan's rates. Injection draws from each
+	// operation's own deterministically forked rng stream, so campaigns
+	// reproduce byte-for-byte at any worker count. nil injects nothing
+	// and draws nothing — every output stays byte-identical to a system
+	// without fault hooks. Use UniformFaults for a flat per-stage rate.
+	Faults *FaultPlan
+
+	// Retry tunes the supervised recovery engine behind
+	// ReadBlocksSupervised / ReadRangeSupervised (retry and hedge
+	// budgets, depth escalation, contamination quarantine) and enables
+	// write-side QC: batch commits re-order synthesis units the vendor
+	// dropped. nil selects DefaultRetryPolicy for supervised reads but
+	// leaves write-side QC off. Ignored without Faults.
+	Retry *RetryPolicy
 }
+
+// FaultPlan is a seeded operational-fault campaign: per-stage failure
+// probabilities and severities. See the fault package for field
+// semantics; UniformFaults builds the flat-rate plan the campaign
+// studies use.
+type FaultPlan = fault.Plan
+
+// UniformFaults returns a plan injecting every stage fault at the
+// given per-operation probability.
+func UniformFaults(rate float64) FaultPlan { return fault.Uniform(rate) }
+
+// FaultStats counts the faults the system's injector has fired.
+type FaultStats = fault.Stats
+
+// RetryPolicy tunes the supervised recovery engine: retry and hedge
+// budgets, per-retry sequencing-depth escalation, write-side synthesis
+// QC, and contamination quarantine.
+type RetryPolicy = fault.RetryPolicy
+
+// DefaultRetryPolicy returns the recovery engine's documented
+// defaults: 3 read retries with 2x depth escalation, hedged re-reads
+// under coverage 2, 3 synthesis re-orders, quarantine on.
+func DefaultRetryPolicy() RetryPolicy { return fault.DefaultRetryPolicy() }
+
+// RecoveryReport summarizes what a supervised read's recovery engine
+// did: failures seen, blocks recovered, retries, hedges, quarantined
+// species, and the extra sequencing reads recovery cost.
+type RecoveryReport = blockstore.RecoveryReport
 
 // DecayProfile sets the per-day hazard and mutation rates of the aging
 // channel; see RoomTempDecay and AcceleratedDecay for calibrated
@@ -238,6 +305,17 @@ func New(opt Options) (*System, error) {
 	cfg.Workers = opt.Workers
 	cfg.BindingEntries = opt.BindingCache
 	cfg.Decay = opt.Decay
+	if opt.Faults != nil {
+		inj, err := fault.NewInjector(*opt.Faults)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Faults = inj
+		if opt.Retry != nil {
+			pol := *opt.Retry // privatize against later caller mutation
+			cfg.Retry = &pol
+		}
+	}
 	if opt.TreeDepth != 5 {
 		// The payload shrinks or grows with the index field; the shared
 		// adjustment trims the strand so the payload stays a whole
@@ -269,6 +347,10 @@ func (s *System) TubeDigest() [32]byte { return s.store.TubeDigest() }
 // BindingStats returns a snapshot of the binding cache's counters; ok
 // is false when the cache is disabled (negative Options.BindingCache).
 func (s *System) BindingStats() (st BindingStats, ok bool) { return s.store.BindingStats() }
+
+// FaultStats returns the injector's fired-fault counters; zero when
+// fault injection is disabled (Options.Faults nil).
+func (s *System) FaultStats() FaultStats { return s.store.FaultStats() }
 
 // Advance moves the system's clock forward by days and applies the
 // configured decay profile to every species in the tube: exponential
@@ -386,6 +468,32 @@ func (p *Partition) ReadBlocksHealth(blocks []int) ([][]byte, []Health, error) {
 // recovery failed, plus per-block Health reports.
 func (p *Partition) ReadRangeHealth(lo, hi int) ([][]byte, []Health, error) {
 	return p.p.ReadRangeHealth(lo, hi)
+}
+
+// ReadBlockHealth reads one block with its sequencing depth scaled by
+// scale (> 1 probes deeper before declaring the block dead, < 1 reads
+// shallow, as Scrub's probes do). A non-positive or NaN scale is
+// rejected with an error wrapping ErrDepthScale.
+func (p *Partition) ReadBlockHealth(block int, scale float64) ([]byte, Health, error) {
+	return p.p.ReadBlockHealth(block, scale)
+}
+
+// ReadBlocksSupervised is ReadBlocksHealth with the recovery engine on
+// top: blocks failing the initial pass are re-read under the system's
+// RetryPolicy — sequencing depth escalated per retry, amplified pools
+// screened and quarantined for contamination, recovered-but-marginal
+// blocks hedged with one deeper read. Blocks exhausting the budget
+// stay nil with Health.Err wrapping ErrRetryBudgetExhausted; the
+// report says what recovery did and cost. Deterministic at any worker
+// count.
+func (p *Partition) ReadBlocksSupervised(blocks []int) ([][]byte, []Health, *RecoveryReport, error) {
+	return p.p.ReadBlocksSupervised(blocks)
+}
+
+// ReadRangeSupervised is ReadRangeHealth with the recovery engine on
+// top; see ReadBlocksSupervised.
+func (p *Partition) ReadRangeSupervised(lo, hi int) ([][]byte, []Health, *RecoveryReport, error) {
+	return p.p.ReadRangeSupervised(lo, hi)
 }
 
 // ReadAll retrieves every written block with a whole-partition PCR.

@@ -479,18 +479,39 @@ func (b *Batch) prepare(plan *batchPlan) error {
 	for i := range plan.units {
 		plan.units[i].src = src.Fork()
 	}
+	// With a fault injector armed, each order faces vendor dropout; a
+	// retry policy adds write-side QC — re-order a dropped unit up to
+	// MaxSynthRetries times. Every outcome draws only from the unit's
+	// private source, so batches stay byte-identical at any worker
+	// count, and with no injector no draw happens at all.
+	inj := p.store.cfg.Faults
+	attempts := 1
+	if inj != nil && p.store.cfg.Retry != nil {
+		attempts += p.store.cfg.Retry.Normalize().MaxSynthRetries
+	}
 	return parallel.Run(p.workers, len(plan.units), func(i int) error {
 		u := &plan.units[i]
 		orders, err := p.buildUnitOrders(u.block, u.version, u.data)
 		if err != nil {
 			return err
 		}
-		synth, err := pool.Synthesize(u.src, orders, p.store.cfg.Synthesis)
-		if err != nil {
-			return err
+		for a := 0; a < attempts; a++ {
+			if inj.DropSynthesis(u.src) {
+				continue
+			}
+			synth, err := pool.Synthesize(u.src, orders, p.store.cfg.Synthesis)
+			if err != nil {
+				return err
+			}
+			u.synth = synth
+			u.strands = len(orders)
+			return nil
 		}
-		u.synth = synth
-		u.strands = len(orders)
+		// Every order was dropped by the vendor: the unit ships empty.
+		// The digital commit proceeds — the block's table entries exist —
+		// but no physical strands back it, the silent loss the supervised
+		// write QC above exists to prevent.
+		u.synth = pool.New()
 		return nil
 	})
 }

@@ -454,7 +454,7 @@ func TestReadBlockHealthEscalated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, scale := range []float64{0, 1, 4} {
+	for _, scale := range []float64{1, 4} {
 		c, h, err := p.ReadBlockHealth(3, scale)
 		if err != nil {
 			t.Fatalf("scale %g: %v", scale, err)
@@ -464,6 +464,11 @@ func TestReadBlockHealthEscalated(t *testing.T) {
 		}
 		if !bytes.Equal(c, want) {
 			t.Errorf("scale %g: content diverges from classic read", scale)
+		}
+	}
+	for _, scale := range []float64{0, -1, math.NaN()} {
+		if _, _, err := p.ReadBlockHealth(3, scale); !errors.Is(err, ErrDepthScale) {
+			t.Errorf("scale %g: want ErrDepthScale, got %v", scale, err)
 		}
 	}
 	wear := s.DecayStats()

@@ -3,8 +3,10 @@ package blockstore
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"dnastore/internal/decode"
+	"dnastore/internal/fault"
 	"dnastore/internal/parallel"
 	"dnastore/internal/rng"
 	"dnastore/internal/update"
@@ -215,30 +217,74 @@ func (p *Partition) ReadBlocksHealth(blocks []int) ([][]byte, []Health, error) {
 // failure into a Health report instead of an error. scale multiplies
 // the sequencing budget (shallow scrub probes pass < 1).
 func (p *Partition) readBlockHealth(r *rng.Source, block, depth, pcrWorkers int, scale float64) ([]byte, Health) {
-	res, err := p.retrieveScaled(r, block, depth, pcrWorkers, scale)
+	content, h, _ := p.readBlockHealthWet(r, block, depth, pcrWorkers, scale, false)
+	return content, h
+}
+
+// Operational-fault classification thresholds. A healthy elongated PCR
+// multiplies the pool's mass many-fold; a gain this close to 1 means
+// the reaction never amplified. A screened read whose foreign mass
+// fraction reaches the contamination floor failed because contaminant
+// consumed its sequencing budget.
+const (
+	failedGainCeiling = 1.2
+	contaminatedFloor = 0.2
+)
+
+// readBlockHealthWet is readBlockHealth returning the wet evidence the
+// supervised paths consume, with the failure annotated by its
+// operational fault class when an injector is configured. screen
+// enables the contamination quarantine (supervised retries only).
+func (p *Partition) readBlockHealthWet(r *rng.Source, block, depth, pcrWorkers int, scale float64, screen bool) ([]byte, Health, wetInfo) {
+	res, info, err := p.retrieveWet(r, block, depth, pcrWorkers, scale, screen)
 	if err != nil {
-		return nil, p.healthOf(block, res, err)
+		return nil, p.classifyHealth(block, res, err, info), info
 	}
 	bv, err := p.finishBlock(r, block, res, pcrWorkers)
 	if err != nil {
-		return nil, p.healthOf(block, res, err)
+		return nil, p.classifyHealth(block, res, err, info), info
 	}
 	content, err := update.ApplyAll(bv.Data, bv.Patches)
 	if err != nil {
-		return nil, p.healthOf(block, res, err)
+		return nil, p.classifyHealth(block, res, err, info), info
 	}
-	h := p.healthOf(block, res, nil)
+	h := p.classifyHealth(block, res, nil, info)
 	if !h.Recovered {
 		// A physically-expected unit failed to decode: the assembled
 		// content would silently miss a patch, so degrade to a report.
-		return nil, h
+		return nil, h, info
 	}
-	return content, h
+	return content, h, info
+}
+
+// classifyHealth condenses a wet read into its Health report and, when
+// the read failed under a fault injector, prefixes the failure with
+// its typed operational class so supervisors (and errors.Is callers)
+// can pick the right cure: re-read a failed reaction at the same
+// depth, re-sequence an aborted run, quarantine a contaminated one.
+// Contamination is only observable on screened reads; the priority
+// order mirrors the causal chain (foreign mass starves the budget
+// before delivery shortfall does).
+func (p *Partition) classifyHealth(block int, res *decode.BlockResult, err error, info wetInfo) Health {
+	h := p.healthOf(block, res, err)
+	if h.Recovered || p.store.cfg.Faults == nil {
+		return h
+	}
+	switch {
+	case info.foreignFrac >= contaminatedFloor:
+		h.Err = fmt.Errorf("%w (foreign mass %.0f%%): %w", fault.ErrContaminated, info.foreignFrac*100, h.Err)
+	case info.gain > 0 && info.gain <= failedGainCeiling:
+		h.Err = fmt.Errorf("%w (gain %.2f): %w", fault.ErrReactionFailed, info.gain, h.Err)
+	case info.delivered < info.budget:
+		h.Err = fmt.Errorf("%w (%d of %d reads): %w", fault.ErrRunAborted, info.delivered, info.budget, h.Err)
+	}
+	return h
 }
 
 // ReadBlockHealth reads one block with graceful degradation at an
 // adjustable sequencing budget: scale multiplies the configured
-// per-strand read depth (scale <= 0 means the standard budget).
+// per-strand read depth and must be positive — a non-positive or NaN
+// scale returns ErrDepthScale instead of silently sampling nothing.
 // Operators re-sequence deeper before declaring a block lost; a
 // scale > 1 retry distinguishes a genuinely degraded block from one
 // shallow read that happened to fall short.
@@ -246,8 +292,8 @@ func (p *Partition) ReadBlockHealth(block int, scale float64) ([]byte, Health, e
 	if err := p.checkBlock(block); err != nil {
 		return nil, Health{}, err
 	}
-	if scale <= 0 {
-		scale = 1
+	if scale <= 0 || math.IsNaN(scale) {
+		return nil, Health{}, fmt.Errorf("%w: %g", ErrDepthScale, scale)
 	}
 	p.mu.Lock()
 	if !p.written[block] {

@@ -335,18 +335,44 @@ func (p *Partition) retrieve(r *rng.Source, block, depth, pcrWorkers int) (*deco
 // by scale: the scrubber's shallow probes run the same wet protocol at
 // a fraction of the depth, and its repair retries escalate past 1.
 func (p *Partition) retrieveScaled(r *rng.Source, block, depth, pcrWorkers int, scale float64) (*decode.BlockResult, error) {
+	res, _, err := p.retrieveWet(r, block, depth, pcrWorkers, scale, false)
+	return res, err
+}
+
+// wetInfo is the operational evidence one wet retrieval leaves behind,
+// consumed by the supervised read paths to classify failures: a PCR
+// gain near 1 is a failed reaction, delivered < budget is an aborted
+// sequencing run, and a large foreign mass fraction (known only when
+// the quarantine screen ran) is contamination.
+type wetInfo struct {
+	gain        float64 // PCR mass amplification (final / initial)
+	budget      int     // sequencing reads budgeted
+	delivered   int     // sequencing reads actually delivered
+	quarantined int     // foreign species mass-zeroed by the screen
+	foreignFrac float64 // fraction of amplified mass the screen removed
+}
+
+// retrieveWet is the full instrumented wet read: elongated PCR (fault
+// hooks included), sequencing with abort truncation, decode. screen
+// enables the primer-mismatch quarantine over the reaction's input
+// aliquot — supervised retries use it; plain reads never do, keeping
+// the fault-free path byte-identical.
+func (p *Partition) retrieveWet(r *rng.Source, block, depth, pcrWorkers int, scale float64, screen bool) (*decode.BlockResult, wetInfo, error) {
+	var info wetInfo
 	ep, err := p.ElongatedPrimer(block)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	primers := []pcr.Primer{{Fwd: ep, Rev: p.rev, Conc: 1}}
 	if c := p.store.cfg.CarryoverConc; c > 0 {
 		primers = append(primers, pcr.Primer{Fwd: p.fwd, Rev: p.rev, Conc: c})
 	}
-	amplified, _, err := p.store.runPCR(primers, pcrWorkers)
+	amplified, st, rep, err := p.store.runPCR(r, primers, pcrWorkers, screen)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
+	info.gain = st.Gain()
+	info.quarantined, info.foreignFrac = rep.quarantined, rep.foreignFrac
 	budget := p.store.readBudget(depth)
 	if scale != 1 {
 		budget = int(float64(budget)*scale + 0.5)
@@ -354,15 +380,18 @@ func (p *Partition) retrieveScaled(r *rng.Source, block, depth, pcrWorkers int, 
 			budget = 1
 		}
 	}
-	reads, err := p.store.sequence(r, amplified, budget)
+	info.budget = budget
+	info.delivered = p.store.faultBudget(r, budget)
+	reads, err := p.store.sequence(r, amplified, info.delivered)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	seqs := make([]dna.Seq, len(reads))
 	for i, rd := range reads {
 		seqs[i] = rd.Seq
 	}
-	return p.pipeline.DecodeBlock(seqs, block)
+	res, err := p.pipeline.DecodeBlock(seqs, block)
+	return res, info, err
 }
 
 // ReadBlockVersions performs one wet retrieval of the block and returns
@@ -595,11 +624,12 @@ func (p *Partition) runCover(cr coverReaction, pcrWorkers int) (map[int]*decode.
 	if cc := p.store.cfg.CarryoverConc; cc > 0 {
 		primers = append(primers, pcr.Primer{Fwd: p.fwd, Rev: p.rev, Conc: cc})
 	}
-	amplified, _, err := p.store.runPCR(primers, pcrWorkers)
+	amplified, _, _, err := p.store.runPCR(cr.src, primers, pcrWorkers, false)
 	if err != nil {
 		return nil, err
 	}
-	reads, err := p.store.sequence(cr.src, amplified, p.store.readBudget(cr.units))
+	budget := p.store.faultBudget(cr.src, p.store.readBudget(cr.units))
+	reads, err := p.store.sequence(cr.src, amplified, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -707,11 +737,11 @@ func (p *Partition) ReadAll() ([][]byte, error) {
 		return nil, ErrBlockNotFound
 	}
 	primers := []pcr.Primer{{Fwd: p.fwd, Rev: p.rev, Conc: 1}}
-	amplified, _, err := p.store.runPCR(primers, p.store.cfg.Workers)
+	amplified, _, _, err := p.store.runPCR(r, primers, p.store.cfg.Workers, false)
 	if err != nil {
 		return nil, err
 	}
-	reads, err := p.store.sequence(r, amplified, p.store.readBudget(units))
+	reads, err := p.store.sequence(r, amplified, p.store.faultBudget(r, p.store.readBudget(units)))
 	if err != nil {
 		return nil, err
 	}

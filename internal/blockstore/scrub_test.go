@@ -1,0 +1,101 @@
+package blockstore
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestScrubEmptyPartition pins the degenerate maintenance pass: a
+// partition with nothing written probes nothing, flags nothing, and
+// costs nothing.
+func TestScrubEmptyPartition(t *testing.T) {
+	s := newTestStore(t, testConfig())
+	if _, err := s.CreatePartition("empty"); err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.Scrub(DefaultScrubPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.BlocksProbed != 0 || report.BlocksFlagged != 0 || len(report.Flagged) != 0 {
+		t.Errorf("empty partition scrubbed something: %+v", report)
+	}
+	if report.Cost != (Costs{}) {
+		t.Errorf("empty scrub charged costs: %+v", report.Cost)
+	}
+}
+
+// TestScrubHealthyTubeIsCheap pins that scrubbing an undamaged store
+// is probe-only: nothing is flagged or repaired and no synthesis is
+// charged — the pass costs sequencing reads and PCR reactions alone.
+// An empty sibling partition rides along to check the mixed walk.
+func TestScrubHealthyTubeIsCheap(t *testing.T) {
+	s, _ := buildSeeded(t, 1)
+	if _, err := s.CreatePartition("idle"); err != nil {
+		t.Fatal(err)
+	}
+	before := s.TubeDigest()
+	report, err := s.Scrub(DefaultScrubPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.BlocksProbed != 12 {
+		t.Errorf("probed %d blocks, want the 12 written ones", report.BlocksProbed)
+	}
+	if report.BlocksFlagged != 0 || report.Repaired != 0 || report.Boosts != 0 || report.Resyntheses != 0 {
+		t.Errorf("healthy tube triggered repairs: %+v", report)
+	}
+	// Probes still synthesize elongated primers on a block's first
+	// access; zero strand synthesis is what distinguishes a repair-free
+	// pass.
+	if report.Cost.StrandsSynthesized != 0 {
+		t.Errorf("probe-only pass synthesized strands: %+v", report.Cost)
+	}
+	if report.Cost.ReadsSequenced == 0 || report.Cost.PCRReactions == 0 {
+		t.Errorf("probe pass reported zero wet costs: %+v", report.Cost)
+	}
+	if s.TubeDigest() != before {
+		t.Error("repair-free scrub perturbed the tube")
+	}
+}
+
+// TestScrubConcurrentWithReads runs a maintenance pass while readers
+// hammer the same partition. Run under -race this pins the locking
+// between the scrubber's probes and the read engine; every concurrent
+// read must still return correct content.
+func TestScrubConcurrentWithReads(t *testing.T) {
+	s, p := buildSeeded(t, 4)
+	want := seededContents()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		report, err := s.Scrub(DefaultScrubPolicy())
+		if err != nil {
+			t.Errorf("concurrent scrub failed: %v", err)
+			return
+		}
+		if report.BlocksProbed != 12 {
+			t.Errorf("concurrent scrub probed %d blocks", report.BlocksProbed)
+		}
+	}()
+	const readers = 3
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, b := range []int{g, 3 + g, 9} {
+				got, err := p.ReadBlock(b)
+				if err != nil {
+					t.Errorf("reader %d block %d: %v", g, b, err)
+					continue
+				}
+				if !hasContent(got, want[b]) {
+					t.Errorf("reader %d block %d content wrong during scrub", g, b)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -33,6 +33,7 @@ import (
 	"dnastore/internal/decay"
 	"dnastore/internal/decode"
 	"dnastore/internal/dna"
+	"dnastore/internal/fault"
 	"dnastore/internal/indextree"
 	"dnastore/internal/layout"
 	"dnastore/internal/parallel"
@@ -53,6 +54,7 @@ var (
 	ErrOverflowFull  = errors.New("blockstore: overflow log space exhausted")
 	ErrBatchConflict = errors.New("blockstore: batch conflicts with a concurrent mutation")
 	ErrNoPrimers     = errors.New("blockstore: primer budget exhausted")
+	ErrDepthScale    = errors.New("blockstore: invalid sequencing depth scale")
 )
 
 // Typed health errors, re-exported from the decode pipeline so callers
@@ -111,6 +113,24 @@ type Config struct {
 	// Store.Advance ages the tube and every PCR access charges the
 	// profile's mechanical wear.
 	Decay *decay.Profile
+
+	// Faults injects operational failures at the wet-lab stage
+	// boundaries: PCR reaction failure and partial yield, sequencing-run
+	// aborts, synthesis-order dropout, and cross-tube contamination.
+	// Every decision draws from the operation's own deterministically
+	// forked rng source, so injected campaigns reproduce byte-for-byte
+	// at any worker count. nil (the default) injects nothing and draws
+	// nothing: every output is byte-identical to a store built before
+	// fault hooks existed.
+	Faults *fault.Injector
+
+	// Retry is the supervised recovery policy consulted by the
+	// supervised read paths (ReadBlocksSupervised, ReadRangeSupervised)
+	// and by batch prepare's synthesis QC. nil selects
+	// fault.DefaultRetryPolicy for supervised reads but disables
+	// write-side QC retries — an unsupervised store ships whatever the
+	// vendor delivered, dropped orders included.
+	Retry *fault.RetryPolicy
 
 	// BindingEntries is the entry budget of the store-level binding
 	// cache shared by every PCR reaction of the store: primer ⇄ species
@@ -195,6 +215,12 @@ type Store struct {
 
 	costMu sync.Mutex
 	costs  Costs
+
+	// screenOnce lazily compiles the primer-mismatch screen used by
+	// contamination quarantine: one pattern per library primer, shared
+	// by every screened reaction.
+	screenOnce sync.Once
+	screenPats []*dna.Pattern
 
 	// decayMu guards the aging clock and accumulated decay statistics.
 	// The decay rng stream is independent of the front-end seed stream
@@ -561,6 +587,11 @@ func (s *Store) readBudget(units int) int {
 	return int(math.Ceil(molecules * s.cfg.CoverageDepth * s.cfg.WasteFactor))
 }
 
+// contaminantPartition labels species leaked into a reaction by
+// injected cross-tube contamination, so quarantine reports and tests
+// can identify foreign material by provenance.
+const contaminantPartition = "<contaminant>"
+
 // runPCR executes a reaction against the tube and counts it. The tube is
 // held read-locked for the duration: pcr.Run works on its own copy, so
 // concurrent reactions share the lock and only synthesis mixes exclude
@@ -571,15 +602,158 @@ func (s *Store) readBudget(units int) int {
 // (workers-squared goroutines for pure scheduling overhead); single-
 // reaction accesses pass the store's full budget. Results are
 // byte-identical either way.
-func (s *Store) runPCR(primers []pcr.Primer, workers int) (*pool.Pool, pcr.Stats, error) {
+//
+// screenReport is what the contamination screen found in one
+// reaction's input aliquot.
+type screenReport struct {
+	quarantined int     // foreign species mass-zeroed
+	foreignFrac float64 // fraction of the aliquot's mass they held
+}
+
+// r is the reaction's private noise source; with a fault injector
+// configured it decides this reaction's fate — contamination of the
+// input aliquot, outright failure (the output is the unenriched
+// input), or partial yield (a truncated cycle count). screen runs the
+// primer-mismatch quarantine over the aliquot before the reaction, so
+// detected foreign material neither consumes reagent capacity nor
+// sequencing reads. A nil injector or nil r draws nothing and runs the
+// reaction exactly as before.
+//
+// Reagent capacity is provisioned from the tube's expected material,
+// not the aliquot's actual content: leaked contaminant competes for
+// the same plateau, which is exactly why an unscreened contaminated
+// reaction under-amplifies its target.
+func (s *Store) runPCR(r *rng.Source, primers []pcr.Primer, workers int, screen bool) (*pool.Pool, pcr.Stats, screenReport, error) {
 	s.addCosts(func(c *Costs) { c.PCRReactions++ })
 	s.tubeMu.RLock()
 	defer s.tubeMu.RUnlock()
 	params := s.cfg.PCR
 	params.Capacity = s.cfg.CapacityFactor * s.tube.Total()
 	params.Workers = workers
-	return pcr.Run(s.tube, primers, params)
+	var rep screenReport
+	inj := s.cfg.Faults
+	if inj == nil || r == nil {
+		out, st, err := pcr.Run(s.tube, primers, params)
+		return out, st, rep, err
+	}
+	input := s.tube
+	if frac := inj.ContaminationFrac(r); frac > 0 && input.Total() > 0 {
+		// Foreign species leak into the reaction's aliquot, not the
+		// tube: the contaminant carries no library primer, so it never
+		// amplifies — but it consumes reagent capacity and sequencing
+		// reads in proportion to its mass.
+		contaminated := input.Clone()
+		contaminated.Add(randomStrand(r, s.cfg.Geometry.StrandLen),
+			frac*input.Total(), pool.Meta{Partition: contaminantPartition, Block: -1})
+		if screen {
+			// Only a contaminated aliquot can hold foreign species, so
+			// the (clean) tube itself is never cloned just to screen it.
+			rep.quarantined, rep.foreignFrac = s.quarantine(contaminated)
+		}
+		input = contaminated
+	}
+	outcome := inj.PCR(r)
+	if outcome.Failed {
+		// The reaction produced nothing: its output is the unenriched
+		// input aliquot, gain exactly 1.
+		out := input.Clone()
+		t := input.Total()
+		return out, pcr.Stats{InitialTotal: t, FinalTotal: t}, rep, nil
+	}
+	if outcome.CycleFrac < 1 {
+		c := int(float64(params.Cycles)*outcome.CycleFrac + 0.5)
+		if c < 1 {
+			c = 1
+		}
+		params.Cycles = c
+	}
+	out, st, err := pcr.Run(input, primers, params)
+	return out, st, rep, err
 }
+
+// randomStrand draws a uniform random sequence — injected contaminant
+// material that matches no library primer.
+func randomStrand(r *rng.Source, n int) dna.Seq {
+	seq := make(dna.Seq, n)
+	for i := range seq {
+		seq[i] = dna.Base(r.Intn(4))
+	}
+	return seq
+}
+
+// faultBudget applies an injected sequencing-run abort to a read
+// budget: an aborted run delivers only a prefix of its budgeted reads
+// (the sampler draws sequentially, so truncation is exact). With no
+// injector or no abort the budget passes through untouched and r is
+// never drawn from.
+func (s *Store) faultBudget(r *rng.Source, budget int) int {
+	if s.cfg.Faults == nil || r == nil {
+		return budget
+	}
+	frac := s.cfg.Faults.SeqDeliveredFrac(r)
+	if frac >= 1 {
+		return budget
+	}
+	n := int(float64(budget) * frac)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// quarantine runs the primer-mismatch screen over a reaction's input
+// aliquot: every species whose head aligns with none of the store's
+// library forward primers (within the decoder's primer tolerance) is
+// flagged as foreign and mass-zeroed before the reaction runs, so it
+// neither competes for reagent capacity nor consumes sequencing reads.
+// All legitimate material — data strands, misprimed products, carryover
+// — begins with some library primer; only leaked cross-tube
+// contaminant fails the screen. Returns the species quarantined and
+// the fraction of the aliquot's mass they held.
+func (s *Store) quarantine(amplified *pool.Pool) (zeroed int, foreignFrac float64) {
+	s.screenOnce.Do(func() {
+		s.screenPats = make([]*dna.Pattern, len(s.primers))
+		for i, p := range s.primers {
+			s.screenPats[i] = dna.CompilePattern(p)
+		}
+	})
+	tol := s.cfg.Decode.MaxPrimerDist
+	total := amplified.Total()
+	var buf dna.Seq
+	var foreign float64
+	for i := 0; i < amplified.Len(); i++ {
+		a := amplified.Abundance(i)
+		if a <= 0 {
+			continue
+		}
+		buf = amplified.AppendSeq(buf[:0], i)
+		head := buf
+		if max := s.cfg.Geometry.PrimerLen + tol; len(head) > max {
+			head = head[:max]
+		}
+		matched := false
+		for _, pat := range s.screenPats {
+			if _, _, ok := pat.PrefixAlignmentAtMost(head, tol); ok {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		amplified.SetAbundance(i, 0)
+		zeroed++
+		foreign += a
+	}
+	if total > 0 {
+		foreignFrac = foreign / total
+	}
+	return zeroed, foreignFrac
+}
+
+// FaultStats snapshots the injector's fired-fault counters; zero when
+// no injector is configured.
+func (s *Store) FaultStats() fault.Stats { return s.cfg.Faults.Stats() }
 
 // sequence samples reads from an amplified pool and counts them. The
 // store's sampler was validated at construction, so no per-reaction

@@ -155,6 +155,17 @@ type Stats struct {
 	MisprimedMass   float64 // total abundance of misprimed products at the end
 }
 
+// Gain returns the reaction's mass amplification: final over initial
+// total abundance. A healthy reaction enriches its target well past 1;
+// a gain at (or near) 1 means nothing amplified — the observable
+// signature of a failed reaction. 0 when the input pool was empty.
+func (s Stats) Gain() float64 {
+	if s.InitialTotal <= 0 {
+		return 0
+	}
+	return s.FinalTotal / s.InitialTotal
+}
+
 // The binding computation itself — states, compiled pairs, the
 // alignment — lives in package binding; reactions consult a
 // binding.Provider for it. What stays here is the per-reaction dense

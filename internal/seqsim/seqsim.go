@@ -9,6 +9,7 @@
 package seqsim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -18,6 +19,12 @@ import (
 	"dnastore/internal/pool"
 	"dnastore/internal/rng"
 )
+
+// ErrEmptyPool reports sequencing of a pool with no drawable material:
+// no species at all, or every species at zero abundance. Recovery
+// supervisors treat it like a coverage failure — there is nothing to
+// sample, deeper budgets included.
+var ErrEmptyPool = errors.New("seqsim: no drawable material in pool")
 
 // Read is one sequencing read. Meta carries the ground-truth provenance
 // of the species the read was sampled from; the decoding pipeline never
@@ -60,7 +67,7 @@ type aliasTable struct {
 func buildAlias(p *pool.Pool) (*aliasTable, error) {
 	n := p.Len()
 	if n == 0 {
-		return nil, fmt.Errorf("seqsim: empty pool")
+		return nil, fmt.Errorf("%w: no species", ErrEmptyPool)
 	}
 	t := &aliasTable{
 		idx: make([]int32, 0, n),
@@ -78,7 +85,7 @@ func buildAlias(p *pool.Pool) (*aliasTable, error) {
 		scaled = append(scaled, a)
 	}
 	if total <= 0 {
-		return nil, fmt.Errorf("seqsim: pool has zero total abundance")
+		return nil, fmt.Errorf("%w: zero total abundance", ErrEmptyPool)
 	}
 	k := len(t.idx)
 	t.prob = make([]float64, k)
