@@ -37,7 +37,7 @@ var experimentIDs = []string{
 	"cost", "latency", "updatecost", "decode", "misprime",
 	"scale", "tree", "density", "cache", "primers", "related", "alloc",
 	"parallel", "kernels", "write", "binding", "memory", "aging",
-	"faults",
+	"faults", "decode-stream",
 }
 
 func main() {
@@ -287,6 +287,32 @@ func runExperiments(run string, reads int, seed uint64, workers, scale, strands 
 		}
 		if !r.Deterministic {
 			return fmt.Errorf("faults: supervised campaign diverged across worker counts")
+		}
+	}
+	if want["decode-stream"] {
+		fmt.Fprintf(out, "running the streaming-decode study (scale=%d, workers=%d)...\n", scale, workers)
+		var r *experiment.StreamResult
+		tm, err := rc.track("decode-stream", func() error {
+			var err error
+			r, err = experiment.StreamStudy(scale, workers)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tm.Metrics = r.Metrics()
+		experiment.PrintStreamStudy(out, r)
+		fmt.Fprintln(out)
+		// The CI smoke step advertises these gates; make them bite.
+		if !r.Identical {
+			return fmt.Errorf("decode-stream: streaming content not byte-identical to batch")
+		}
+		if r.StreamReads >= r.BatchReads {
+			return fmt.Errorf("decode-stream: streaming sequenced %d reads, batch %d — early stop saved nothing",
+				r.StreamReads, r.BatchReads)
+		}
+		if r.BigStrands > 0 && !r.BigOK {
+			return fmt.Errorf("decode-stream: big-pool streaming decode failed")
 		}
 	}
 	if want["write"] {

@@ -156,6 +156,16 @@ type Options struct {
 	// rng source, so results are byte-identical for every worker count.
 	Workers int
 
+	// BatchDecode disables the streaming decode engine and restores the
+	// collect-then-cluster batch path: every read sequences its full
+	// budget before clustering begins. Streaming (the default) sequences
+	// incrementally, stops once every target's coverage floor is met,
+	// and ejects off-target molecules nanopore-style, so it consumes
+	// fewer reads; a streamed read that escalates to the full budget is
+	// byte-identical to the batch read. Fault-injected systems always
+	// use the batch path regardless of this flag.
+	BatchDecode bool
+
 	// BindingCache is the entry budget of the store-level binding
 	// cache: primer ⇄ species alignments are pure functions of their
 	// sequences, so every PCR of the system shares one cache and
@@ -304,6 +314,9 @@ func New(opt Options) (*System, error) {
 	cfg.Seed = opt.Seed
 	cfg.Workers = opt.Workers
 	cfg.BindingEntries = opt.BindingCache
+	if opt.BatchDecode {
+		cfg.Decode.Streaming = false
+	}
 	cfg.Decay = opt.Decay
 	if opt.Faults != nil {
 		inj, err := fault.NewInjector(*opt.Faults)

@@ -236,7 +236,7 @@ const (
 // operational fault class when an injector is configured. screen
 // enables the contamination quarantine (supervised retries only).
 func (p *Partition) readBlockHealthWet(r *rng.Source, block, depth, pcrWorkers int, scale float64, screen bool) ([]byte, Health, wetInfo) {
-	res, info, err := p.retrieveWet(r, block, depth, pcrWorkers, scale, screen)
+	res, info, err := p.retrieveWet(r, block, depth, pcrWorkers, scale, screen, false)
 	if err != nil {
 		return nil, p.classifyHealth(block, res, err, info), info
 	}

@@ -328,14 +328,17 @@ type BlockVersions struct {
 // paid for the block and its overflow chain — so retrievals are free of
 // shared cache state and safe to fan out.
 func (p *Partition) retrieve(r *rng.Source, block, depth, pcrWorkers int) (*decode.BlockResult, error) {
-	return p.retrieveScaled(r, block, depth, pcrWorkers, 1)
+	res, _, err := p.retrieveWet(r, block, depth, pcrWorkers, 1, false, true)
+	return res, err
 }
 
 // retrieveScaled is retrieve with the sequencing read budget multiplied
 // by scale: the scrubber's shallow probes run the same wet protocol at
 // a fraction of the depth, and its repair retries escalate past 1.
+// Scaled retrievals never stream — the scrubber's health accounting
+// expects the full scaled budget to be sequenced.
 func (p *Partition) retrieveScaled(r *rng.Source, block, depth, pcrWorkers int, scale float64) (*decode.BlockResult, error) {
-	res, _, err := p.retrieveWet(r, block, depth, pcrWorkers, scale, false)
+	res, _, err := p.retrieveWet(r, block, depth, pcrWorkers, scale, false, false)
 	return res, err
 }
 
@@ -356,8 +359,11 @@ type wetInfo struct {
 // hooks included), sequencing with abort truncation, decode. screen
 // enables the primer-mismatch quarantine over the reaction's input
 // aliquot — supervised retries use it; plain reads never do, keeping
-// the fault-free path byte-identical.
-func (p *Partition) retrieveWet(r *rng.Source, block, depth, pcrWorkers int, scale float64, screen bool) (*decode.BlockResult, wetInfo, error) {
+// the fault-free path byte-identical. stream allows the incremental
+// engine (see stream.go) to own the sequencing loop and stop at the
+// coverage floor; the supervised paths pass false so their wetInfo
+// keeps the batch delivered-vs-budget semantics.
+func (p *Partition) retrieveWet(r *rng.Source, block, depth, pcrWorkers int, scale float64, screen, stream bool) (*decode.BlockResult, wetInfo, error) {
 	var info wetInfo
 	ep, err := p.ElongatedPrimer(block)
 	if err != nil {
@@ -381,6 +387,11 @@ func (p *Partition) retrieveWet(r *rng.Source, block, depth, pcrWorkers int, sca
 		}
 	}
 	info.budget = budget
+	if stream && scale == 1 && !screen && p.streamingEnabled() {
+		res, sequenced, serr := p.streamBlock(r, amplified, block, budget, pcrWorkers)
+		info.delivered = sequenced
+		return res, info, serr
+	}
 	info.delivered = p.store.faultBudget(r, budget)
 	reads, err := p.store.sequence(r, amplified, info.delivered)
 	if err != nil {
@@ -628,16 +639,23 @@ func (p *Partition) runCover(cr coverReaction, pcrWorkers int) (map[int]*decode.
 	if err != nil {
 		return nil, err
 	}
-	budget := p.store.faultBudget(cr.src, p.store.readBudget(cr.units))
-	reads, err := p.store.sequence(cr.src, amplified, budget)
-	if err != nil {
-		return nil, err
+	var decoded map[int]*decode.BlockResult
+	var derr error
+	if p.streamingEnabled() {
+		decoded, derr = p.streamTargets(cr.src, amplified,
+			p.writtenIn(cr.cover.Lo, cr.cover.Hi), p.store.readBudget(cr.units), pcrWorkers)
+	} else {
+		budget := p.store.faultBudget(cr.src, p.store.readBudget(cr.units))
+		reads, err := p.store.sequence(cr.src, amplified, budget)
+		if err != nil {
+			return nil, err
+		}
+		seqs := make([]dna.Seq, len(reads))
+		for i, r := range reads {
+			seqs[i] = r.Seq
+		}
+		decoded, derr = p.pipeline.DecodeAll(seqs)
 	}
-	seqs := make([]dna.Seq, len(reads))
-	for i, r := range reads {
-		seqs[i] = r.Seq
-	}
-	decoded, derr := p.pipeline.DecodeAll(seqs)
 	// A cover's reaction is authoritative only for its own interval:
 	// carryover reads give other blocks fragmentary coverage whose
 	// single-read consensus strands would otherwise overwrite good
@@ -740,6 +758,14 @@ func (p *Partition) ReadAll() ([][]byte, error) {
 	amplified, _, _, err := p.store.runPCR(r, primers, p.store.cfg.Workers, false)
 	if err != nil {
 		return nil, err
+	}
+	if p.streamingEnabled() {
+		decoded, derr := p.streamTargets(r, amplified, p.writtenIn(lo, hi),
+			p.store.readBudget(units), p.store.cfg.Workers)
+		if derr != nil {
+			return nil, derr
+		}
+		return p.assemble(r, lo, hi, decoded)
 	}
 	reads, err := p.store.sequence(r, amplified, p.store.faultBudget(r, p.store.readBudget(units)))
 	if err != nil {

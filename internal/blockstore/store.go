@@ -190,6 +190,11 @@ type Costs struct {
 	ElongatedPrimersSynthesized int
 	ReadsSequenced              int
 	PCRReactions                int
+	// ReadsEjected counts molecules the streaming decode path's
+	// adaptive-sampling gate ejected from the pore unsequenced: they
+	// consumed a draw from the reaction but produced no read and are
+	// not in ReadsSequenced.
+	ReadsEjected int
 }
 
 // Store is one DNA tube with its partitions and digital metadata.
@@ -586,6 +591,11 @@ func (s *Store) readBudget(units int) int {
 	molecules := float64(units * 15)
 	return int(math.Ceil(molecules * s.cfg.CoverageDepth * s.cfg.WasteFactor))
 }
+
+// ReadBudget returns the sequencing-read budget a batch retrieval
+// provisions for the given unit count — the ceiling a streaming read
+// stops under when its coverage floor is met earlier.
+func (s *Store) ReadBudget(units int) int { return s.readBudget(units) }
 
 // contaminantPartition labels species leaked into a reaction by
 // injected cross-tube contamination, so quarantine reports and tests

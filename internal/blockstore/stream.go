@@ -1,0 +1,288 @@
+package blockstore
+
+import (
+	"sort"
+
+	"dnastore/internal/decode"
+	"dnastore/internal/dna"
+	"dnastore/internal/pool"
+	"dnastore/internal/rng"
+	"dnastore/internal/seqsim"
+	"dnastore/internal/streamdecode"
+)
+
+// This file is the wet half of the streaming decode path: plain content
+// reads (ReadBlock/ReadBlocks/ReadRange/ReadAll and the overflow-chain
+// retrievals behind them) sequence incrementally, feeding each chunk
+// through the streamdecode engine and stopping — or, for multi-target
+// reactions, redirecting via an adaptive-sampling gate — once every
+// target's coverage floor is met. The health probes, supervised reads,
+// and scrubber keep the batch path: their failure classification reads
+// "delivered < budget" as an aborted sequencing run, which an early
+// stop would forge.
+
+// streamChunk is the most reads sequenced between engine updates and
+// stop checks — small enough that overshoot past the coverage floor
+// stays a fraction of the savings, large enough to amortize the
+// engine's parallel stage fork-join.
+const streamChunk = 256
+
+// chunkSize scales the stop-check interval to the reaction's budget: a
+// single-unit retrieval (375-read budget) gets several stop checks
+// instead of one check and then a straight run to the budget, while
+// big cover reactions keep the full amortizing chunk.
+func chunkSize(budget int) int {
+	c := budget / 4
+	if c > streamChunk {
+		c = streamChunk
+	}
+	if c < 32 {
+		c = 32
+	}
+	return c
+}
+
+// ejectOverhead bounds a gated reaction's total pore entries (sequenced
+// + ejected) at this multiple of its read budget. Ejection costs only
+// the recognition prefix of a molecule, not a full read, but pore time
+// is not free: without the bound a reaction whose remaining targets
+// have decayed out of the tube would eject forever.
+const ejectOverhead = 4
+
+// streamingEnabled reports whether wet reads may use the streaming
+// engine. Fault injection forces the batch path: injected sequencing
+// aborts truncate a batch budget ("delivered < budget"), and the
+// operational-recovery machinery classifies failures by exactly that
+// signature.
+func (p *Partition) streamingEnabled() bool {
+	return p.store.cfg.Decode.Streaming && p.store.cfg.Faults == nil
+}
+
+// expectedList is expectedVersions as a sorted slice — the unit set a
+// streaming target's coverage floor spans. An empty list (unwritten or
+// damaged front-end state) registers a target with no floor, which is
+// never Done: the stream then runs to the full batch budget.
+func (p *Partition) expectedList(block int) []int {
+	exp := p.expectedVersions(block)
+	out := make([]int, 0, len(exp))
+	for v := range exp {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// streamBlock sequences one elongated-PCR reaction incrementally until
+// the target block's coverage floor is met, then decodes. The pore
+// gate ejects molecules that cannot contribute to the target — at
+// 10^6-strand tube scale the carryover junk would otherwise consume
+// the whole read budget before the floor filled. If the floor proves
+// too shallow (the finalize cannot serve an expected version), Reopen
+// doubles it and the stream continues, degrading toward the batch
+// budget spent entirely on admissible molecules. Returns the decode
+// result and the reads actually sequenced.
+func (p *Partition) streamBlock(r *rng.Source, amplified *pool.Pool, block, budget, workers int) (*decode.BlockResult, int, error) {
+	st, err := p.store.sampler.Stream(r, amplified)
+	if err != nil {
+		// Mirror the batch path's accounting: sequence() charges the
+		// budget before sampling can fail.
+		p.store.addCosts(func(c *Costs) { c.ReadsSequenced += budget })
+		return nil, 0, err
+	}
+	eng, err := streamdecode.New(p.pipeline, 0, workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	expected := p.expectedList(block)
+	eng.Expect(block, expected)
+	gate := p.poreGate(amplified, eng)
+	chunk := chunkSize(budget)
+	maxEntries := ejectOverhead * budget
+	entries := func() int { return st.Sequenced + st.Ejected }
+	batch := make([]dna.Seq, 0, chunk)
+	for st.Sequenced < budget && entries() < maxEntries && !eng.Done(block) {
+		batch = drawChunk(st, batch, chunk, budget, maxEntries, gate)
+		eng.Add(batch)
+	}
+	res, derr := eng.FinalizeBlock(block)
+	for (derr != nil || !servesExpected(res, expected)) && st.Sequenced < budget && entries() < maxEntries {
+		eng.Reopen(block)
+		for st.Sequenced < budget && entries() < maxEntries && !eng.Done(block) {
+			batch = drawChunk(st, batch, chunk, budget, maxEntries, gate)
+			eng.Add(batch)
+		}
+		res, derr = eng.FinalizeBlock(block)
+	}
+	p.store.addCosts(func(c *Costs) {
+		c.ReadsSequenced += st.Sequenced
+		c.ReadsEjected += st.Ejected
+	})
+	return res, st.Sequenced, derr
+}
+
+// poreGate builds the adaptive-sampling admission decision for one
+// reaction: each molecule's clean template is parsed once — by the
+// same provisional-address parser the engine uses, never the
+// simulator's ground-truth metadata — and the verdict memoized per
+// species.
+func (p *Partition) poreGate(amplified *pool.Pool, eng *streamdecode.Engine) func(int) bool {
+	const (
+		speciesFiltered    = -2 // fails the primer filter: junk to batch too
+		speciesUnaddressed = -1 // keeps but does not parse: always sequence
+	)
+	blockOf := make(map[int]int)
+	var tmpl dna.Seq
+	return func(si int) bool {
+		b, ok := blockOf[si]
+		if !ok {
+			tmpl = amplified.AppendSeq(tmpl[:0], si)
+			switch pb, _, _, pok := p.pipeline.ProvisionalAddress(tmpl); {
+			case pok:
+				b = pb
+			case p.pipeline.Keep(tmpl):
+				b = speciesUnaddressed
+			default:
+				b = speciesFiltered
+			}
+			blockOf[si] = b
+		}
+		switch {
+		case b == speciesFiltered:
+			// The decoder's primer filter would discard this molecule's
+			// reads unread (batch wastes budget sequencing them — that
+			// is what WasteFactor provisions for); ejecting loses
+			// nothing from either path's kept set.
+			return false
+		case b == speciesUnaddressed:
+			// Keeps but has no parseable address (a decayed index, a
+			// well-primed chimera): sequence it, conservatively.
+			return true
+		case !eng.IsTarget(b):
+			return false // carryover outside this reaction's target set
+		default:
+			return !eng.Done(b)
+		}
+	}
+}
+
+// streamTargets sequences one multi-block reaction (a range cover or a
+// whole-partition read) incrementally. The gate implements nanopore
+// adaptive sampling: each drawn molecule's clean template is parsed
+// once — by the same provisional-address parser the engine uses, never
+// the simulator's ground-truth metadata — and molecules of finished
+// targets or of blocks outside the target set are ejected unsequenced.
+// Targets that still fail to decode at the floor are reopened — their
+// floors double per round — and the stream escalates until every target
+// decodes or the batch budget (or the pore-entry bound) is exhausted.
+func (p *Partition) streamTargets(r *rng.Source, amplified *pool.Pool, targets []int, budget, workers int) (map[int]*decode.BlockResult, error) {
+	st, err := p.store.sampler.Stream(r, amplified)
+	if err != nil {
+		p.store.addCosts(func(c *Costs) { c.ReadsSequenced += budget })
+		return nil, err
+	}
+	eng, err := streamdecode.New(p.pipeline, 0, workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range targets {
+		eng.Expect(b, p.expectedList(b))
+	}
+	gate := p.poreGate(amplified, eng)
+	chunk := chunkSize(budget)
+	maxEntries := ejectOverhead * budget
+	entries := func() int { return st.Sequenced + st.Ejected }
+	batch := make([]dna.Seq, 0, chunk)
+	for st.Sequenced < budget && entries() < maxEntries && !eng.AllDone() {
+		batch = drawChunk(st, batch, chunk, budget, maxEntries, gate)
+		eng.Add(batch)
+	}
+	results, derr := eng.Finalize()
+	for derr == nil {
+		bad := p.failedTargets(results, targets)
+		if len(bad) == 0 || st.Sequenced >= budget || entries() >= maxEntries {
+			break
+		}
+		for _, b := range bad {
+			eng.Reopen(b)
+		}
+		for st.Sequenced < budget && entries() < maxEntries && !eng.AllDone() {
+			batch = drawChunk(st, batch, chunk, budget, maxEntries, gate)
+			eng.Add(batch)
+		}
+		// Re-finalize only the escalated targets: the others' results
+		// are already good, and a full re-decode would repeat their
+		// trace and RS work every round.
+		for _, b := range bad {
+			res, _ := eng.FinalizeBlock(b)
+			if res != nil {
+				results[b] = res
+			} else {
+				delete(results, b)
+			}
+		}
+	}
+	p.store.addCosts(func(c *Costs) {
+		c.ReadsSequenced += st.Sequenced
+		c.ReadsEjected += st.Ejected
+	})
+	return results, derr
+}
+
+// drawChunk fills batch with up to chunk sequenced reads, skipping
+// ejections, until the sequencing budget or the pore-entry bound runs
+// out — the latter is what terminates a gated stream whose admissible
+// molecules have run dry.
+func drawChunk(st *seqsim.Stream, batch []dna.Seq, chunk, budget, maxEntries int, gate func(int) bool) []dna.Seq {
+	batch = batch[:0]
+	for len(batch) < chunk && st.Sequenced < budget && st.Sequenced+st.Ejected < maxEntries {
+		rd, ok := st.Next(gate)
+		if !ok {
+			continue
+		}
+		batch = append(batch, rd.Seq)
+	}
+	return batch
+}
+
+// failedTargets lists the targets whose streamed decode cannot yet
+// serve a content read: every version the front-end wrote must have
+// decoded. Unit errors on other versions do not fail a target — those
+// are phantom slots conjured by mis-parsed stray reads, and the batch
+// decode records (and the content read ignores) the very same ones.
+func (p *Partition) failedTargets(results map[int]*decode.BlockResult, targets []int) []int {
+	var bad []int
+	for _, b := range targets {
+		if !servesExpected(results[b], p.expectedList(b)) {
+			bad = append(bad, b)
+		}
+	}
+	return bad
+}
+
+// servesExpected reports whether a decode result carries content for
+// every expected version of its block.
+func servesExpected(res *decode.BlockResult, expected []int) bool {
+	if res == nil {
+		return false
+	}
+	for _, v := range expected {
+		if res.Versions[v] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// writtenIn snapshots the written blocks in [lo, hi], the target set of
+// a cover reaction.
+func (p *Partition) writtenIn(lo, hi int) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []int
+	for b := lo; b <= hi; b++ {
+		if p.written[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package blockstore
+
+import (
+	"bytes"
+	"testing"
+
+	"dnastore/internal/update"
+)
+
+// twinStores builds two stores over the same primer library and seed,
+// one streaming and one batch, each with one partition holding the
+// same written blocks and update history (including an overflow
+// chain), so every read can be compared content for content.
+func twinStores(t *testing.T, streamWorkers, batchWorkers int) (stream, batch *Partition, ss, bs *Store) {
+	t.Helper()
+	mk := func(streaming bool, workers int) (*Store, *Partition) {
+		cfg := testConfig()
+		cfg.Decode.Streaming = streaming
+		cfg.Workers = workers
+		s := newTestStore(t, cfg)
+		p, err := s.CreatePartition("twin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := map[int][]byte{}
+		for _, b := range []int{0, 3, 7, 12, 13, 14, 40} {
+			data := bytes.Repeat([]byte{byte('a' + b%26)}, 40+b)
+			blocks[b] = data
+		}
+		if err := p.WriteBlocks(blocks); err != nil {
+			t.Fatal(err)
+		}
+		// One in-slot update on block 3, and three on block 7 so its
+		// last version slot chains into the overflow log.
+		if err := p.UpdateBlock(3, update.Patch{DeleteStart: 0, DeleteCount: 4, Insert: []byte("EDIT")}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := p.UpdateBlock(7, update.Patch{InsertPos: i, Insert: []byte{byte('X' + i)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s, p
+	}
+	bstore, bpart := mk(false, batchWorkers)
+	sstore, spart := mk(true, streamWorkers)
+	return spart, bpart, sstore, bstore
+}
+
+// TestStreamingReadsMatchBatch is the system-level differential: with
+// the same seed and write history, every content read of the streaming
+// store must return byte-identical data to the batch store's, while
+// sequencing strictly fewer reads.
+func TestStreamingReadsMatchBatch(t *testing.T) {
+	spart, bpart, sstore, bstore := twinStores(t, 4, 1)
+
+	for _, b := range []int{0, 3, 7, 40} {
+		sgot, serr := spart.ReadBlock(b)
+		bgot, berr := bpart.ReadBlock(b)
+		if serr != nil || berr != nil {
+			t.Fatalf("block %d: streaming err %v, batch err %v", b, serr, berr)
+		}
+		if !bytes.Equal(sgot, bgot) {
+			t.Fatalf("block %d: streaming content diverges from batch", b)
+		}
+	}
+
+	sgot, serr := spart.ReadBlocks([]int{7, 0, 12})
+	bgot, berr := bpart.ReadBlocks([]int{7, 0, 12})
+	if serr != nil || berr != nil {
+		t.Fatalf("ReadBlocks: streaming err %v, batch err %v", serr, berr)
+	}
+	for i := range bgot {
+		if !bytes.Equal(sgot[i], bgot[i]) {
+			t.Fatalf("ReadBlocks[%d]: streaming content diverges from batch", i)
+		}
+	}
+
+	sgot, serr = spart.ReadRange(3, 14)
+	bgot, berr = bpart.ReadRange(3, 14)
+	if serr != nil || berr != nil {
+		t.Fatalf("ReadRange: streaming err %v, batch err %v", serr, berr)
+	}
+	for i := range bgot {
+		if !bytes.Equal(sgot[i], bgot[i]) {
+			t.Fatalf("ReadRange[%d]: streaming content diverges from batch", i)
+		}
+	}
+
+	sgot, serr = spart.ReadAll()
+	bgot, berr = bpart.ReadAll()
+	if serr != nil || berr != nil {
+		t.Fatalf("ReadAll: streaming err %v, batch err %v", serr, berr)
+	}
+	if len(sgot) != len(bgot) {
+		t.Fatalf("ReadAll: %d streaming blocks, %d batch", len(sgot), len(bgot))
+	}
+	for i := range bgot {
+		if !bytes.Equal(sgot[i], bgot[i]) {
+			t.Fatalf("ReadAll[%d]: streaming content diverges from batch", i)
+		}
+	}
+
+	sc, bc := sstore.Costs(), bstore.Costs()
+	if sc.ReadsSequenced >= bc.ReadsSequenced {
+		t.Errorf("streaming sequenced %d reads, batch %d: early stop saved nothing",
+			sc.ReadsSequenced, bc.ReadsSequenced)
+	}
+	if bc.ReadsEjected != 0 {
+		t.Errorf("batch store ejected %d reads", bc.ReadsEjected)
+	}
+	if sc.ReadsEjected == 0 {
+		t.Error("streaming multi-target reads never engaged the adaptive-sampling gate")
+	}
+	t.Logf("reads sequenced: streaming %d vs batch %d (%.0f%%), ejected %d",
+		sc.ReadsSequenced, bc.ReadsSequenced,
+		100*float64(sc.ReadsSequenced)/float64(bc.ReadsSequenced), sc.ReadsEjected)
+}
+
+// TestStreamingWorkerInvariance pins that the streaming read path is
+// deterministic in the worker count: serial and parallel streaming
+// stores return identical content and identical read counts.
+func TestStreamingWorkerInvariance(t *testing.T) {
+	spart1, _, sstore1, _ := twinStores(t, 1, 1)
+	spartN, _, sstoreN, _ := twinStores(t, -1, 1)
+
+	a, err := spart1.ReadRange(0, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spartN.ReadRange(0, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("ReadRange[%d]: serial and parallel streaming diverge", i)
+		}
+	}
+	c1, cN := sstore1.Costs(), sstoreN.Costs()
+	if c1.ReadsSequenced != cN.ReadsSequenced || c1.ReadsEjected != cN.ReadsEjected {
+		t.Errorf("read accounting depends on workers: serial %d/%d, parallel %d/%d",
+			c1.ReadsSequenced, c1.ReadsEjected, cN.ReadsSequenced, cN.ReadsEjected)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"dnastore/internal/dna"
+	"dnastore/internal/sketch"
 )
 
 // Config tunes the clustering.
@@ -36,11 +37,8 @@ func DefaultConfig() Config {
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
-	if c.Q < 4 || c.Q > 32 {
-		return fmt.Errorf("cluster: q-gram length %d outside [4, 32]", c.Q)
-	}
-	if c.NumHashes < 1 || c.NumHashes > 16 {
-		return fmt.Errorf("cluster: hash count %d outside [1, 16]", c.NumHashes)
+	if err := c.Signer().Validate(); err != nil {
+		return fmt.Errorf("cluster: %w", err)
 	}
 	if c.MaxDist < 0 {
 		return fmt.Errorf("cluster: negative MaxDist")
@@ -48,57 +46,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// hashSeeds provides up to 16 fixed multipliers for the signature hashes.
-var hashSeeds = [16]uint64{
-	0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb, 0x2545f4914f6cdd1d,
-	0xd6e8feb86659fd93, 0xa5a5a5a5a5a5a5a5, 0xc2b2ae3d27d4eb4f, 0x165667b19e3779f9,
-	0x27d4eb2f165667c5, 0x85ebca6b27d4eb4f, 0x9e3779b185ebca87, 0xc2b2ae35d6e8feb8,
-	0xff51afd7ed558ccd, 0xc4ceb9fe1a85ec53, 0x2127599bf4325c37, 0x880355f21e6d1965,
-}
-
-// signatures returns the min-hash values of the read's q-gram set under
-// each hash function.
-func signatures(read dna.Seq, cfg Config) []uint64 {
-	sigs := make([]uint64, cfg.NumHashes)
-	signaturesInto(read, cfg, sigs)
-	return sigs
-}
-
-// signaturesInto computes the min-hash signatures into sigs (length
-// cfg.NumHashes), so the clustering loop reuses one buffer per call.
-func signaturesInto(read dna.Seq, cfg Config, sigs []uint64) {
-	for i := range sigs {
-		sigs[i] = ^uint64(0)
-	}
-	if len(read) < cfg.Q {
-		// Degenerate short read: hash the whole read.
-		var acc uint64 = 1
-		for _, b := range read {
-			acc = acc*4 + uint64(b) + 1
-		}
-		for i := range sigs {
-			h := acc * hashSeeds[i]
-			h ^= h >> 29
-			sigs[i] = h
-		}
-		return
-	}
-	// Rolling 2-bit packing of q-grams.
-	mask := uint64(1)<<(2*uint(cfg.Q)) - 1
-	var gram uint64
-	for i, b := range read {
-		gram = (gram<<2 | uint64(b)) & mask
-		if i < cfg.Q-1 {
-			continue
-		}
-		for j := 0; j < cfg.NumHashes; j++ {
-			h := (gram + 1) * hashSeeds[j]
-			h ^= h >> 31
-			if h < sigs[j] {
-				sigs[j] = h
-			}
-		}
-	}
+// Signer returns the sketch signer matching the configuration.
+func (c Config) Signer() sketch.Signer {
+	return sketch.Signer{Q: c.Q, NumHashes: c.NumHashes}
 }
 
 // Group clusters the reads and returns clusters as index lists into the
@@ -106,65 +56,40 @@ func signaturesInto(read dna.Seq, cfg Config, sigs []uint64) {
 // Clusters are returned sorted by size, largest first, which is the
 // order the paper's decoding procedure consumes them in (Section 8,
 // step 3).
+//
+// Group is the batch form of greedy leader clustering; the incremental
+// engine in package streamdecode runs the same assignment loop over the
+// same sketch primitives, which keeps its assignments identical to
+// Group's for any prefix of the read stream.
 func Group(reads []dna.Seq, cfg Config) ([][]int, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	signer := cfg.Signer()
 	var clusters [][]int // member lists; members[0] is the representative
 	// Representatives are compared against every candidate read, so each
 	// is compiled once into its bit-parallel Eq tables when its cluster
 	// is created; reps is parallel to clusters.
 	var reps []*dna.Pattern
-	// bucket key: hash function index in the high bits + min-hash value.
-	buckets := make(map[uint64][]int) // -> cluster indexes
-	// Candidate dedup across a read's buckets: an epoch stamp per
-	// cluster instead of a fresh map per read. A cluster is a duplicate
-	// candidate iff its stamp equals the current read's epoch.
-	var seenEpoch []int32
-	epoch := int32(0)
+	index := sketch.NewIndex()
 	sigs := make([]uint64, cfg.NumHashes)
-	for ri, read := range reads {
-		signaturesInto(read, cfg, sigs)
-		epoch++
-		joined := -1
-		for hi, sig := range sigs {
-			for _, ci := range buckets[bucketKey(hi, sig)] {
-				if seenEpoch[ci] == epoch {
-					continue
-				}
-				seenEpoch[ci] = epoch
-				if withinDist(reps[ci], read, cfg.MaxDist) {
-					joined = ci
-					break
-				}
-			}
-			if joined >= 0 {
-				break
-			}
-		}
-		if joined >= 0 {
+	var read dna.Seq // current read, visible to the scan probe
+	probe := func(ci int) bool { return withinDist(reps[ci], read, cfg.MaxDist) }
+	for ri := range reads {
+		read = reads[ri]
+		signer.Into(read, sigs)
+		if joined := index.Scan(sigs, probe); joined >= 0 {
 			clusters[joined] = append(clusters[joined], ri)
 			continue
 		}
 		// New cluster with this read as representative; register its
 		// signatures.
-		ci := len(clusters)
+		index.Add(sigs)
 		clusters = append(clusters, []int{ri})
 		reps = append(reps, dna.CompilePattern(read))
-		seenEpoch = append(seenEpoch, 0)
-		for hi, sig := range sigs {
-			k := bucketKey(hi, sig)
-			buckets[k] = append(buckets[k], ci)
-		}
 	}
 	sort.SliceStable(clusters, func(i, j int) bool { return len(clusters[i]) > len(clusters[j]) })
 	return clusters, nil
-}
-
-// bucketKey mixes a hash function index into its min-hash value so all
-// signatures share one bucket map.
-func bucketKey(hashIdx int, v uint64) uint64 {
-	return uint64(hashIdx)<<58 ^ v&(1<<58-1)
 }
 
 // stagedDist is the cheap first-stage distance budget of withinDist.
@@ -186,4 +111,11 @@ func withinDist(rep *dna.Pattern, read dna.Seq, maxDist int) bool {
 		}
 	}
 	return rep.LevenshteinAtMost(read, maxDist)
+}
+
+// WithinDist is the exact membership check of the greedy clusterer,
+// exported so the streaming engine's incremental assignment reproduces
+// Group's decisions probe for probe.
+func WithinDist(rep *dna.Pattern, read dna.Seq, maxDist int) bool {
+	return withinDist(rep, read, maxDist)
 }

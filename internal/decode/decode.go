@@ -72,6 +72,15 @@ type Config struct {
 	// pure function of its inputs, so results are identical for any
 	// worker count.
 	Workers int
+	// Streaming selects the incremental sketch-indexed decode engine
+	// (package streamdecode) for the wet read paths that own their
+	// sequencing loop: reads stream through cluster → trace → RS as
+	// they are sequenced, and sequencing stops early once the target's
+	// coverage floor is met. False forces the batch collect-then-cluster
+	// reference path. The software-only entry points of this package
+	// (DecodeAll / DecodeBlock on a materialized read set) are the batch
+	// path either way.
+	Streaming bool
 }
 
 // PatternCompiler memoizes dna.CompilePattern results across
@@ -90,6 +99,7 @@ func DefaultConfig() Config {
 		MaxIndexDist:    2,
 		MaxCandidates:   3,
 		MaxCombinations: 64,
+		Streaming:       true,
 	}
 }
 
@@ -145,6 +155,18 @@ func New(cfg Config, tree *indextree.Tree, fwd, rev dna.Seq, rand *codec.Randomi
 
 // Unit returns the pipeline's unit codec (shared with the encoder).
 func (p *Pipeline) Unit() *layout.UnitCodec { return p.unit }
+
+// Config returns a copy of the pipeline's configuration, so the
+// streaming engine clusters with the exact parameters of the batch path.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Workers returns the resolved worker count.
+func (p *Pipeline) Workers() int { return p.workers }
+
+// Keep exposes the primer filter to the streaming engine, whose stage A
+// applies it read by read as reads are sequenced instead of over a
+// materialized batch.
+func (p *Pipeline) Keep(read dna.Seq) bool { return p.keep(read) }
 
 // keep reports whether a read contains both partition primers within
 // the configured tolerance (Section 8's step 1: "we first search for
@@ -243,6 +265,48 @@ func (p *Pipeline) reconstruct(reads []dna.Seq, size int) (strandCandidate, bool
 	}, true
 }
 
+// ProvisionalAddress parses the address fields of a single read —
+// index, version, intra, laid out after the located forward primer —
+// without any consensus. It is the cheap per-read slot estimate the
+// streaming engine accumulates coverage against. Sequencing errors make
+// a single-read parse unreliable (an indel before the address shifts
+// every field), which a coverage floor tolerates: a misparse delays or
+// pads one slot's count, and the engine escalates to the full read
+// budget whenever the final decode fails. It must never be used for
+// data recovery.
+func (p *Pipeline) ProvisionalAddress(read dna.Seq) (block, version, intra int, ok bool) {
+	g := p.cfg.Geometry
+	fwdEnd, d := p.fwdPat.FindApprox(read, p.cfg.MaxPrimerDist)
+	if fwdEnd < 0 || d > p.cfg.MaxPrimerDist {
+		return 0, 0, 0, false
+	}
+	pos := fwdEnd + 1 // skip the sync base
+	if pos+g.IndexLen+g.VersionBases+g.IntraLen > len(read) {
+		return 0, 0, 0, false
+	}
+	idx := read[pos : pos+g.IndexLen]
+	pos += g.IndexLen
+	if b, err := p.tree.Decode(idx); err == nil {
+		block = b
+	} else if b, _, nerr := p.tree.NearestLeaf(idx, p.cfg.MaxIndexDist); nerr == nil {
+		block = b
+	} else {
+		return 0, 0, 0, false
+	}
+	for i := 0; i < g.VersionBases; i++ {
+		version = version<<2 | int(read[pos])
+		pos++
+	}
+	for i := 0; i < g.IntraLen; i++ {
+		intra = intra<<2 | int(read[pos])
+		pos++
+	}
+	if intra >= p.unit.Molecules() {
+		return 0, 0, 0, false
+	}
+	return block, version, intra, true
+}
+
 // fitLength pads (with A) or truncates a consensus to the expected
 // strand length; residual length errors land in the payload tail where
 // the Reed-Solomon code absorbs them.
@@ -320,6 +384,14 @@ func (p *Pipeline) DecodeAll(reads []dna.Seq) (map[int]*BlockResult, error) {
 // paper's procedure of sequencing only ~225 reads.
 func (p *Pipeline) DecodeBlock(reads []dna.Seq, block int) (*BlockResult, error) {
 	results, err := p.decode(reads, block)
+	return FinishBlock(results, err, block)
+}
+
+// FinishBlock extracts one block's result from a DecodeAll /
+// DecodeClusters outcome, classifying absence as a typed coverage
+// failure — the common wrap-up of DecodeBlock and the streaming
+// engine's per-block finalize.
+func FinishBlock(results map[int]*BlockResult, err error, block int) (*BlockResult, error) {
 	res := results[block]
 	if err != nil {
 		return res, err
@@ -373,6 +445,22 @@ func (p *Pipeline) decode(reads []dna.Seq, target int) (map[int]*BlockResult, er
 	clusters, err := cluster.Group(kept, p.cfg.Cluster)
 	if err != nil {
 		return nil, err
+	}
+	return p.DecodeClusters(kept, clusters, target)
+}
+
+// DecodeClusters runs the back half of the pipeline — trace
+// reconstruction in cluster order, address placement, RS unit decoding
+// with candidate recursion — over an already-clustered read set. kept
+// must contain only reads passing Keep, and clusters must be ordered by
+// descending size (cluster.Group's contract); the streaming engine
+// reproduces both incrementally and hands its final state here, so
+// batch and streaming decodes share one implementation of every step
+// after clustering. target < 0 decodes every visible block; target >= 0
+// consumes clusters only until that block's observed versions complete.
+func (p *Pipeline) DecodeClusters(kept []dna.Seq, clusters [][]int, target int) (map[int]*BlockResult, error) {
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("%w: no reads contain the partition primers", ErrInsufficientCoverage)
 	}
 	// Step 3: reconstruct in descending cluster-size order, keeping the
 	// first strand per address and up to MaxCandidates alternates.

@@ -164,3 +164,11 @@ func (p Packed) AppendKey(buf []byte) []byte {
 func AppendPacked(buf []byte, seq Seq) []byte {
 	return append(appendPackedBytes(buf, seq), byte(len(seq)&3))
 }
+
+// AppendPackedBytes appends seq's raw 2-bit packed bytes — no length
+// framing — to buf, the arena builder for callers that track lengths
+// themselves: PackedView over the appended (len(seq)+3)/4 bytes
+// recovers the sequence.
+func AppendPackedBytes(buf []byte, seq Seq) []byte {
+	return appendPackedBytes(buf, seq)
+}

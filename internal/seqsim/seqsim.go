@@ -233,6 +233,61 @@ func sampleTable(r *rng.Source, p *pool.Pool, n int, t *aliasTable, prof Profile
 	return reads
 }
 
+// Stream is an incremental view of one sequencing reaction: reads are
+// drawn one at a time from a fixed snapshot of the pool's composition,
+// so a streaming decoder can consume them as they come off the
+// sequencer and stop — or redirect — the reaction early. An ungated
+// Stream consumes the rng exactly as Sample does, so the first n gated-
+// through reads of a Stream are bit-identical to Sample(r, p, n).
+//
+// The gate models nanopore adaptive sampling ("read-until"): the
+// decision callback sees only the drawn species' identity, and a
+// rejected molecule is ejected from the pore before being sequenced —
+// it costs a draw but produces no read and consumes no channel
+// randomness. The pool must not be mutated while a Stream is open; the
+// alias table is a snapshot of the composition at Stream() time.
+type Stream struct {
+	r    *rng.Source
+	p    *pool.Pool
+	t    *aliasTable
+	prof Profile
+	tmpl dna.Seq
+	// Sequenced counts reads fully sequenced and returned; Ejected
+	// counts molecules the gate rejected. Their sum is the number of
+	// pore entries (draws).
+	Sequenced int
+	Ejected   int
+}
+
+// Stream opens an incremental sequencing reaction over the pool.
+func (sm *Sampler) Stream(r *rng.Source, p *pool.Pool) (*Stream, error) {
+	t, err := sm.table(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{r: r, p: p, t: t, prof: sm.prof}, nil
+}
+
+// Next draws one molecule into the pore. A nil gate sequences every
+// molecule. With a gate, the species index of the drawn molecule is
+// offered to it first; on false the molecule is ejected and Next
+// returns ok=false without producing a read. The species index is a
+// stable key into the streamed pool (p.AppendSeq / p.MetaAt), so gates
+// can memoize their per-species decision.
+func (s *Stream) Next(gate func(species int) bool) (Read, bool) {
+	si := int(s.t.draw(s.r))
+	if gate != nil && !gate(si) {
+		s.Ejected++
+		return Read{}, false
+	}
+	s.tmpl = s.p.AppendSeq(s.tmpl[:0], si)
+	s.Sequenced++
+	return Read{
+		Seq:  channel.Corrupt(s.r, s.tmpl, s.prof.Rates),
+		Meta: s.p.MetaAt(si),
+	}, true
+}
+
 // --- Sequencing latency and cost models (Section 7.4) -------------------
 
 // NGSConfig models a fixed-run next-generation sequencer: a run takes a

@@ -354,3 +354,70 @@ func TestSamplerCacheReused(t *testing.T) {
 		t.Errorf("steady-state Sample(1) allocates %.1f times, want <= 4 (alias table rebuilt?)", avg)
 	}
 }
+
+// TestStreamMatchesSample pins the streaming rng contract: an ungated
+// Stream produces bit-identical reads, in order, to a batch Sample off
+// the same seed.
+func TestStreamMatchesSample(t *testing.T) {
+	p := buildPool()
+	sm, err := NewSampler(Profile{Rates: channel.Nanopore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := sm.Sample(rng.New(7), p, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sm.Stream(rng.New(7), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range batch {
+		got, ok := st.Next(nil)
+		if !ok {
+			t.Fatalf("read %d: ungated Next rejected", i)
+		}
+		if !got.Seq.Equal(want.Seq) || got.Meta != want.Meta {
+			t.Fatalf("read %d diverges from batch Sample", i)
+		}
+	}
+	if st.Sequenced != len(batch) || st.Ejected != 0 {
+		t.Fatalf("counters %d/%d, want %d/0", st.Sequenced, st.Ejected, len(batch))
+	}
+}
+
+// TestStreamGateEjects pins adaptive-sampling semantics: rejected
+// species cost a draw but yield no read, and the surviving reads are
+// exactly the batch reads of the kept species re-corrupted in stream
+// order (ejection skips the channel, so the rng streams differ — only
+// composition is asserted).
+func TestStreamGateEjects(t *testing.T) {
+	p := buildPool()
+	sm, err := NewSampler(Profile{Rates: channel.Noiseless()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sm.Stream(rng.New(8), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := func(si int) bool { return p.MetaAt(si).Block == 1 }
+	kept := 0
+	for i := 0; i < 2000; i++ {
+		rd, ok := st.Next(gate)
+		if !ok {
+			continue
+		}
+		if rd.Meta.Block != 1 {
+			t.Fatalf("gate passed a block-%d molecule", rd.Meta.Block)
+		}
+		kept++
+	}
+	if st.Sequenced != kept || st.Sequenced+st.Ejected != 2000 {
+		t.Fatalf("counters %d+%d, want sum 2000", st.Sequenced, st.Ejected)
+	}
+	// Block 1 is 10% of the pool; ejection must not distort the draw.
+	if kept < 130 || kept > 270 {
+		t.Errorf("kept %d of 2000, want ~200", kept)
+	}
+}

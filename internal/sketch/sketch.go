@@ -1,0 +1,131 @@
+// Package sketch provides the min-hash signature and candidate-index
+// primitives behind read clustering: q-gram min-hash signatures
+// computed from either unpacked or 2-bit packed sequences, an
+// LSH-banded bucket index for candidate lookup, and the epoch-stamped
+// dedup set that keeps candidate scans allocation-free.
+//
+// Package cluster's batch Group and package streamdecode's incremental
+// engine are both built on these primitives, which is what makes their
+// cluster assignments identical by construction: same signatures, same
+// bucket iteration order, same dedup semantics.
+package sketch
+
+import (
+	"fmt"
+
+	"dnastore/internal/dna"
+)
+
+// hashSeeds provides up to 16 fixed multipliers for the signature
+// hashes. The table (and the mixing below) is shared with the original
+// batch clusterer — signatures must stay bit-identical across both
+// paths.
+var hashSeeds = [16]uint64{
+	0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb, 0x2545f4914f6cdd1d,
+	0xd6e8feb86659fd93, 0xa5a5a5a5a5a5a5a5, 0xc2b2ae3d27d4eb4f, 0x165667b19e3779f9,
+	0x27d4eb2f165667c5, 0x85ebca6b27d4eb4f, 0x9e3779b185ebca87, 0xc2b2ae35d6e8feb8,
+	0xff51afd7ed558ccd, 0xc4ceb9fe1a85ec53, 0x2127599bf4325c37, 0x880355f21e6d1965,
+}
+
+// Signer computes q-gram min-hash signatures.
+type Signer struct {
+	// Q is the q-gram length.
+	Q int
+	// NumHashes is the number of independent min-hash functions, at
+	// most 16.
+	NumHashes int
+}
+
+// Validate checks the signer parameters.
+func (s Signer) Validate() error {
+	if s.Q < 4 || s.Q > 32 {
+		return fmt.Errorf("sketch: q-gram length %d outside [4, 32]", s.Q)
+	}
+	if s.NumHashes < 1 || s.NumHashes > len(hashSeeds) {
+		return fmt.Errorf("sketch: hash count %d outside [1, %d]", s.NumHashes, len(hashSeeds))
+	}
+	return nil
+}
+
+// Into computes the read's min-hash signatures into sigs, which must
+// have length NumHashes. Reads shorter than Q hash as a whole.
+func (s Signer) Into(read dna.Seq, sigs []uint64) {
+	for i := range sigs {
+		sigs[i] = ^uint64(0)
+	}
+	if len(read) < s.Q {
+		s.shortInto(len(read), func(i int) dna.Base { return read[i] }, sigs)
+		return
+	}
+	mask := uint64(1)<<(2*uint(s.Q)) - 1
+	var gram uint64
+	for i, b := range read {
+		gram = (gram<<2 | uint64(b)) & mask
+		if i < s.Q-1 {
+			continue
+		}
+		s.mixGram(gram, sigs)
+	}
+}
+
+// IntoPacked computes the same signatures as Into, reading the bases
+// straight out of a 2-bit packed sequence without unpacking it — the
+// form the streaming engine stores kept reads in. IntoPacked(p) equals
+// Into(p.Unpack()) bit for bit; sketch_test.go fuzz-pins the identity
+// across packing boundaries.
+func (s Signer) IntoPacked(p dna.Packed, sigs []uint64) {
+	for i := range sigs {
+		sigs[i] = ^uint64(0)
+	}
+	n := p.Len()
+	if n < s.Q {
+		s.shortInto(n, func(i int) dna.Base { return p.At(i) }, sigs)
+		return
+	}
+	mask := uint64(1)<<(2*uint(s.Q)) - 1
+	var gram uint64
+	// Walk the packed bytes directly: each full byte carries four bases
+	// in its high-to-low 2-bit lanes, the final partial byte n%4 bases
+	// in its low bits.
+	raw := p.Bytes()
+	pos := 0
+	for g := 0; g*4 < n; g++ {
+		width := n - g*4
+		if width > 4 {
+			width = 4
+		}
+		acc := raw[g]
+		for r := 0; r < width; r++ {
+			b := acc >> (2 * uint(width-1-r)) & 3
+			gram = (gram<<2 | uint64(b)) & mask
+			if pos >= s.Q-1 {
+				s.mixGram(gram, sigs)
+			}
+			pos++
+		}
+	}
+}
+
+// mixGram folds one q-gram into every signature lane.
+func (s Signer) mixGram(gram uint64, sigs []uint64) {
+	for j := 0; j < s.NumHashes; j++ {
+		h := (gram + 1) * hashSeeds[j]
+		h ^= h >> 31
+		if h < sigs[j] {
+			sigs[j] = h
+		}
+	}
+}
+
+// shortInto hashes a degenerate short read (length < Q) as a whole.
+func (s Signer) shortInto(n int, at func(int) dna.Base, sigs []uint64) {
+	var acc uint64 = 1
+	for i := 0; i < n; i++ {
+		acc = acc*4 + uint64(at(i)) + 1
+	}
+	for i := range sigs {
+		h := acc * hashSeeds[i]
+		h ^= h >> 29
+		sigs[i] = h
+	}
+}

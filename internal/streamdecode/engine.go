@@ -1,0 +1,386 @@
+// Package streamdecode implements the incremental, sketch-indexed
+// decode engine for large strand pools: sequencing reads stream through
+// primer filtering, greedy cluster assignment, and coverage accounting
+// as they come off the sequencer, instead of being collected into one
+// batch and clustered after the run. The engine's assignments are
+// byte-identical to the batch clusterer's (cluster.Group) on the same
+// read sequence — both are built from the same sketch primitives
+// (MinHash signatures, LSH candidate index, epoch-deduplicated scan,
+// staged bit-parallel membership probe) and consume reads in the same
+// order — so a streaming decode that runs to the full read budget
+// reproduces the batch decode exactly, while one that stops at the
+// coverage floor decodes the same content from a prefix of the reads.
+//
+// The flow per sequencing chunk:
+//
+//	Add(batch)       stage A: primer filter + packing + signatures, fanned
+//	                 across workers; stage B: serial greedy assignment.
+//	Done(block)      has every expected slot met the per-slot floor?
+//	FinalizeBlock    hand the accumulated clusters to decode.DecodeClusters.
+//
+// Kept reads are retained 2-bit packed in one arena (a quarter of the
+// Seq footprint — the difference between holding 10^6–10^7 kept reads
+// and not), with signatures computed directly over the packed spans;
+// reads are unpacked only once, into the finalize slab.
+package streamdecode
+
+import (
+	"sort"
+
+	"dnastore/internal/cluster"
+	"dnastore/internal/decode"
+	"dnastore/internal/dna"
+	"dnastore/internal/parallel"
+	"dnastore/internal/sketch"
+)
+
+// DefaultFloor is the per-slot coverage floor: sequencing of a target
+// may stop once every expected strand slot has this many reads behind
+// it. Trace reconstruction over independent noisy copies converges with
+// a small constant number of traces per strand (Heckel et al.'s coverage
+// regime; the pipeline's refinement consensus engages at 3 reads), so a
+// floor a little above that decodes reliably while consuming a fraction
+// of the batch budget, which provisions CoverageDepth×WasteFactor reads
+// per molecule up front. The floor is a heuristic, not a guarantee: a
+// decode that still fails escalates to the full batch budget, at which
+// point the engine's state equals the batch path's exactly.
+const DefaultFloor = 6
+
+// span locates one kept read inside the packed arena.
+type span struct {
+	off, n int
+}
+
+// slotAddr is one read's provisional strand address. Every kept read is
+// parsed individually (in the parallel stage, where the primer position
+// is being computed anyway): crediting coverage through a once-parsed
+// cluster representative would let a single mis-parsed founder silence
+// its whole slot, stalling the floor for the entire reaction.
+type slotAddr struct {
+	block, version, intra int
+	ok                    bool
+}
+
+// slotKey indexes per-slot coverage counts.
+type slotKey struct {
+	block, version, intra int
+}
+
+// Engine accumulates one reaction's read stream. It is not safe for
+// concurrent use: parallel reactions each own an Engine, and the
+// engine fans its own stage-A work across workers internally.
+type Engine struct {
+	pipe    *decode.Pipeline
+	signer  sketch.Signer
+	maxDist int
+	mol     int
+	floor   int
+	slack   int
+	workers int
+
+	index   *sketch.Index
+	arena   []byte
+	spans   []span
+	bases   int // total kept bases, sizing the finalize slab
+	members [][]int
+	reps    []*dna.Pattern
+
+	cov      map[slotKey]int
+	expected map[int][]int
+	done     map[int]bool
+	reopened map[int]int // escalation rounds: effective floor is floor << n
+
+	// assignment hot-path state: the probe closure is built once and
+	// reads the current read through the field, so Scan stays
+	// allocation-free.
+	probeRead dna.Seq
+	probeFn   func(ci int) bool
+
+	keepf []bool
+	sigs  []uint64
+	offs  []int
+	addrs []slotAddr
+}
+
+// New builds an engine decoding into the pipeline's partition. floor <=
+// 0 selects DefaultFloor; workers bounds the engine's internal fan-out
+// (0 means 1, negative means GOMAXPROCS), matching the reaction's PCR
+// fan-out so nested parallel accesses do not stack worker pools.
+func New(pipe *decode.Pipeline, floor, workers int) (*Engine, error) {
+	cfg := pipe.Config()
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if floor <= 0 {
+		floor = DefaultFloor
+	}
+	e := &Engine{
+		pipe:     pipe,
+		signer:   cfg.Cluster.Signer(),
+		maxDist:  cfg.Cluster.MaxDist,
+		mol:      pipe.Unit().Molecules(),
+		floor:    floor,
+		slack:    (pipe.Unit().Molecules() - pipe.Unit().DataMolecules()) / 2,
+		workers:  parallel.Resolve(workers),
+		index:    sketch.NewIndex(),
+		cov:      make(map[slotKey]int),
+		expected: make(map[int][]int),
+		done:     make(map[int]bool),
+		reopened: make(map[int]int),
+	}
+	e.probeFn = func(ci int) bool {
+		return cluster.WithinDist(e.reps[ci], e.probeRead, e.maxDist)
+	}
+	return e, nil
+}
+
+// Expect registers a target block and the unit versions that physically
+// exist for it; Done tracks the coverage floor over exactly these
+// (version, intra) slots. Blocks never registered are non-targets:
+// their reads still cluster (exactly as in the batch path), but they
+// have no floor and IsTarget reports false for them.
+func (e *Engine) Expect(block int, versions []int) {
+	e.expected[block] = append([]int(nil), versions...)
+}
+
+// IsTarget reports whether the block was registered via Expect.
+func (e *Engine) IsTarget(block int) bool {
+	_, ok := e.expected[block]
+	return ok
+}
+
+// Kept returns the number of reads that passed the primer filter.
+func (e *Engine) Kept() int { return len(e.spans) }
+
+// Clusters returns the number of clusters formed so far.
+func (e *Engine) Clusters() int { return len(e.members) }
+
+// Add streams one chunk of sequencer output into the engine. Stage A —
+// the per-read primer filter, arena packing, and packed-span MinHash
+// signatures — fans across the workers; stage B assigns kept reads to
+// clusters serially, in input order, replicating cluster.Group's greedy
+// assignment decision for decision.
+func (e *Engine) Add(batch []dna.Seq) {
+	n := len(batch)
+	if n == 0 {
+		return
+	}
+	h := e.signer.NumHashes
+	e.keepf = growBools(e.keepf, n)
+	e.sigs = growUints(e.sigs, n*h)
+	e.offs = growInts(e.offs, n)
+	e.addrs = growAddrs(e.addrs, n)
+	keep, sigs, offs, addrs := e.keepf[:n], e.sigs[:n*h], e.offs[:n], e.addrs[:n]
+	// Stage A1: the primer filter dominates per-read cost (two
+	// approximate alignments), so it fans out first.
+	parallel.Run(e.workers, n, func(i int) error {
+		keep[i] = e.pipe.Keep(batch[i])
+		return nil
+	})
+	// Reserve arena spans serially, in input order.
+	total := len(e.arena)
+	for i := 0; i < n; i++ {
+		if !keep[i] {
+			offs[i] = -1
+			continue
+		}
+		offs[i] = total
+		total += (len(batch[i]) + 3) / 4
+	}
+	if total > cap(e.arena) {
+		next := 2 * cap(e.arena)
+		if next < total {
+			next = total
+		}
+		grown := make([]byte, len(e.arena), next)
+		copy(grown, e.arena)
+		e.arena = grown
+	}
+	e.arena = e.arena[:total]
+	// Stage A2: pack each kept read into its span, sign the span, and
+	// parse the read's own provisional address for coverage credit.
+	parallel.Run(e.workers, n, func(i int) error {
+		if offs[i] < 0 {
+			return nil
+		}
+		read := batch[i]
+		nb := (len(read) + 3) / 4
+		buf := dna.AppendPackedBytes(e.arena[offs[i]:offs[i]:offs[i]+nb], read)
+		e.signer.IntoPacked(dna.PackedView(buf, len(read)), sigs[i*h:(i+1)*h])
+		b, v, in, ok := e.pipe.ProvisionalAddress(read)
+		addrs[i] = slotAddr{block: b, version: v, intra: in, ok: ok}
+		return nil
+	})
+	// Stage B: serial greedy assignment and coverage accounting.
+	for i := 0; i < n; i++ {
+		if offs[i] < 0 {
+			continue
+		}
+		e.assign(batch[i], offs[i], sigs[i*h:(i+1)*h])
+		if a := addrs[i]; a.ok {
+			e.bump(a)
+		}
+	}
+}
+
+// assign joins the read to the first indexed cluster whose
+// representative is within the cluster distance, or founds a new
+// cluster — the exact decision procedure of cluster.Group.
+func (e *Engine) assign(read dna.Seq, off int, sigs []uint64) {
+	ri := len(e.spans)
+	e.spans = append(e.spans, span{off: off, n: len(read)})
+	e.bases += len(read)
+	e.probeRead = read
+	if joined := e.index.Scan(sigs, e.probeFn); joined >= 0 {
+		e.members[joined] = append(e.members[joined], ri)
+		return
+	}
+	e.index.Add(sigs)
+	e.members = append(e.members, []int{ri})
+	e.reps = append(e.reps, dna.CompilePattern(read))
+}
+
+// bump credits one read to its own provisionally parsed slot. Counts
+// only grow, so the memoized Done verdicts (only ever cached once true)
+// never go stale.
+func (e *Engine) bump(s slotAddr) {
+	e.cov[slotKey{s.block, s.version, s.intra}]++
+}
+
+// effFloor is the block's current coverage floor: the configured floor,
+// doubled per escalation round. The shift saturates so repeated
+// escalation of an unrecoverable block degrades into "never done" —
+// the stream then runs to its read budget, the batch-equivalent state.
+func (e *Engine) effFloor(block int) int {
+	n := e.reopened[block]
+	if n > 24 {
+		return int(^uint(0) >> 2)
+	}
+	return e.floor << n
+}
+
+// Done reports whether every expected version of the block has reached
+// its coverage floor — the signal to stop (or redirect) sequencing for
+// it. A version tolerates up to half the RS parity in slots below the
+// floor: waiting for the very rarest strand species is a pure
+// coupon-collector tail (the last slot of a unit costs a multiple of
+// what the first fourteen did), while the unit decoder erases its
+// thinnest slots and lets the parity carry them. A thin slot the
+// erasure margin cannot absorb fails the finalize, and Reopen takes it
+// from there. Unregistered blocks are never done. The verdict is
+// memoized once true: coverage only grows, and Reopen clears the memo
+// along with raising the floor.
+func (e *Engine) Done(block int) bool {
+	if e.done[block] {
+		return true
+	}
+	versions, ok := e.expected[block]
+	if !ok || len(versions) == 0 {
+		return false
+	}
+	floor := e.effFloor(block)
+	for _, v := range versions {
+		short := 0
+		for intra := 0; intra < e.mol; intra++ {
+			if e.cov[slotKey{block, v, intra}] < floor {
+				if short++; short > e.slack {
+					return false
+				}
+			}
+		}
+	}
+	e.done[block] = true
+	return true
+}
+
+// AllDone reports whether every registered target is Done.
+func (e *Engine) AllDone() bool {
+	for b := range e.expected {
+		if !e.Done(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reopen escalates a block after a failed finalize: its coverage floor
+// doubles and its Done verdict is cleared, so sequencing (and gating)
+// resumes for its strands until the raised floor — or the caller's read
+// budget — is hit. The floor proved too shallow once, so the next stop
+// demands twice the evidence; repeated failures degrade exponentially
+// fast into the full-budget batch behavior.
+func (e *Engine) Reopen(block int) {
+	e.reopened[block]++
+	delete(e.done, block)
+}
+
+// materialize unpacks the arena into the kept-read slice and orders the
+// clusters by descending size — stable, so ties keep creation order —
+// reproducing cluster.Group's output contract over the accumulated
+// state.
+func (e *Engine) materialize() ([]dna.Seq, [][]int) {
+	kept := make([]dna.Seq, len(e.spans))
+	slab := make(dna.Seq, 0, e.bases)
+	for i, s := range e.spans {
+		view := dna.PackedView(e.arena[s.off:s.off+(s.n+3)/4], s.n)
+		start := len(slab)
+		slab = view.AppendRange(slab, 0, s.n)
+		kept[i] = slab[start:len(slab):len(slab)]
+	}
+	order := make([]int, len(e.members))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return len(e.members[order[i]]) > len(e.members[order[j]])
+	})
+	clusters := make([][]int, len(order))
+	for i, ci := range order {
+		clusters[i] = e.members[ci]
+	}
+	return kept, clusters
+}
+
+// FinalizeBlock runs the back half of the decode pipeline — trace
+// reconstruction, RS decoding, candidate recursion — over the
+// accumulated clusters for one target block. The engine remains usable
+// afterwards: escalation adds more reads and finalizes again.
+func (e *Engine) FinalizeBlock(block int) (*decode.BlockResult, error) {
+	kept, clusters := e.materialize()
+	results, err := e.pipe.DecodeClusters(kept, clusters, block)
+	return decode.FinishBlock(results, err, block)
+}
+
+// Finalize decodes every block visible in the accumulated clusters.
+func (e *Engine) Finalize() (map[int]*decode.BlockResult, error) {
+	kept, clusters := e.materialize()
+	return e.pipe.DecodeClusters(kept, clusters, -1)
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growUints(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growAddrs(s []slotAddr, n int) []slotAddr {
+	if cap(s) < n {
+		return make([]slotAddr, n)
+	}
+	return s[:n]
+}

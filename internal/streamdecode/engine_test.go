@@ -1,0 +1,312 @@
+package streamdecode
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/cluster"
+	"dnastore/internal/codec"
+	"dnastore/internal/decode"
+	"dnastore/internal/dna"
+	"dnastore/internal/indextree"
+	"dnastore/internal/layout"
+	"dnastore/internal/rng"
+)
+
+var (
+	fwdP = dna.MustFromString("ACGTACGTACGTACGTACGA")
+	revP = dna.MustFromString("TGCATGCATGCATGCATGCA")
+)
+
+// encoder is a minimal write path mirroring package blockstore:
+// randomize, unit-encode, assemble strands.
+type encoder struct {
+	g    layout.Geometry
+	unit *layout.UnitCodec
+	tree *indextree.Tree
+	rand *codec.Randomizer
+}
+
+func newEncoder(t testing.TB) *encoder {
+	t.Helper()
+	g := layout.PaperGeometry()
+	unit, err := layout.NewUnitCodec(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := indextree.New(5, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &encoder{g: g, unit: unit, tree: tree, rand: codec.NewRandomizer(42)}
+}
+
+func (e *encoder) encodeUnit(t testing.TB, block, version int, data []byte) []dna.Seq {
+	t.Helper()
+	white := e.rand.Derive(decode.UnitSeed(block, version)).Apply(data)
+	payloads, err := e.unit.Encode(white)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := e.tree.Encode(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []dna.Seq
+	for intra, p := range payloads {
+		seq, err := e.g.Assemble(fwdP, revP, layout.Strand{
+			Index: idx, Version: version, Intra: intra, Payload: p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, seq)
+	}
+	return out
+}
+
+func unitData(r *rng.Source, n int) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte(r.Intn(256))
+	}
+	return d
+}
+
+func newPipeline(t testing.TB, e *encoder) *decode.Pipeline {
+	t.Helper()
+	p, err := decode.New(decode.DefaultConfig(), e.tree, fwdP, revP, e.rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// poolReads builds a three-block read set for one noise regime:
+// coverage noisy copies per strand, shuffled, and (for the decayed
+// regime) truncated strands plus unrelated junk mixed in.
+func poolReads(t testing.TB, e *encoder, r *rng.Source, rates channel.Rates, decayed bool) []dna.Seq {
+	var strands []dna.Seq
+	for _, block := range []int{2, 17, 40} {
+		strands = append(strands, e.encodeUnit(t, block, 0, unitData(r, e.unit.DataBytes()))...)
+	}
+	var reads []dna.Seq
+	for _, s := range strands {
+		for c := 0; c < 8; c++ {
+			reads = append(reads, channel.Corrupt(r, s, rates))
+		}
+		if decayed {
+			// An aged tube: some templates have decayed to fragments.
+			cut := len(s) / 2
+			reads = append(reads, channel.Corrupt(r, s[:cut+r.Intn(cut)], rates))
+		}
+	}
+	if decayed {
+		for i := 0; i < 40; i++ {
+			junk := make(dna.Seq, 120+r.Intn(60))
+			for j := range junk {
+				junk[j] = dna.Base(r.Intn(4))
+			}
+			reads = append(reads, junk)
+		}
+	}
+	r.Shuffle(len(reads), func(i, j int) { reads[i], reads[j] = reads[j], reads[i] })
+	return reads
+}
+
+// feed streams reads into the engine in uneven chunks, exercising
+// cluster state carried across Add calls.
+func feed(e *Engine, reads []dna.Seq, chunk int) {
+	for start := 0; start < len(reads); start += chunk {
+		end := start + chunk
+		if end > len(reads) {
+			end = len(reads)
+		}
+		e.Add(reads[start:end])
+	}
+}
+
+// TestEngineMatchesBatch is the differential suite: across clean,
+// Illumina, Nanopore, and decayed-tube regimes, and across worker
+// counts, the engine's incremental cluster assignments must equal
+// cluster.Group's on the batch-filtered read set, and its finalized
+// decode must equal the batch pipeline's result for result.
+func TestEngineMatchesBatch(t *testing.T) {
+	enc := newEncoder(t)
+	pipe := newPipeline(t, enc)
+	regimes := []struct {
+		name    string
+		rates   channel.Rates
+		decayed bool
+	}{
+		{"clean", channel.Noiseless(), false},
+		{"illumina", channel.Illumina(), false},
+		{"nanopore", channel.Nanopore(), false},
+		{"decayed", channel.Illumina(), true},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, reg := range regimes {
+		reads := poolReads(t, enc, rng.New(11), reg.rates, reg.decayed)
+		// Batch reference: filter, cluster, decode.
+		var kept []dna.Seq
+		for _, rd := range reads {
+			if pipe.Keep(rd) {
+				kept = append(kept, rd)
+			}
+		}
+		wantClusters, err := cluster.Group(kept, pipe.Config().Cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAll, wantErr := pipe.DecodeAll(reads)
+		for _, workers := range workerCounts {
+			eng, err := New(pipe, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feed(eng, reads, 97)
+			if eng.Kept() != len(kept) {
+				t.Fatalf("%s/w%d: kept %d reads, batch kept %d", reg.name, workers, eng.Kept(), len(kept))
+			}
+			gotKept, gotClusters := eng.materialize()
+			for i := range kept {
+				if !gotKept[i].Equal(kept[i]) {
+					t.Fatalf("%s/w%d: kept read %d differs after arena round-trip", reg.name, workers, i)
+				}
+			}
+			if !reflect.DeepEqual(gotClusters, wantClusters) {
+				t.Fatalf("%s/w%d: %d streaming clusters diverge from %d batch clusters",
+					reg.name, workers, len(gotClusters), len(wantClusters))
+			}
+			gotAll, gotErr := eng.Finalize()
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s/w%d: finalize err %v, batch err %v", reg.name, workers, gotErr, wantErr)
+			}
+			if !reflect.DeepEqual(gotAll, wantAll) {
+				t.Fatalf("%s/w%d: streaming decode diverges from batch", reg.name, workers)
+			}
+			// Single-block finalize against the batch single-block decode.
+			wantBlk, wantBlkErr := pipe.DecodeBlock(reads, 17)
+			gotBlk, gotBlkErr := eng.FinalizeBlock(17)
+			if (gotBlkErr == nil) != (wantBlkErr == nil) {
+				t.Fatalf("%s/w%d: block finalize err %v, batch %v", reg.name, workers, gotBlkErr, wantBlkErr)
+			}
+			if wantBlkErr == nil && !reflect.DeepEqual(gotBlk.Versions, wantBlk.Versions) {
+				t.Fatalf("%s/w%d: block 17 content diverges", reg.name, workers)
+			}
+		}
+	}
+}
+
+// TestEngineCoverageFloor pins Done semantics: a target block becomes
+// done when all but the erasure slack of its expected (version, intra)
+// slots hold at least the floor's reads, and Reopen clears the verdict.
+func TestEngineCoverageFloor(t *testing.T) {
+	enc := newEncoder(t)
+	pipe := newPipeline(t, enc)
+	r := rng.New(5)
+	strands := enc.encodeUnit(t, 17, 0, unitData(r, enc.unit.DataBytes()))
+	eng, err := New(pipe, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Expect(17, []int{0})
+	if eng.IsTarget(3) || !eng.IsTarget(17) {
+		t.Fatal("target registration broken")
+	}
+	if eng.slack < 1 || eng.slack >= len(strands) {
+		t.Fatalf("slack %d outside the unit's geometry", eng.slack)
+	}
+	// Cover all but the last slack+1 strands to the floor, and those to
+	// one read below it: one slot too many short of the floor, so the
+	// erasure margin cannot absorb them all. Noiseless copies: every
+	// read parses, so the counts are exact and the Done flip happens at
+	// precisely the slack boundary.
+	thin := len(strands) - eng.slack - 1
+	var batch []dna.Seq
+	for _, s := range strands[:thin] {
+		for c := 0; c < DefaultFloor; c++ {
+			batch = append(batch, channel.Corrupt(r, s, channel.Noiseless()))
+		}
+	}
+	for _, s := range strands[thin:] {
+		for c := 0; c < DefaultFloor-1; c++ {
+			batch = append(batch, channel.Corrupt(r, s, channel.Noiseless()))
+		}
+	}
+	eng.Add(batch)
+	if eng.Done(17) {
+		t.Fatal("done with one slot more than the slack below the floor")
+	}
+	if eng.AllDone() {
+		t.Fatal("AllDone with an unfinished target")
+	}
+	eng.Add([]dna.Seq{channel.Corrupt(r, strands[thin], channel.Noiseless())})
+	if !eng.Done(17) || !eng.AllDone() {
+		t.Fatal("slack boundary met but not done")
+	}
+	eng.Reopen(17)
+	if eng.Done(17) {
+		t.Fatal("reopened block reported done")
+	}
+	res, err := eng.FinalizeBlock(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Versions[0]) != enc.unit.DataBytes() {
+		t.Fatalf("decoded %d bytes", len(res.Versions[0]))
+	}
+}
+
+// TestEngineAssignAllocs pins the per-read assignment hot path — probe
+// scan plus cluster join — as allocation-free once the engine's slices
+// have grown.
+func TestEngineAssignAllocs(t *testing.T) {
+	enc := newEncoder(t)
+	pipe := newPipeline(t, enc)
+	r := rng.New(6)
+	strands := enc.encodeUnit(t, 17, 0, unitData(r, enc.unit.DataBytes()))
+	eng, err := New(pipe, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warm []dna.Seq
+	for _, s := range strands {
+		for c := 0; c < 8; c++ {
+			warm = append(warm, channel.Corrupt(r, s, channel.Illumina()))
+		}
+	}
+	eng.Add(warm)
+	join := strands[0].Clone() // clean copy: joins strand 0's cluster
+	h := eng.signer.NumHashes
+	sigs := make([]uint64, h)
+	eng.signer.Into(join, sigs)
+	off := len(eng.arena)
+	eng.arena = dna.AppendPackedBytes(eng.arena, join)
+	spans, bases := len(eng.spans), eng.bases
+	snapshot := make([]int, len(eng.members))
+	for i := range eng.members {
+		snapshot[i] = len(eng.members[i])
+	}
+	restore := func() {
+		eng.spans = eng.spans[:spans]
+		eng.bases = bases
+		for i := range snapshot {
+			eng.members[i] = eng.members[i][:snapshot[i]]
+		}
+	}
+	eng.assign(join, off, sigs) // grow append capacity once
+	restore()
+	avg := testing.AllocsPerRun(100, func() {
+		eng.assign(join, off, sigs)
+		restore()
+	})
+	if avg != 0 {
+		t.Errorf("assign allocates %.1f per read, want 0", avg)
+	}
+	if eng.Clusters() < len(strands) {
+		t.Fatalf("%d clusters for %d strands", eng.Clusters(), len(strands))
+	}
+}

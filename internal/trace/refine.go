@@ -10,16 +10,18 @@ type colVotes struct {
 	del int    // votes to delete this draft position
 }
 
-// refineScratch holds the vote tables and banded-DP buffers that
-// refinement reuses across reads and rounds. One Refine call allocates
-// a single scratch; alignVote itself allocates nothing once the
-// buffers have grown to the working size.
+// refineScratch holds the vote tables, the bit-parallel traceback
+// planes, and the fallback banded-DP buffers that refinement reuses
+// across reads and rounds. One Refine call allocates a single scratch;
+// alignVote itself allocates nothing once the buffers have grown to
+// the working size.
 type refineScratch struct {
 	cols    []colVotes
 	ins     [][4]int
-	prevRow []int16 // banded DP rows, padded with one sentinel per side
+	bp      bitScratch // bit-parallel fill + traceback (refine_bitpar.go)
+	prevRow []int16    // scalar fallback: banded DP rows, one sentinel per side
 	curRow  []int16
-	dir     []int8 // traceback directions, (m+1) x width
+	dir     []int8 // scalar fallback: traceback directions, (m+1) x width
 }
 
 // Refine polishes a draft consensus by realigning every read against it
@@ -60,14 +62,9 @@ func refineOnce(reads []dna.Seq, draft dna.Seq, sc *refineScratch) dna.Seq {
 	// ins[j][b] counts insertions of base b before draft position j.
 	ins := sc.ins[:n+1]
 	clear(ins)
-	// The draft is realigned against every read, so compile it once;
-	// the bit-parallel probe below then decides per read whether the
-	// narrow or the wide traceback band is needed without running a
-	// speculative band-8 DP that may miss.
-	draftPat := dna.CompilePattern(draft)
 	voters := 0
 	for _, read := range reads {
-		if alignVote(read, draft, draftPat, cols, ins, sc) {
+		if alignVote(read, draft, cols, ins, sc) {
 			voters++
 		}
 	}
@@ -110,25 +107,21 @@ func refineOnce(reads []dna.Seq, draft dna.Seq, sc *refineScratch) dna.Seq {
 	return out
 }
 
-// probeBand is the narrow first-stage alignment band. A banded global
-// alignment whose total cost c satisfies c <= band is exactly the
+// alignVote computes a global alignment of read against draft and adds
+// the read's votes along the traceback path. Returns false when the
+// read cannot be aligned within the refinement length band. The
+// alignment runs as a single bit-parallel fill-and-traceback
+// (refine_bitpar.go) whose path is identical to the refineBand-wide
+// scalar DP whenever the alignment cost is at most refineBand — a
+// banded DP whose cost c satisfies c <= band is exactly the
 // unrestricted optimum: every cell (i, j) on an optimal path costs at
 // least |i-j|, so the path never leaves the band, and any out-of-band
 // candidate consulted during the traceback costs more than c and loses
-// in both the narrow and the wide DP. Reads at sequencing error rates
-// align at cost ~1-3, so most calls never touch the wide band.
-const probeBand = 8
-
-// alignVote computes a banded global alignment of read against draft and
-// adds the read's votes along the traceback path. Returns false when the
-// read cannot be aligned within refineBand. The result (including the
-// traceback path) is identical to a single refineBand-wide alignment:
-// the compiled draft pattern's bounded distance decides which band the
-// alignment cost fits in, and a banded DP whose cost c satisfies
-// c <= band is exactly the unrestricted optimum (see probeBand). Unlike
-// a speculative narrow DP, the bit-parallel gate never runs a band that
-// is then discarded.
-func alignVote(read, draft dna.Seq, draftPat *dna.Pattern, cols []colVotes, ins [][4]int, sc *refineScratch) bool {
+// the strict-improvement comparison. Only costlier alignments (rare:
+// reads at sequencing error rates align at cost ~1-3) fall back to the
+// scalar banded DP, whose band-clipped path the unbanded traceback
+// cannot reproduce.
+func alignVote(read, draft dna.Seq, cols []colVotes, ins [][4]int, sc *refineScratch) bool {
 	m, n := len(read), len(draft)
 	if m == 0 {
 		return false
@@ -137,11 +130,9 @@ func alignVote(read, draft dna.Seq, draftPat *dna.Pattern, cols []colVotes, ins 
 	if diff < -refineBand || diff > refineBand {
 		return false
 	}
-	if diff >= -probeBand && diff <= probeBand && draftPat.LevenshteinAtMost(read, probeBand) {
-		if cost, ok := alignBand(read, draft, sc, probeBand); ok && cost <= probeBand {
-			traceVote(read, draft, cols, ins, sc, probeBand)
-			return true
-		}
+	if cost := bitAlign(read, draft, sc); cost <= refineBand {
+		bitTrace(read, draft, cols, ins, sc)
+		return true
 	}
 	if _, ok := alignBand(read, draft, sc, refineBand); !ok {
 		return false

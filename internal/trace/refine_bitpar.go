@@ -1,0 +1,161 @@
+package trace
+
+// This file implements the traceback-capable bit-parallel refinement
+// alignment: a Hyyrö-style blocked Myers DP over the read that stores,
+// per text column, the three bit-vectors a traceback needs (diagonal-
+// zero D0, horizontal-plus HP, vertical-plus VP), then walks them back
+// with the exact tie-break order of the scalar banded DP it replaces
+// (diagonal, then up, then left, strict improvement only). The fill
+// advances 64 DP rows per word instead of one cell per loop iteration,
+// removing refinement's last O(band·n) scalar loop; the scalar banded
+// DP in refine.go remains only as the rare wide-cost fallback and as
+// the pinned differential reference.
+//
+// Why the paths agree: when the alignment's total cost c satisfies
+// c <= band, the banded DP equals the unrestricted optimum at every
+// cell on the optimal path, and any out-of-band neighbor consulted by
+// the banded traceback costs at least band+1 — it can never win a
+// strict-improvement comparison against an in-band candidate achieving
+// c. The unbanded bit-parallel traceback therefore reproduces the
+// banded path move for move (pinned in refine_test.go). When c > band
+// the banded path is not the unbanded optimum, so alignVote falls back
+// to the scalar DP to keep votes byte-identical.
+
+import (
+	"dnastore/internal/dna"
+)
+
+const tbWordBits = 64
+
+// bitScratch holds the column-stored bit vectors of one refinement
+// alignment, reused across reads and rounds.
+type bitScratch struct {
+	peq [4][]uint64 // Eq masks over read rows, ceil(m/64) words
+	// Per-column planes, (n+1)*words words each; column j begins at
+	// j*words. Bit r of word w covers DP row w*64+r+1. No HP plane is
+	// needed: when neither the diagonal nor the up move is valid the
+	// left move is forced (some move must achieve the cell's value).
+	d0, vp   []uint64
+	vpw, vnw []uint64 // working column state
+}
+
+// grow sizes the scratch for a read of `words` words against a draft
+// of n bases.
+func (bp *bitScratch) grow(words, n int) {
+	if cap(bp.vpw) < words {
+		bp.vpw = make([]uint64, words)
+		bp.vnw = make([]uint64, words)
+		for c := range bp.peq {
+			bp.peq[c] = make([]uint64, words)
+		}
+	}
+	if need := (n + 1) * words; cap(bp.d0) < need {
+		bp.d0 = make([]uint64, need)
+		bp.vp = make([]uint64, need)
+	}
+}
+
+// bitAlign runs the full-width blocked Myers DP of read (rows) against
+// draft (columns), storing the D0/HP/VP planes for traceback, and
+// returns the exact global alignment cost D(m, n). Both lengths must
+// be positive.
+func bitAlign(read, draft dna.Seq, sc *refineScratch) int {
+	m, n := len(read), len(draft)
+	words := (m + tbWordBits - 1) / tbWordBits
+	bp := &sc.bp
+	bp.grow(words, n)
+	for c := range bp.peq {
+		clear(bp.peq[c][:words])
+	}
+	for i, b := range read {
+		bp.peq[b][i>>6] |= 1 << uint(i&63)
+	}
+	vp, vn := bp.vpw[:words], bp.vnw[:words]
+	for w := range vp {
+		vp[w] = ^uint64(0)
+		vn[w] = 0
+	}
+	score := m
+	lastMask := uint64(1) << uint((m-1)&63)
+	for j := 1; j <= n; j++ {
+		c := draft[j-1]
+		hin := 1 // charged text start: the horizontal delta at row 0 is +1
+		base := j * words
+		for w := 0; w < words; w++ {
+			eq := bp.peq[c][w]
+			pv, mv := vp[w], vn[w]
+			xv := eq | mv
+			if hin < 0 {
+				eq |= 1
+			}
+			xh := (((eq & pv) + pv) ^ pv) | eq
+			ph := mv | ^(xh | pv)
+			mh := pv & xh
+			mask := uint64(1) << (tbWordBits - 1)
+			if w == words-1 {
+				mask = lastMask
+			}
+			hout := 0
+			if ph&mask != 0 {
+				hout = 1
+			} else if mh&mask != 0 {
+				hout = -1
+			}
+			// D0 = Xh | Vn: bit set iff D(i, j) == D(i-1, j-1).
+			bp.d0[base+w] = xh | mv
+			ph <<= 1
+			mh <<= 1
+			if hin > 0 {
+				ph |= 1
+			} else if hin < 0 {
+				mh |= 1
+			}
+			vp[w] = mh | ^(xv | ph)
+			vn[w] = ph & xv
+			bp.vp[base+w] = vp[w]
+			hin = hout
+		}
+		score += hin // last word's hout: D(m, j) - D(m, j-1)
+	}
+	return score
+}
+
+// bitTrace walks the stored planes back from (m, n), adding the read's
+// votes exactly as traceVote does for the scalar dir table. Move
+// selection per cell, matching the scalar DP's evaluation order:
+// diagonal when valid (a match always is; a mismatch iff the diagonal
+// delta is +1, i.e. D0 clear), else up iff the vertical delta is +1
+// (VP set), else left.
+func bitTrace(read, draft dna.Seq, cols []colVotes, ins [][4]int, sc *refineScratch) {
+	bp := &sc.bp
+	m := len(read)
+	words := (m + tbWordBits - 1) / tbWordBits
+	i, j := m, len(draft)
+	for i > 0 || j > 0 {
+		if i == 0 {
+			cols[j-1].del++
+			j--
+			continue
+		}
+		if j == 0 {
+			ins[j][read[i-1]]++
+			i--
+			continue
+		}
+		r := i - 1
+		w := r >> 6
+		bit := uint64(1) << uint(r&63)
+		base := j * words
+		if read[i-1] == draft[j-1] || bp.d0[base+w]&bit == 0 {
+			cols[j-1].sub[read[i-1]]++
+			i--
+			j--
+		} else if bp.vp[base+w]&bit != 0 {
+			ins[j][read[i-1]]++
+			i--
+		} else {
+			cols[j-1].del++
+			j--
+		}
+	}
+}
