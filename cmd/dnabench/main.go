@@ -46,6 +46,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "wetlab seed (0 = default)")
 	workers := flag.Int("workers", runtime.NumCPU(), "read-engine workers for the parallel experiment")
 	scale := flag.Int("scale", 1, "multiply the Alice partition's block count (12 ≈ a 10^5-strand pool)")
+	shards := flag.Int("shards", 0, "assignment shards for the streaming-decode study (0 = engine default)")
 	strands := flag.Int("strands", 1_000_000, "strand count for the memory study")
 	days := flag.Float64("days", 1000, "accelerated-aging horizon in days for the aging study")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -58,7 +59,7 @@ func main() {
 		}
 		return
 	}
-	if err := runExperiments(*run, *reads, *seed, *workers, *scale, *strands, *days, *jsonPath); err != nil {
+	if err := runExperiments(*run, *reads, *seed, *workers, *scale, *shards, *strands, *days, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "dnabench:", err)
 		os.Exit(1)
 	}
@@ -114,7 +115,7 @@ func (rc *recorder) write(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runExperiments(run string, reads int, seed uint64, workers, scale, strands int, days float64, jsonPath string) error {
+func runExperiments(run string, reads int, seed uint64, workers, scale, shards, strands int, days float64, jsonPath string) error {
 	want := map[string]bool{}
 	if run == "all" {
 		for _, id := range experimentIDs {
@@ -290,11 +291,11 @@ func runExperiments(run string, reads int, seed uint64, workers, scale, strands 
 		}
 	}
 	if want["decode-stream"] {
-		fmt.Fprintf(out, "running the streaming-decode study (scale=%d, workers=%d)...\n", scale, workers)
+		fmt.Fprintf(out, "running the streaming-decode study (scale=%d, workers=%d, shards=%d)...\n", scale, workers, shards)
 		var r *experiment.StreamResult
 		tm, err := rc.track("decode-stream", func() error {
 			var err error
-			r, err = experiment.StreamStudy(scale, workers)
+			r, err = experiment.StreamStudy(scale, workers, shards)
 			return err
 		})
 		if err != nil {

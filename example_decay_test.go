@@ -30,9 +30,9 @@ func ExampleSystem_Advance() {
 		}
 	}
 
-	// Seven hundred days at ~50x accelerated hazards — roughly a
+	// Eight hundred days at ~50x accelerated hazards — over a
 	// century on a room-temperature shelf.
-	if _, err := sys.Advance(700); err != nil {
+	if _, err := sys.Advance(800); err != nil {
 		panic(err)
 	}
 	fmt.Printf("aged %.0f days\n", sys.AgeDays())
@@ -52,7 +52,7 @@ func ExampleSystem_Advance() {
 		fmt.Printf("block %d: %s\n", h.Block, status)
 	}
 	// Output:
-	// aged 700 days
+	// aged 800 days
 	// block 0: corrupted
 	// block 1: ok
 	// block 2: ok
@@ -82,7 +82,7 @@ func ExampleSystem_Scrub() {
 			panic(err)
 		}
 	}
-	if _, err := sys.Advance(700); err != nil {
+	if _, err := sys.Advance(800); err != nil {
 		panic(err)
 	}
 
@@ -102,7 +102,6 @@ func ExampleSystem_Scrub() {
 		fmt.Printf("block %d: %q\n", r.Block, data[:len("record 0")])
 	}
 	// Output:
-	// probed 4 blocks, 2 flagged, 0 failed repair
+	// probed 4 blocks, 1 flagged, 0 failed repair
 	// block 0: "record 0"
-	// block 1: "record 1"
 }

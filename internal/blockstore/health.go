@@ -234,9 +234,13 @@ const (
 // readBlockHealthWet is readBlockHealth returning the wet evidence the
 // supervised paths consume, with the failure annotated by its
 // operational fault class when an injector is configured. screen
-// enables the contamination quarantine (supervised retries only).
+// enables the contamination quarantine (supervised retries only). The
+// read streams when the store does: the classification evidence — PCR
+// gain, foreign mass, the up-front delivery truncation — is identical
+// on both protocols, so supervisors see the same fault classes either
+// way.
 func (p *Partition) readBlockHealthWet(r *rng.Source, block, depth, pcrWorkers int, scale float64, screen bool) ([]byte, Health, wetInfo) {
-	res, info, err := p.retrieveWet(r, block, depth, pcrWorkers, scale, screen, false)
+	res, info, err := p.retrieveWet(r, block, depth, pcrWorkers, scale, screen, wetStrict)
 	if err != nil {
 		return nil, p.classifyHealth(block, res, err, info), info
 	}
@@ -275,7 +279,7 @@ func (p *Partition) classifyHealth(block int, res *decode.BlockResult, err error
 		h.Err = fmt.Errorf("%w (foreign mass %.0f%%): %w", fault.ErrContaminated, info.foreignFrac*100, h.Err)
 	case info.gain > 0 && info.gain <= failedGainCeiling:
 		h.Err = fmt.Errorf("%w (gain %.2f): %w", fault.ErrReactionFailed, info.gain, h.Err)
-	case info.delivered < info.budget:
+	case info.truncated:
 		h.Err = fmt.Errorf("%w (%d of %d reads): %w", fault.ErrRunAborted, info.delivered, info.budget, h.Err)
 	}
 	return h

@@ -328,31 +328,56 @@ type BlockVersions struct {
 // paid for the block and its overflow chain — so retrievals are free of
 // shared cache state and safe to fan out.
 func (p *Partition) retrieve(r *rng.Source, block, depth, pcrWorkers int) (*decode.BlockResult, error) {
-	res, _, err := p.retrieveWet(r, block, depth, pcrWorkers, 1, false, true)
+	res, _, err := p.retrieveWet(r, block, depth, pcrWorkers, 1, false, wetStream)
 	return res, err
 }
+
+// wetMode selects one wet retrieval's sequencing protocol.
+type wetMode int
+
+const (
+	// wetBatch sequences the full (fault-truncated) budget up front.
+	wetBatch wetMode = iota
+	// wetStream runs the floor-stopped streaming engine; the floor
+	// tolerates the unit's erasure slack, optimizing for read cost.
+	wetStream
+	// wetStrict streams with zero slack: every expected slot must meet
+	// the floor before the stream stops, so slot-level health evidence
+	// (missing slots, per-slot coverage) is never forged by an early
+	// stop. Health and scrub probes use it.
+	wetStrict
+)
 
 // retrieveScaled is retrieve with the sequencing read budget multiplied
 // by scale: the scrubber's shallow probes run the same wet protocol at
 // a fraction of the depth, and its repair retries escalate past 1.
-// Scaled retrievals never stream — the scrubber's health accounting
-// expects the full scaled budget to be sequenced.
+// Scaled retrievals never stream — a scaled budget is a deliberate
+// depth choice, and the floor-stopped stream would override it. (With
+// streaming on, the scrubber probes through the engine instead of
+// scaling the budget down; this is its batch fallback.)
 func (p *Partition) retrieveScaled(r *rng.Source, block, depth, pcrWorkers int, scale float64) (*decode.BlockResult, error) {
-	res, _, err := p.retrieveWet(r, block, depth, pcrWorkers, scale, false, false)
+	res, _, err := p.retrieveWet(r, block, depth, pcrWorkers, scale, false, wetBatch)
 	return res, err
 }
 
 // wetInfo is the operational evidence one wet retrieval leaves behind,
 // consumed by the supervised read paths to classify failures: a PCR
-// gain near 1 is a failed reaction, delivered < budget is an aborted
-// sequencing run, and a large foreign mass fraction (known only when
-// the quarantine screen ran) is contamination.
+// gain near 1 is a failed reaction, a truncated delivery ceiling is an
+// aborted sequencing run, and a large foreign mass fraction (known
+// only when the quarantine screen ran) is contamination. truncated is
+// the abort signal on both protocols — a batch run that delivered less
+// than its budget, or a streamed run whose up-front delivery ceiling
+// was cut below it (the stream may then stop even earlier at the
+// coverage floor; that early stop is adaptive, not a fault).
 type wetInfo struct {
 	gain        float64 // PCR mass amplification (final / initial)
 	budget      int     // sequencing reads budgeted
 	delivered   int     // sequencing reads actually delivered
+	truncated   bool    // injected abort cut delivery below the budget
 	quarantined int     // foreign species mass-zeroed by the screen
 	foreignFrac float64 // fraction of amplified mass the screen removed
+	covAvg      float64 // streamed reads: engine's mean per-slot coverage
+	entries     int     // streamed reads: pore entries (sequenced + ejected)
 }
 
 // retrieveWet is the full instrumented wet read: elongated PCR (fault
@@ -361,9 +386,11 @@ type wetInfo struct {
 // aliquot — supervised retries use it; plain reads never do, keeping
 // the fault-free path byte-identical. stream allows the incremental
 // engine (see stream.go) to own the sequencing loop and stop at the
-// coverage floor; the supervised paths pass false so their wetInfo
-// keeps the batch delivered-vs-budget semantics.
-func (p *Partition) retrieveWet(r *rng.Source, block, depth, pcrWorkers int, scale float64, screen, stream bool) (*decode.BlockResult, wetInfo, error) {
+// coverage floor; the abort evidence survives the early stop because
+// the stream draws its delivery ceiling before the first read, so the
+// health and supervised paths stream too. Reactions whose PCR never
+// amplified stay on the batch protocol (streamGainOK).
+func (p *Partition) retrieveWet(r *rng.Source, block, depth, pcrWorkers int, scale float64, screen bool, mode wetMode) (*decode.BlockResult, wetInfo, error) {
 	var info wetInfo
 	ep, err := p.ElongatedPrimer(block)
 	if err != nil {
@@ -387,12 +414,16 @@ func (p *Partition) retrieveWet(r *rng.Source, block, depth, pcrWorkers int, sca
 		}
 	}
 	info.budget = budget
-	if stream && scale == 1 && !screen && p.streamingEnabled() {
-		res, sequenced, serr := p.streamBlock(r, amplified, block, budget, pcrWorkers)
-		info.delivered = sequenced
+	if mode != wetBatch && scale == 1 && p.streamingEnabled() && p.streamGainOK(info.gain) {
+		res, run, serr := p.streamBlock(r, amplified, block, budget, mode == wetStrict)
+		info.delivered = run.sequenced
+		info.truncated = run.truncated
+		info.covAvg = run.covAvg
+		info.entries = run.entries
 		return res, info, serr
 	}
 	info.delivered = p.store.faultBudget(r, budget)
+	info.truncated = info.delivered < budget
 	reads, err := p.store.sequence(r, amplified, info.delivered)
 	if err != nil {
 		return nil, info, err
@@ -635,15 +666,15 @@ func (p *Partition) runCover(cr coverReaction, pcrWorkers int) (map[int]*decode.
 	if cc := p.store.cfg.CarryoverConc; cc > 0 {
 		primers = append(primers, pcr.Primer{Fwd: p.fwd, Rev: p.rev, Conc: cc})
 	}
-	amplified, _, _, err := p.store.runPCR(cr.src, primers, pcrWorkers, false)
+	amplified, st, _, err := p.store.runPCR(cr.src, primers, pcrWorkers, false)
 	if err != nil {
 		return nil, err
 	}
 	var decoded map[int]*decode.BlockResult
 	var derr error
-	if p.streamingEnabled() {
+	if p.streamingEnabled() && p.streamGainOK(st.Gain()) {
 		decoded, derr = p.streamTargets(cr.src, amplified,
-			p.writtenIn(cr.cover.Lo, cr.cover.Hi), p.store.readBudget(cr.units), pcrWorkers)
+			p.writtenIn(cr.cover.Lo, cr.cover.Hi), p.store.readBudget(cr.units))
 	} else {
 		budget := p.store.faultBudget(cr.src, p.store.readBudget(cr.units))
 		reads, err := p.store.sequence(cr.src, amplified, budget)
@@ -755,13 +786,13 @@ func (p *Partition) ReadAll() ([][]byte, error) {
 		return nil, ErrBlockNotFound
 	}
 	primers := []pcr.Primer{{Fwd: p.fwd, Rev: p.rev, Conc: 1}}
-	amplified, _, _, err := p.store.runPCR(r, primers, p.store.cfg.Workers, false)
+	amplified, st, _, err := p.store.runPCR(r, primers, p.store.cfg.Workers, false)
 	if err != nil {
 		return nil, err
 	}
-	if p.streamingEnabled() {
+	if p.streamingEnabled() && p.streamGainOK(st.Gain()) {
 		decoded, derr := p.streamTargets(r, amplified, p.writtenIn(lo, hi),
-			p.store.readBudget(units), p.store.cfg.Workers)
+			p.store.readBudget(units))
 		if derr != nil {
 			return nil, derr
 		}

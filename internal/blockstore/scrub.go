@@ -201,13 +201,34 @@ func (p *Partition) scrub(pol ScrubPolicy, report *ScrubReport) error {
 	p.store.wear(len(blocks))
 	p.mu.Unlock()
 
-	// Probe phase: shallow reads fanned across the workers.
+	// Probe phase: shallow reads fanned across the workers. With
+	// streaming on, a probe is a floor-stopped streamed read — usually
+	// cheaper than the scaled batch probe — and its Coverage comes from
+	// the engine's live per-slot accounting rather than being re-derived
+	// from the decode's read totals; the scaled batch probe remains the
+	// fallback.
 	pcrWorkers := p.store.cfg.Workers
 	if len(blocks) > 1 && p.workers > 1 {
 		pcrWorkers = 1
 	}
 	health := make([]Health, len(blocks))
 	parallel.Run(p.workers, len(blocks), func(i int) error {
+		if p.streamingEnabled() {
+			res, info, err := p.retrieveWet(srcs[i], blocks[i], depths[i], pcrWorkers, 1, false, wetStrict)
+			health[i] = p.healthOf(blocks[i], res, err)
+			if info.covAvg > 0 && info.entries > 0 {
+				// The engine's live per-slot coverage, normalized by the
+				// stream's pore-entry effort: a floor-stopped probe's raw
+				// mean sits near the floor whatever the tube's state, so
+				// extrapolate what the full ungated budget would have
+				// yielded per slot. Healthy tubes stop after a fraction
+				// of the budget (high estimate); decayed tubes burn
+				// entries on junk and thin species (low estimate) —
+				// preserving the batch probe's abundance-decline signal.
+				health[i].Coverage = info.covAvg * float64(info.budget) / float64(info.entries)
+			}
+			return nil
+		}
 		res, err := p.retrieveScaled(srcs[i], blocks[i], depths[i], pcrWorkers, pol.ProbeDepthFactor)
 		health[i] = p.healthOf(blocks[i], res, err)
 		return nil

@@ -41,6 +41,7 @@ import (
 	"dnastore/internal/pool"
 	"dnastore/internal/rng"
 	"dnastore/internal/seqsim"
+	"dnastore/internal/streamdecode"
 )
 
 // Errors returned by store operations. All returned errors wrap one of
@@ -221,6 +222,10 @@ type Store struct {
 	costMu sync.Mutex
 	costs  Costs
 
+	// streamMu guards the streaming engines' merged per-stage stats.
+	streamMu    sync.Mutex
+	streamStats streamdecode.Stats
+
 	// screenOnce lazily compiles the primer-mismatch screen used by
 	// contamination quarantine: one pattern per library primer, shared
 	// by every screened reaction.
@@ -345,6 +350,25 @@ func (s *Store) addCosts(f func(*Costs)) {
 	s.costMu.Lock()
 	f(&s.costs)
 	s.costMu.Unlock()
+}
+
+// StreamStats returns the merged per-stage accounting of every
+// streaming decode engine the store has run: stage A filter/sign time,
+// stage B assignment time, finalize compute vs. the wall time reads
+// actually waited on it (their complement is the overlap won by
+// backgrounding finalization), and the kept/residue read split.
+func (s *Store) StreamStats() streamdecode.Stats {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	return s.streamStats
+}
+
+// addStreamStats folds one reaction engine's stats into the store's
+// streaming totals.
+func (s *Store) addStreamStats(st streamdecode.Stats) {
+	s.streamMu.Lock()
+	s.streamStats.Accumulate(st)
+	s.streamMu.Unlock()
 }
 
 // Tube exposes the underlying pool for experiments that inspect or

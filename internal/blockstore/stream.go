@@ -5,21 +5,33 @@ import (
 
 	"dnastore/internal/decode"
 	"dnastore/internal/dna"
+	"dnastore/internal/parallel"
 	"dnastore/internal/pool"
 	"dnastore/internal/rng"
 	"dnastore/internal/seqsim"
 	"dnastore/internal/streamdecode"
 )
 
-// This file is the wet half of the streaming decode path: plain content
-// reads (ReadBlock/ReadBlocks/ReadRange/ReadAll and the overflow-chain
-// retrievals behind them) sequence incrementally, feeding each chunk
-// through the streamdecode engine and stopping — or, for multi-target
-// reactions, redirecting via an adaptive-sampling gate — once every
-// target's coverage floor is met. The health probes, supervised reads,
-// and scrubber keep the batch path: their failure classification reads
-// "delivered < budget" as an aborted sequencing run, which an early
-// stop would forge.
+// This file is the wet half of the streaming decode path: wet reads —
+// plain content reads, the overflow-chain retrievals behind them, and
+// the health/supervised single-block reads — sequence incrementally,
+// feeding each chunk through the streamdecode engine and stopping (or,
+// for multi-target reactions, redirecting via an adaptive-sampling
+// gate) once every target's coverage floor is met. The engine's
+// assignment state is sharded by provisional block address and its
+// block finalizes run on a background pool, overlapping the decode
+// back half with ongoing sequencing.
+//
+// Failure classification survives the early stop because the stream
+// draws its injected delivery ceiling up front: an aborted run
+// truncates the ceiling below the budget whether or not the floor
+// would have stopped sequencing earlier, so "truncated" is a real
+// signal, not one forged by adaptive stopping. Reactions that never
+// amplified (PCR failure, contamination choking the reagents) fall
+// back to the batch path: nanopore loading needs amplified molarity,
+// so adaptive sampling cannot rescue an unamplified aliquot — and the
+// recovery machinery's gain/foreign-mass classification keeps its
+// exact batch semantics for them.
 
 // streamChunk is the most reads sequenced between engine updates and
 // stop checks — small enough that overshoot past the coverage floor
@@ -50,12 +62,56 @@ func chunkSize(budget int) int {
 const ejectOverhead = 4
 
 // streamingEnabled reports whether wet reads may use the streaming
-// engine. Fault injection forces the batch path: injected sequencing
-// aborts truncate a batch budget ("delivered < budget"), and the
-// operational-recovery machinery classifies failures by exactly that
-// signature.
+// engine. Reactions under fault injection additionally require a real
+// amplification gain (see streamGainOK): an unamplified aliquot lacks
+// the molarity adaptive sampling needs, and the recovery machinery
+// classifies those failures on the batch path's evidence.
 func (p *Partition) streamingEnabled() bool {
-	return p.store.cfg.Decode.Streaming && p.store.cfg.Faults == nil
+	return p.store.cfg.Decode.Streaming
+}
+
+// streamGainOK gates streaming on the reaction's PCR gain when a fault
+// injector is armed: a failed (or contaminant-choked) reaction never
+// amplified, so its aliquot cannot be loaded for adaptive sampling and
+// the read falls back to the batch protocol — whose gain and
+// foreign-mass evidence the supervisors' classification was built on.
+func (p *Partition) streamGainOK(gain float64) bool {
+	return p.store.cfg.Faults == nil || gain > failedGainCeiling
+}
+
+// newStreamEngine builds one reaction's decode engine: assignment
+// sharded per Config.Decode.StreamShards (0 = one shard per worker)
+// and block finalization overlapped on a background pool. The engine
+// fans out on the store's worker budget even when the reaction fan-out
+// is 1 — its output is worker-invariant, so this only moves wall-clock.
+func (p *Partition) newStreamEngine() (*streamdecode.Engine, error) {
+	workers := p.store.workers
+	eng, err := streamdecode.NewSharded(p.pipeline, 0, workers, p.store.cfg.Decode.StreamShards)
+	if err != nil {
+		return nil, err
+	}
+	eng.Overlap(parallel.NewPool(workers))
+	return eng, nil
+}
+
+// closeStreamEngine drains the engine's background jobs and folds its
+// per-stage accounting into the store's streaming totals.
+func (p *Partition) closeStreamEngine(eng *streamdecode.Engine) {
+	eng.Close()
+	p.store.addStreamStats(eng.Stats())
+}
+
+// streamRun is the evidence a streamed reaction leaves for failure
+// classification and health probes: reads actually sequenced, total
+// pore entries consumed (sequenced + ejected — the stream's true
+// effort), whether an injected abort truncated the delivery ceiling
+// below the budget, and the engine's live mean per-slot coverage of
+// the target.
+type streamRun struct {
+	sequenced int
+	entries   int
+	truncated bool
+	covAvg    float64
 }
 
 // expectedList is expectedVersions as a sorted slice — the unit set a
@@ -79,36 +135,44 @@ func (p *Partition) expectedList(block int) []int {
 // the whole read budget before the floor filled. If the floor proves
 // too shallow (the finalize cannot serve an expected version), Reopen
 // doubles it and the stream continues, degrading toward the batch
-// budget spent entirely on admissible molecules. Returns the decode
-// result and the reads actually sequenced.
-func (p *Partition) streamBlock(r *rng.Source, amplified *pool.Pool, block, budget, workers int) (*decode.BlockResult, int, error) {
+// budget spent entirely on admissible molecules. An injected
+// sequencing abort truncates the reaction's delivery ceiling below the
+// budget before the first draw, exactly as it truncates a batch run.
+func (p *Partition) streamBlock(r *rng.Source, amplified *pool.Pool, block, budget int, strict bool) (*decode.BlockResult, streamRun, error) {
+	var run streamRun
+	ceiling := p.store.faultBudget(r, budget)
+	run.truncated = ceiling < budget
 	st, err := p.store.sampler.Stream(r, amplified)
 	if err != nil {
 		// Mirror the batch path's accounting: sequence() charges the
 		// budget before sampling can fail.
-		p.store.addCosts(func(c *Costs) { c.ReadsSequenced += budget })
-		return nil, 0, err
+		p.store.addCosts(func(c *Costs) { c.ReadsSequenced += ceiling })
+		return nil, run, err
 	}
-	eng, err := streamdecode.New(p.pipeline, 0, workers)
+	eng, err := p.newStreamEngine()
 	if err != nil {
-		return nil, 0, err
+		return nil, run, err
+	}
+	defer p.closeStreamEngine(eng)
+	if strict {
+		eng.SetSlack(0)
 	}
 	expected := p.expectedList(block)
 	eng.Expect(block, expected)
 	gate := p.poreGate(amplified, eng)
-	chunk := chunkSize(budget)
-	maxEntries := ejectOverhead * budget
+	chunk := chunkSize(ceiling)
+	maxEntries := ejectOverhead * ceiling
 	entries := func() int { return st.Sequenced + st.Ejected }
 	batch := make([]dna.Seq, 0, chunk)
-	for st.Sequenced < budget && entries() < maxEntries && !eng.Done(block) {
-		batch = drawChunk(st, batch, chunk, budget, maxEntries, gate)
+	for st.Sequenced < ceiling && entries() < maxEntries && !eng.Done(block) {
+		batch = drawChunk(st, batch, chunk, ceiling, maxEntries, gate)
 		eng.Add(batch)
 	}
 	res, derr := eng.FinalizeBlock(block)
-	for (derr != nil || !servesExpected(res, expected)) && st.Sequenced < budget && entries() < maxEntries {
+	for (derr != nil || !servesExpected(res, expected)) && st.Sequenced < ceiling && entries() < maxEntries {
 		eng.Reopen(block)
-		for st.Sequenced < budget && entries() < maxEntries && !eng.Done(block) {
-			batch = drawChunk(st, batch, chunk, budget, maxEntries, gate)
+		for st.Sequenced < ceiling && entries() < maxEntries && !eng.Done(block) {
+			batch = drawChunk(st, batch, chunk, ceiling, maxEntries, gate)
 			eng.Add(batch)
 		}
 		res, derr = eng.FinalizeBlock(block)
@@ -117,7 +181,10 @@ func (p *Partition) streamBlock(r *rng.Source, amplified *pool.Pool, block, budg
 		c.ReadsSequenced += st.Sequenced
 		c.ReadsEjected += st.Ejected
 	})
-	return res, st.Sequenced, derr
+	run.sequenced = st.Sequenced
+	run.entries = entries()
+	run.covAvg, _ = eng.CoverageEstimate(block)
+	return res, run, derr
 }
 
 // poreGate builds the adaptive-sampling admission decision for one
@@ -174,39 +241,41 @@ func (p *Partition) poreGate(amplified *pool.Pool, eng *streamdecode.Engine) fun
 // Targets that still fail to decode at the floor are reopened — their
 // floors double per round — and the stream escalates until every target
 // decodes or the batch budget (or the pore-entry bound) is exhausted.
-func (p *Partition) streamTargets(r *rng.Source, amplified *pool.Pool, targets []int, budget, workers int) (map[int]*decode.BlockResult, error) {
+func (p *Partition) streamTargets(r *rng.Source, amplified *pool.Pool, targets []int, budget int) (map[int]*decode.BlockResult, error) {
+	ceiling := p.store.faultBudget(r, budget)
 	st, err := p.store.sampler.Stream(r, amplified)
 	if err != nil {
-		p.store.addCosts(func(c *Costs) { c.ReadsSequenced += budget })
+		p.store.addCosts(func(c *Costs) { c.ReadsSequenced += ceiling })
 		return nil, err
 	}
-	eng, err := streamdecode.New(p.pipeline, 0, workers)
+	eng, err := p.newStreamEngine()
 	if err != nil {
 		return nil, err
 	}
+	defer p.closeStreamEngine(eng)
 	for _, b := range targets {
 		eng.Expect(b, p.expectedList(b))
 	}
 	gate := p.poreGate(amplified, eng)
-	chunk := chunkSize(budget)
-	maxEntries := ejectOverhead * budget
+	chunk := chunkSize(ceiling)
+	maxEntries := ejectOverhead * ceiling
 	entries := func() int { return st.Sequenced + st.Ejected }
 	batch := make([]dna.Seq, 0, chunk)
-	for st.Sequenced < budget && entries() < maxEntries && !eng.AllDone() {
-		batch = drawChunk(st, batch, chunk, budget, maxEntries, gate)
+	for st.Sequenced < ceiling && entries() < maxEntries && !eng.AllDone() {
+		batch = drawChunk(st, batch, chunk, ceiling, maxEntries, gate)
 		eng.Add(batch)
 	}
 	results, derr := eng.Finalize()
 	for derr == nil {
 		bad := p.failedTargets(results, targets)
-		if len(bad) == 0 || st.Sequenced >= budget || entries() >= maxEntries {
+		if len(bad) == 0 || st.Sequenced >= ceiling || entries() >= maxEntries {
 			break
 		}
 		for _, b := range bad {
 			eng.Reopen(b)
 		}
-		for st.Sequenced < budget && entries() < maxEntries && !eng.AllDone() {
-			batch = drawChunk(st, batch, chunk, budget, maxEntries, gate)
+		for st.Sequenced < ceiling && entries() < maxEntries && !eng.AllDone() {
+			batch = drawChunk(st, batch, chunk, ceiling, maxEntries, gate)
 			eng.Add(batch)
 		}
 		// Re-finalize only the escalated targets: the others' results

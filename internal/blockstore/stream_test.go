@@ -2,20 +2,28 @@ package blockstore
 
 import (
 	"bytes"
+	"errors"
+	"runtime"
 	"testing"
 
+	"dnastore/internal/decode"
+	"dnastore/internal/fault"
 	"dnastore/internal/update"
 )
 
 // twinStores builds two stores over the same primer library and seed,
 // one streaming and one batch, each with one partition holding the
 // same written blocks and update history (including an overflow
-// chain), so every read can be compared content for content.
-func twinStores(t *testing.T, streamWorkers, batchWorkers int) (stream, batch *Partition, ss, bs *Store) {
+// chain), so every read can be compared content for content. shards
+// sets the streaming store's assignment shard count (0 = default).
+func twinStores(t *testing.T, streamWorkers, batchWorkers, shards int) (stream, batch *Partition, ss, bs *Store) {
 	t.Helper()
 	mk := func(streaming bool, workers int) (*Store, *Partition) {
 		cfg := testConfig()
 		cfg.Decode.Streaming = streaming
+		if streaming {
+			cfg.Decode.StreamShards = shards
+		}
 		cfg.Workers = workers
 		s := newTestStore(t, cfg)
 		p, err := s.CreatePartition("twin")
@@ -52,7 +60,7 @@ func twinStores(t *testing.T, streamWorkers, batchWorkers int) (stream, batch *P
 // store must return byte-identical data to the batch store's, while
 // sequencing strictly fewer reads.
 func TestStreamingReadsMatchBatch(t *testing.T) {
-	spart, bpart, sstore, bstore := twinStores(t, 4, 1)
+	spart, bpart, sstore, bstore := twinStores(t, 4, 1, 0)
 
 	for _, b := range []int{0, 3, 7, 40} {
 		sgot, serr := spart.ReadBlock(b)
@@ -121,8 +129,8 @@ func TestStreamingReadsMatchBatch(t *testing.T) {
 // deterministic in the worker count: serial and parallel streaming
 // stores return identical content and identical read counts.
 func TestStreamingWorkerInvariance(t *testing.T) {
-	spart1, _, sstore1, _ := twinStores(t, 1, 1)
-	spartN, _, sstoreN, _ := twinStores(t, -1, 1)
+	spart1, _, sstore1, _ := twinStores(t, 1, 1, 0)
+	spartN, _, sstoreN, _ := twinStores(t, -1, 1, 0)
 
 	a, err := spart1.ReadRange(0, 14)
 	if err != nil {
@@ -141,5 +149,107 @@ func TestStreamingWorkerInvariance(t *testing.T) {
 	if c1.ReadsSequenced != cN.ReadsSequenced || c1.ReadsEjected != cN.ReadsEjected {
 		t.Errorf("read accounting depends on workers: serial %d/%d, parallel %d/%d",
 			c1.ReadsSequenced, c1.ReadsEjected, cN.ReadsSequenced, cN.ReadsEjected)
+	}
+}
+
+// TestStreamingShardInvariance pins that the assignment shard count is
+// invisible to callers: for every shard count the streaming store
+// returns content byte-identical to the batch store and the read/eject
+// accounting is identical across shard counts.
+func TestStreamingShardInvariance(t *testing.T) {
+	type run struct {
+		shards  int
+		content [][]byte
+		costs   Costs
+	}
+	var runs []run
+	for _, shards := range []int{1, 4, runtime.GOMAXPROCS(0) + 1} {
+		spart, bpart, sstore, _ := twinStores(t, 4, 1, shards)
+		sgot, serr := spart.ReadRange(0, 14)
+		bgot, berr := bpart.ReadRange(0, 14)
+		if serr != nil || berr != nil {
+			t.Fatalf("shards=%d: streaming err %v, batch err %v", shards, serr, berr)
+		}
+		for i := range bgot {
+			if !bytes.Equal(sgot[i], bgot[i]) {
+				t.Fatalf("shards=%d ReadRange[%d]: streaming content diverges from batch", shards, i)
+			}
+		}
+		runs = append(runs, run{shards, sgot, sstore.Costs()})
+	}
+	for _, r := range runs[1:] {
+		for i := range runs[0].content {
+			if !bytes.Equal(r.content[i], runs[0].content[i]) {
+				t.Errorf("shards=%d block[%d] content diverges from shards=%d", r.shards, i, runs[0].shards)
+			}
+		}
+		if r.costs.ReadsSequenced != runs[0].costs.ReadsSequenced ||
+			r.costs.ReadsEjected != runs[0].costs.ReadsEjected {
+			t.Errorf("read accounting depends on shards: shards=%d %d/%d, shards=%d %d/%d",
+				runs[0].shards, runs[0].costs.ReadsSequenced, runs[0].costs.ReadsEjected,
+				r.shards, r.costs.ReadsSequenced, r.costs.ReadsEjected)
+		}
+	}
+}
+
+// TestStreamingStatsAccumulate checks the store-level roll-up of
+// engine stage timings: after streamed reads with overlapped
+// finalization the store has accounted kept reads, finalize jobs, and
+// stage compute.
+func TestStreamingStatsAccumulate(t *testing.T) {
+	spart, _, sstore, _ := twinStores(t, 4, 1, 4)
+	if _, err := spart.ReadRange(0, 14); err != nil {
+		t.Fatal(err)
+	}
+	st := sstore.StreamStats()
+	if st.Kept == 0 {
+		t.Error("no kept reads accumulated")
+	}
+	if st.FinalizeJobs == 0 {
+		t.Error("no overlapped finalize jobs recorded")
+	}
+	if st.StageBSeconds <= 0 || st.FinalizeSeconds <= 0 {
+		t.Errorf("stage timings not accumulated: stageB %.3fs finalize %.3fs",
+			st.StageBSeconds, st.FinalizeSeconds)
+	}
+	if st.Residue == 0 {
+		t.Error("sharded engine saw no residue-lane reads under a decayed channel")
+	}
+}
+
+// TestStreamingSeqAbortClassified is the streamed twin of
+// TestSeqAbortClassified: with streaming enabled the supervised
+// health read must classify an injected run abort from the true
+// delivered ceiling — not from a batch-only delivered count — and
+// keep the curable coverage class.
+func TestStreamingSeqAbortClassified(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 4
+	cfg.Decode.Streaming = true
+	inj, err := fault.NewInjector(fault.Plan{SeqAbort: 1, SeqAbortFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = inj
+	s := newTestStore(t, cfg)
+	p, err := s.CreatePartition("abort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteBlock(0, bytes.Repeat([]byte{'a'}, 40)); err != nil {
+		t.Fatal(err)
+	}
+	content, h, err := p.ReadBlockHealth(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if content != nil || h.Recovered {
+		t.Fatal("read at 5% of the budget succeeded")
+	}
+	if !errors.Is(h.Err, fault.ErrRunAborted) {
+		t.Errorf("err %v, want ErrRunAborted", h.Err)
+	}
+	if !errors.Is(h.Err, decode.ErrInsufficientCoverage) {
+		t.Errorf("err %v lost the curable coverage class", h.Err)
 	}
 }

@@ -119,3 +119,17 @@ func withinDist(rep *dna.Pattern, read dna.Seq, maxDist int) bool {
 func WithinDist(rep *dna.Pattern, read dna.Seq, maxDist int) bool {
 	return withinDist(rep, read, maxDist)
 }
+
+// ShardOf maps a block address to one of shards assignment shards. The
+// streaming engine partitions its greedy-assignment state by this key
+// so each shard clusters its own blocks' reads independently (reads of
+// one block always land in one shard, which is what keeps per-block
+// cluster sets DeepEqual to Group's); the pore gate and coverage
+// accounting use the same key so a shard's floor state is self-
+// contained. shards <= 1 collapses to a single shard.
+func ShardOf(block, shards int) int {
+	if shards <= 1 || block < 0 {
+		return 0
+	}
+	return block % shards
+}

@@ -81,6 +81,18 @@ type Config struct {
 	// (DecodeAll / DecodeBlock on a materialized read set) are the batch
 	// path either way.
 	Streaming bool
+	// StreamShards partitions the streaming engine's greedy-assignment
+	// state by block address: each shard runs its own leader loop (and
+	// its own sketch index) over the reads provisionally routed to it,
+	// so assignment fans across workers and every membership probe only
+	// sees candidates from blocks in the same shard. Reads whose address
+	// fails to parse fall back to a residue shard clustered on its own.
+	// 0 selects streamdecode.DefaultShards (a fixed, worker-independent
+	// constant: the shard partition shapes decode results, so it must
+	// not vary with the machine's parallelism); 1 forces the
+	// single-shard engine, whose assignments are bit-identical to
+	// cluster.Group.
+	StreamShards int
 }
 
 // PatternCompiler memoizes dna.CompilePattern results across

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dnastore/internal/blockstore"
+	"dnastore/internal/streamdecode"
 	"dnastore/internal/update"
 )
 
@@ -21,6 +22,7 @@ type StreamResult struct {
 	Scale      int
 	Blocks     int // blocks written to each twin store
 	RangeReads int // blocks in the timed range read
+	Shards     int // assignment shards in the streaming engine (resolved, never 0)
 
 	BatchSeconds  float64 // timed warm range read, batch store
 	StreamSeconds float64 // timed warm range read, streaming store
@@ -30,6 +32,18 @@ type StreamResult struct {
 	StreamEjected int     // molecules the gate ejected unsequenced
 	ReadsSaved    float64 // 1 - streaming/batch sequenced reads
 	Identical     bool    // timed outputs byte-identical across the twins
+
+	// Per-stage breakdown of the timed streaming read, from the
+	// engine's own stage clocks: parse/sign (stage A), sharded
+	// assignment (stage B), and overlapped finalization, with the
+	// overlap ratio (1 - wait/compute: 1 means every finalize ran
+	// fully hidden behind sequencing, 0 means every job was waited
+	// on) and the fraction of kept reads routed to the residue lane.
+	StageASeconds   float64
+	StageBSeconds   float64
+	FinalizeSeconds float64
+	FinalizeOverlap float64
+	ResidueFrac     float64
 
 	// The big-pool point, run when the study's scale reaches
 	// BigPoolScale: one streaming ReadBlock against a tube of ~10^6
@@ -56,17 +70,23 @@ func (r *StreamResult) Metrics() map[string]float64 {
 		identical = 1
 	}
 	m := map[string]float64{
-		"scale":          float64(r.Scale),
-		"blocks":         float64(r.Blocks),
-		"range_blocks":   float64(r.RangeReads),
-		"batch_s":        r.BatchSeconds,
-		"stream_s":       r.StreamSeconds,
-		"speedup":        r.Speedup,
-		"batch_reads":    float64(r.BatchReads),
-		"stream_reads":   float64(r.StreamReads),
-		"stream_ejected": float64(r.StreamEjected),
-		"reads_saved":    r.ReadsSaved,
-		"identical":      identical,
+		"scale":            float64(r.Scale),
+		"blocks":           float64(r.Blocks),
+		"range_blocks":     float64(r.RangeReads),
+		"batch_s":          r.BatchSeconds,
+		"stream_s":         r.StreamSeconds,
+		"speedup":          r.Speedup,
+		"batch_reads":      float64(r.BatchReads),
+		"stream_reads":     float64(r.StreamReads),
+		"stream_ejected":   float64(r.StreamEjected),
+		"reads_saved":      r.ReadsSaved,
+		"identical":        identical,
+		"shards":           float64(r.Shards),
+		"stage_a_s":        r.StageASeconds,
+		"stage_b_s":        r.StageBSeconds,
+		"finalize_s":       r.FinalizeSeconds,
+		"finalize_overlap": r.FinalizeOverlap,
+		"residue_frac":     r.ResidueFrac,
 	}
 	if r.BigStrands > 0 {
 		ok := 0.0
@@ -87,7 +107,7 @@ func (r *StreamResult) Metrics() map[string]float64 {
 // payloads committed in one batch plus a small update history (an
 // in-slot update on block 1, an overflow chain on block 2) so the
 // timed read exercises version slots and chained log blocks.
-func streamBenchStore(streaming bool, blocks, workers int) (*blockstore.Store, *blockstore.Partition, error) {
+func streamBenchStore(streaming bool, blocks, workers, shards int) (*blockstore.Store, *blockstore.Partition, error) {
 	primers, err := SearchPrimers(97, 2)
 	if err != nil {
 		return nil, nil, err
@@ -96,6 +116,7 @@ func streamBenchStore(streaming bool, blocks, workers int) (*blockstore.Store, *
 	cfg.Seed = 97
 	cfg.Workers = workers
 	cfg.Decode.Streaming = streaming
+	cfg.Decode.StreamShards = shards
 	s, err := blockstore.New(cfg, primers)
 	if err != nil {
 		return nil, nil, err
@@ -128,7 +149,7 @@ func streamBenchStore(streaming bool, blocks, workers int) (*blockstore.Store, *
 // timing is dominated by sequencing and decode, the subsystems the
 // streaming engine changes), and — at BigPoolScale and beyond — the
 // 10^6-strand single-block point.
-func StreamStudy(scale, workers int) (*StreamResult, error) {
+func StreamStudy(scale, workers, shards int) (*StreamResult, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -143,16 +164,20 @@ func StreamStudy(scale, workers int) (*StreamResult, error) {
 	if rangeN > blocks {
 		rangeN = blocks
 	}
-	res := &StreamResult{Scale: scale, Blocks: blocks, RangeReads: rangeN}
+	res := &StreamResult{Scale: scale, Blocks: blocks, RangeReads: rangeN, Shards: shards}
+	if res.Shards <= 0 {
+		res.Shards = streamdecode.DefaultShards
+	}
 
 	type arm struct {
 		secs    float64
 		reads   int
 		ejected int
 		out     [][]byte
+		stages  streamdecode.Stats // stage clocks of the timed read
 	}
 	run := func(streaming bool) (*arm, error) {
-		s, p, err := streamBenchStore(streaming, blocks, workers)
+		s, p, err := streamBenchStore(streaming, blocks, workers, shards)
 		if err != nil {
 			return nil, err
 		}
@@ -160,17 +185,27 @@ func StreamStudy(scale, workers int) (*StreamResult, error) {
 			return nil, err
 		}
 		before := s.Costs()
+		stBefore := s.StreamStats()
 		t0 := time.Now()
 		out, err := p.ReadRange(0, rangeN-1)
 		if err != nil {
 			return nil, err
 		}
 		after := s.Costs()
+		stAfter := s.StreamStats()
 		return &arm{
 			secs:    time.Since(t0).Seconds(),
 			reads:   after.ReadsSequenced - before.ReadsSequenced,
 			ejected: after.ReadsEjected - before.ReadsEjected,
 			out:     out,
+			stages: streamdecode.Stats{
+				Kept:                stAfter.Kept - stBefore.Kept,
+				Residue:             stAfter.Residue - stBefore.Residue,
+				StageASeconds:       stAfter.StageASeconds - stBefore.StageASeconds,
+				StageBSeconds:       stAfter.StageBSeconds - stBefore.StageBSeconds,
+				FinalizeSeconds:     stAfter.FinalizeSeconds - stBefore.FinalizeSeconds,
+				FinalizeWaitSeconds: stAfter.FinalizeWaitSeconds - stBefore.FinalizeWaitSeconds,
+			},
 		}, nil
 	}
 	batch, err := run(false)
@@ -183,6 +218,18 @@ func StreamStudy(scale, workers int) (*StreamResult, error) {
 	}
 	res.BatchSeconds, res.BatchReads = batch.secs, batch.reads
 	res.StreamSeconds, res.StreamReads, res.StreamEjected = stream.secs, stream.reads, stream.ejected
+	res.StageASeconds = stream.stages.StageASeconds
+	res.StageBSeconds = stream.stages.StageBSeconds
+	res.FinalizeSeconds = stream.stages.FinalizeSeconds
+	if stream.stages.FinalizeSeconds > 0 {
+		res.FinalizeOverlap = 1 - stream.stages.FinalizeWaitSeconds/stream.stages.FinalizeSeconds
+		if res.FinalizeOverlap < 0 {
+			res.FinalizeOverlap = 0
+		}
+	}
+	if stream.stages.Kept > 0 {
+		res.ResidueFrac = float64(stream.stages.Residue) / float64(stream.stages.Kept)
+	}
 	if res.StreamSeconds > 0 {
 		res.Speedup = res.BatchSeconds / res.StreamSeconds
 	}
@@ -264,6 +311,9 @@ func PrintStreamStudy(w io.Writer, r *StreamResult) {
 	fmt.Fprintf(w, "  batch read:     %8.3fs, %6d reads sequenced\n", r.BatchSeconds, r.BatchReads)
 	fmt.Fprintf(w, "  streaming read: %8.3fs, %6d reads sequenced + %d ejected (%.2fx, %.0f%% reads saved)\n",
 		r.StreamSeconds, r.StreamReads, r.StreamEjected, r.Speedup, 100*r.ReadsSaved)
+	fmt.Fprintf(w, "  streaming stages: parse/sign %.3fs, assign %.3fs (%d shards), finalize %.3fs (overlap %.0f%%, residue %.1f%%)\n",
+		r.StageASeconds, r.StageBSeconds, r.Shards, r.FinalizeSeconds,
+		100*r.FinalizeOverlap, 100*r.ResidueFrac)
 	if r.Identical {
 		fmt.Fprintf(w, "  streaming content byte-identical to batch: yes\n")
 	} else {

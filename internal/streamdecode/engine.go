@@ -2,30 +2,54 @@
 // decode engine for large strand pools: sequencing reads stream through
 // primer filtering, greedy cluster assignment, and coverage accounting
 // as they come off the sequencer, instead of being collected into one
-// batch and clustered after the run. The engine's assignments are
-// byte-identical to the batch clusterer's (cluster.Group) on the same
-// read sequence — both are built from the same sketch primitives
-// (MinHash signatures, LSH candidate index, epoch-deduplicated scan,
-// staged bit-parallel membership probe) and consume reads in the same
-// order — so a streaming decode that runs to the full read budget
-// reproduces the batch decode exactly, while one that stops at the
-// coverage floor decodes the same content from a prefix of the reads.
+// batch and clustered after the run. The single-shard engine's
+// assignments are byte-identical to the batch clusterer's
+// (cluster.Group) on the same read sequence — both are built from the
+// same sketch primitives (MinHash signatures, LSH candidate index,
+// epoch-deduplicated scan, staged bit-parallel membership probe) and
+// consume reads in the same order — so a streaming decode that runs to
+// the full read budget reproduces the batch decode exactly, while one
+// that stops at the coverage floor decodes the same content from a
+// prefix of the reads.
+//
+// With shards > 1 the assignment state is partitioned by provisional
+// block address (cluster.ShardOf): each shard runs the same greedy
+// leader loop over the reads routed to it, in input order, with its own
+// sketch index — so membership probes only ever see candidates from
+// blocks in the same shard, and the shards fan across workers. Reads
+// whose address fails to parse (a decayed index, a well-primed chimera)
+// fall back to a residue shard that clusters on its own and joins every
+// block's finalize. Per block, the sharded clusters equal cluster.Group
+// run over that shard's reads; reads of different blocks land in
+// different clusters either way (MaxDist is far below the distance
+// between distinct strands), so the decoded content is identical.
 //
 // The flow per sequencing chunk:
 //
-//	Add(batch)       stage A: primer filter + packing + signatures, fanned
-//	                 across workers; stage B: serial greedy assignment.
+//	Add(batch)       stage A: primer filter + packing + signatures +
+//	                 address parse, fanned across workers; stage B:
+//	                 greedy assignment, one worker per shard.
 //	Done(block)      has every expected slot met the per-slot floor?
 //	FinalizeBlock    hand the accumulated clusters to decode.DecodeClusters.
+//
+// With a finalize pool attached (Overlap), a shard whose targets have
+// all met their floors is handed to a background worker the moment the
+// last floor fills: consensus, bit-parallel trace refinement, and RS
+// decoding overlap the sequencing still streaming for other shards.
+// Finalize then drains the jobs in block order; Reopen invalidates a
+// shard's in-flight job (its result is abandoned — the decode stages
+// are pure functions of the snapshot, so abandonment is cancellation)
+// and the shard resubmits when the raised floor fills.
 //
 // Kept reads are retained 2-bit packed in one arena (a quarter of the
 // Seq footprint — the difference between holding 10^6–10^7 kept reads
 // and not), with signatures computed directly over the packed spans;
-// reads are unpacked only once, into the finalize slab.
+// reads are unpacked only when a finalize snapshot is cut.
 package streamdecode
 
 import (
 	"sort"
+	"time"
 
 	"dnastore/internal/cluster"
 	"dnastore/internal/decode"
@@ -66,9 +90,113 @@ type slotKey struct {
 	block, version, intra int
 }
 
+// lane is one shard of greedy-assignment state: its own sketch index,
+// member lists (global kept-read indices, in arrival order), compiled
+// representatives, and founder indices for the cross-shard merge order.
+type lane struct {
+	index    *sketch.Index
+	members  [][]int
+	reps     []*dna.Pattern
+	founders []int
+
+	// probe hot-path state: the closure is built once and reads the
+	// current read through the field, so Scan stays allocation-free.
+	probeRead dna.Seq
+	probeFn   func(ci int) bool
+}
+
+func newLane(maxDist int) *lane {
+	l := &lane{index: sketch.NewIndex()}
+	l.probeFn = func(ci int) bool {
+		return cluster.WithinDist(l.reps[ci], l.probeRead, maxDist)
+	}
+	return l
+}
+
+// assign joins the read to the first indexed cluster of this lane whose
+// representative is within the cluster distance, or founds a new
+// cluster — the exact decision procedure of cluster.Group over the
+// lane's read subsequence.
+func (l *lane) assign(read dna.Seq, ri int, sigs []uint64) {
+	l.probeRead = read
+	if joined := l.index.Scan(sigs, l.probeFn); joined >= 0 {
+		l.members[joined] = append(l.members[joined], ri)
+		return
+	}
+	l.index.Add(sigs)
+	l.members = append(l.members, []int{ri})
+	l.reps = append(l.reps, dna.CompilePattern(read))
+	l.founders = append(l.founders, ri)
+}
+
+// Stats is the engine's per-stage accounting, merged by callers into
+// store-level streaming metrics.
+type Stats struct {
+	// Kept counts reads that passed the primer filter; Residue counts
+	// the kept reads routed to the residue shard (failed address parse).
+	Kept    int
+	Residue int
+	// StageASeconds covers the fanned per-read work: primer filter,
+	// arena packing, packed-span signatures, provisional address parse.
+	// StageBSeconds covers the sharded greedy assignment.
+	StageASeconds float64
+	StageBSeconds float64
+	// FinalizeSeconds is total finalize compute (background jobs plus
+	// synchronous finalizes); FinalizeWaitSeconds is the wall time the
+	// caller spent blocked on that compute. Their ratio is the overlap:
+	// 1 - wait/compute is the fraction of decode work hidden behind
+	// sequencing. HandoffSeconds is the cost of cutting job snapshots.
+	FinalizeSeconds     float64
+	FinalizeWaitSeconds float64
+	HandoffSeconds      float64
+	// FinalizeJobs counts background finalizes submitted;
+	// FinalizeDiscarded counts jobs abandoned by Reopen escalation
+	// before any of their results were consumed.
+	FinalizeJobs      int
+	FinalizeDiscarded int
+}
+
+// Accumulate folds another engine's stats into this one — the store
+// merges per-reaction engines into its streaming totals with it.
+func (s *Stats) Accumulate(o Stats) {
+	s.Kept += o.Kept
+	s.Residue += o.Residue
+	s.StageASeconds += o.StageASeconds
+	s.StageBSeconds += o.StageBSeconds
+	s.FinalizeSeconds += o.FinalizeSeconds
+	s.FinalizeWaitSeconds += o.FinalizeWaitSeconds
+	s.HandoffSeconds += o.HandoffSeconds
+	s.FinalizeJobs += o.FinalizeJobs
+	s.FinalizeDiscarded += o.FinalizeDiscarded
+}
+
+// laneJob is one background finalize of a shard's accumulated clusters
+// (plus the residue shard's). Its inputs are a snapshot cut at
+// submission, so it shares nothing mutable with the engine.
+type laneJob struct {
+	done     chan struct{}
+	results  map[int]*decode.BlockResult
+	err      error
+	secs     float64     // compute seconds, written before done closes
+	gens     map[int]int // reopened[target] at submission
+	consumed bool
+	counted  bool
+}
+
+// fresh reports whether the job still reflects the targets' escalation
+// state — false once any of them was reopened after submission.
+func (j *laneJob) fresh(reopened map[int]int, targets []int) bool {
+	for _, b := range targets {
+		if j.gens[b] != reopened[b] {
+			return false
+		}
+	}
+	return true
+}
+
 // Engine accumulates one reaction's read stream. It is not safe for
 // concurrent use: parallel reactions each own an Engine, and the
-// engine fans its own stage-A work across workers internally.
+// engine fans its own stage work across workers internally.
 type Engine struct {
 	pipe    *decode.Pipeline
 	signer  sketch.Signer
@@ -77,36 +205,66 @@ type Engine struct {
 	floor   int
 	slack   int
 	workers int
+	shards  int
 
-	index   *sketch.Index
-	arena   []byte
-	spans   []span
-	bases   int // total kept bases, sizing the finalize slab
-	members [][]int
-	reps    []*dna.Pattern
+	// lanes[0:shards] are the address shards; with shards > 1 a final
+	// residue lane at lanes[shards] holds the unparseable reads.
+	lanes []*lane
 
-	cov      map[slotKey]int
-	expected map[int][]int
-	done     map[int]bool
-	reopened map[int]int // escalation rounds: effective floor is floor << n
+	arena  []byte
+	spans  []span
+	bases  int      // total kept bases, sizing finalize slabs
+	riLane []uint16 // per kept read, the lane it was assigned in
 
-	// assignment hot-path state: the probe closure is built once and
-	// reads the current read through the field, so Scan stays
-	// allocation-free.
-	probeRead dna.Seq
-	probeFn   func(ci int) bool
+	cov         map[slotKey]int
+	expected    map[int][]int
+	targets     []int   // Expect'd blocks, ascending
+	laneTargets [][]int // targets grouped by shard
+	done        map[int]bool
+	reopened    map[int]int // escalation rounds: effective floor is floor << n
 
-	keepf []bool
-	sigs  []uint64
-	offs  []int
-	addrs []slotAddr
+	pool  *parallel.Pool   // overlapped finalization; nil = synchronous
+	jobs  map[int]*laneJob // in-flight/completed jobs by shard
+	stats Stats
+
+	keepf    []bool
+	sigs     []uint64
+	offs     []int
+	addrs    []slotAddr
+	laneOf   []int
+	riOf     []int
+	localIdx []int32
+	laneMask []bool
+
+	// The per-stage task closures are built once (they read the chunk
+	// through curBatch/curN) so a warm Add allocates nothing per read.
+	curBatch        []dna.Seq
+	curN            int
+	fnA1, fnA2, fnB func(i int) error
 }
 
-// New builds an engine decoding into the pipeline's partition. floor <=
-// 0 selects DefaultFloor; workers bounds the engine's internal fan-out
-// (0 means 1, negative means GOMAXPROCS), matching the reaction's PCR
-// fan-out so nested parallel accesses do not stack worker pools.
+// New builds a single-shard engine decoding into the pipeline's
+// partition; its assignments are bit-identical to cluster.Group on the
+// kept read sequence. floor <= 0 selects DefaultFloor; workers bounds
+// the engine's internal fan-out (0 means 1, negative means GOMAXPROCS).
 func New(pipe *decode.Pipeline, floor, workers int) (*Engine, error) {
+	return NewSharded(pipe, floor, workers, 1)
+}
+
+// DefaultShards is the shard count NewSharded substitutes for
+// shards <= 0. It is a fixed constant, not the worker count, on
+// purpose: the shard partition decides which clusters a block's
+// finalize can see, so deriving it from workers would make decode
+// results (and the health reports built on them) depend on the
+// machine's parallelism. Eight shards cut cross-block membership
+// probes by ~8x at the pool scales the engine targets while leaving
+// every lane enough reads to amortize its index.
+const DefaultShards = 8
+
+// NewSharded builds an engine with the given number of assignment
+// shards (plus the residue shard). shards <= 0 selects DefaultShards;
+// shards == 1 is the single-shard batch-identical engine.
+func NewSharded(pipe *decode.Pipeline, floor, workers, shards int) (*Engine, error) {
 	cfg := pipe.Config()
 	if err := cfg.Cluster.Validate(); err != nil {
 		return nil, err
@@ -114,25 +272,100 @@ func New(pipe *decode.Pipeline, floor, workers int) (*Engine, error) {
 	if floor <= 0 {
 		floor = DefaultFloor
 	}
-	e := &Engine{
-		pipe:     pipe,
-		signer:   cfg.Cluster.Signer(),
-		maxDist:  cfg.Cluster.MaxDist,
-		mol:      pipe.Unit().Molecules(),
-		floor:    floor,
-		slack:    (pipe.Unit().Molecules() - pipe.Unit().DataMolecules()) / 2,
-		workers:  parallel.Resolve(workers),
-		index:    sketch.NewIndex(),
-		cov:      make(map[slotKey]int),
-		expected: make(map[int][]int),
-		done:     make(map[int]bool),
-		reopened: make(map[int]int),
+	w := parallel.Resolve(workers)
+	if shards <= 0 {
+		shards = DefaultShards
 	}
-	e.probeFn = func(ci int) bool {
-		return cluster.WithinDist(e.reps[ci], e.probeRead, e.maxDist)
+	e := &Engine{
+		pipe:        pipe,
+		signer:      cfg.Cluster.Signer(),
+		maxDist:     cfg.Cluster.MaxDist,
+		mol:         pipe.Unit().Molecules(),
+		floor:       floor,
+		slack:       (pipe.Unit().Molecules() - pipe.Unit().DataMolecules()) / 2,
+		workers:     w,
+		shards:      shards,
+		cov:         make(map[slotKey]int),
+		expected:    make(map[int][]int),
+		laneTargets: make([][]int, shards),
+		done:        make(map[int]bool),
+		reopened:    make(map[int]int),
+		jobs:        make(map[int]*laneJob),
+	}
+	lanes := shards
+	if shards > 1 {
+		lanes++ // the residue shard
+	}
+	e.lanes = make([]*lane, lanes)
+	for i := range e.lanes {
+		e.lanes[i] = newLane(e.maxDist)
+	}
+	h := e.signer.NumHashes
+	e.fnA1 = func(i int) error {
+		e.keepf[i] = e.pipe.Keep(e.curBatch[i])
+		return nil
+	}
+	e.fnA2 = func(i int) error {
+		if e.offs[i] < 0 {
+			return nil
+		}
+		read := e.curBatch[i]
+		off := e.offs[i]
+		nb := (len(read) + 3) / 4
+		buf := dna.AppendPackedBytes(e.arena[off:off:off+nb], read)
+		e.signer.IntoPacked(dna.PackedView(buf, len(read)), e.sigs[i*h:(i+1)*h])
+		b, v, in, ok := e.pipe.ProvisionalAddress(read)
+		e.addrs[i] = slotAddr{block: b, version: v, intra: in, ok: ok}
+		return nil
+	}
+	e.fnB = func(li int) error {
+		l := e.lanes[li]
+		for i := 0; i < e.curN; i++ {
+			if e.laneOf[i] != li {
+				continue
+			}
+			l.assign(e.curBatch[i], e.riOf[i], e.sigs[i*h:(i+1)*h])
+		}
+		return nil
 	}
 	return e, nil
 }
+
+// SetSlack overrides the erasure slack the coverage floor tolerates.
+// The default (half the unit's RS parity) optimizes read cost: the
+// floor stops without waiting out the coupon-collector tail for the
+// rarest strand species, letting the parity erase what is thin. Health
+// probes set 0 — they exist to report slot-level state, so stopping
+// while an expected slot is still unobserved would forge a missing
+// slot on a healthy block.
+func (e *Engine) SetSlack(n int) {
+	if n >= 0 {
+		e.slack = n
+	}
+}
+
+// Overlap attaches a background pool for finalize jobs: a shard whose
+// targets have all met their floors is decoded concurrently with
+// ongoing sequencing. nil detaches (synchronous finalization, the
+// default). The jobs are pure functions of snapshots cut at
+// deterministic points of the read stream, so results are identical at
+// any worker count.
+func (e *Engine) Overlap(pool *parallel.Pool) { e.pool = pool }
+
+// Close waits for any in-flight finalize jobs, releasing their workers.
+// Abandoned jobs hold only private snapshots, so Close is about bounding
+// background work, not correctness.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Wait()
+	}
+}
+
+// Stats returns the engine's accumulated per-stage accounting.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// laneFor maps a block to its assignment shard.
+func (e *Engine) laneFor(block int) int { return cluster.ShardOf(block, e.shards) }
 
 // Expect registers a target block and the unit versions that physically
 // exist for it; Done tracks the coverage floor over exactly these
@@ -140,6 +373,14 @@ func New(pipe *decode.Pipeline, floor, workers int) (*Engine, error) {
 // their reads still cluster (exactly as in the batch path), but they
 // have no floor and IsTarget reports false for them.
 func (e *Engine) Expect(block int, versions []int) {
+	if _, seen := e.expected[block]; !seen {
+		at := sort.SearchInts(e.targets, block)
+		e.targets = append(e.targets, 0)
+		copy(e.targets[at+1:], e.targets[at:])
+		e.targets[at] = block
+		li := e.laneFor(block)
+		e.laneTargets[li] = append(e.laneTargets[li], block)
+	}
 	e.expected[block] = append([]int(nil), versions...)
 }
 
@@ -152,14 +393,22 @@ func (e *Engine) IsTarget(block int) bool {
 // Kept returns the number of reads that passed the primer filter.
 func (e *Engine) Kept() int { return len(e.spans) }
 
-// Clusters returns the number of clusters formed so far.
-func (e *Engine) Clusters() int { return len(e.members) }
+// Clusters returns the number of clusters formed so far, over all
+// shards.
+func (e *Engine) Clusters() int {
+	n := 0
+	for _, l := range e.lanes {
+		n += len(l.members)
+	}
+	return n
+}
 
 // Add streams one chunk of sequencer output into the engine. Stage A —
-// the per-read primer filter, arena packing, and packed-span MinHash
-// signatures — fans across the workers; stage B assigns kept reads to
-// clusters serially, in input order, replicating cluster.Group's greedy
-// assignment decision for decision.
+// the per-read primer filter, arena packing, packed-span MinHash
+// signatures, and provisional address parse — fans across the workers;
+// stage B assigns kept reads to clusters shard by shard, each shard
+// consuming its reads in input order, replicating cluster.Group's
+// greedy assignment decision for decision within the shard.
 func (e *Engine) Add(batch []dna.Seq) {
 	n := len(batch)
 	if n == 0 {
@@ -170,22 +419,25 @@ func (e *Engine) Add(batch []dna.Seq) {
 	e.sigs = growUints(e.sigs, n*h)
 	e.offs = growInts(e.offs, n)
 	e.addrs = growAddrs(e.addrs, n)
-	keep, sigs, offs, addrs := e.keepf[:n], e.sigs[:n*h], e.offs[:n], e.addrs[:n]
+	e.laneOf = growInts(e.laneOf, n)
+	e.riOf = growInts(e.riOf, n)
+	e.curBatch, e.curN = batch, n
+	tA := time.Now()
 	// Stage A1: the primer filter dominates per-read cost (two
 	// approximate alignments), so it fans out first.
-	parallel.Run(e.workers, n, func(i int) error {
-		keep[i] = e.pipe.Keep(batch[i])
-		return nil
-	})
+	parallel.Run(e.workers, n, e.fnA1)
 	// Reserve arena spans serially, in input order.
 	total := len(e.arena)
 	for i := 0; i < n; i++ {
-		if !keep[i] {
-			offs[i] = -1
+		if !e.keepf[i] {
+			e.offs[i] = -1
 			continue
 		}
-		offs[i] = total
+		e.offs[i] = total
 		total += (len(batch[i]) + 3) / 4
+		e.riOf[i] = len(e.spans)
+		e.spans = append(e.spans, span{off: e.offs[i], n: len(batch[i])})
+		e.bases += len(batch[i])
 	}
 	if total > cap(e.arena) {
 		next := 2 * cap(e.arena)
@@ -198,46 +450,47 @@ func (e *Engine) Add(batch []dna.Seq) {
 	}
 	e.arena = e.arena[:total]
 	// Stage A2: pack each kept read into its span, sign the span, and
-	// parse the read's own provisional address for coverage credit.
-	parallel.Run(e.workers, n, func(i int) error {
-		if offs[i] < 0 {
-			return nil
-		}
-		read := batch[i]
-		nb := (len(read) + 3) / 4
-		buf := dna.AppendPackedBytes(e.arena[offs[i]:offs[i]:offs[i]+nb], read)
-		e.signer.IntoPacked(dna.PackedView(buf, len(read)), sigs[i*h:(i+1)*h])
-		b, v, in, ok := e.pipe.ProvisionalAddress(read)
-		addrs[i] = slotAddr{block: b, version: v, intra: in, ok: ok}
-		return nil
-	})
-	// Stage B: serial greedy assignment and coverage accounting.
+	// parse the read's own provisional address for coverage credit and
+	// shard routing.
+	parallel.Run(e.workers, n, e.fnA2)
+	// Route each kept read to its shard (serial: appends riLane in
+	// input order).
+	residue := e.shards // one past the address shards
 	for i := 0; i < n; i++ {
-		if offs[i] < 0 {
+		if e.offs[i] < 0 {
+			e.laneOf[i] = -1
 			continue
 		}
-		e.assign(batch[i], offs[i], sigs[i*h:(i+1)*h])
-		if a := addrs[i]; a.ok {
-			e.bump(a)
+		li := 0
+		if e.shards > 1 {
+			if e.addrs[i].ok {
+				li = e.laneFor(e.addrs[i].block)
+			} else {
+				li = residue
+				e.stats.Residue++
+			}
+		}
+		e.laneOf[i] = li
+		e.riLane = append(e.riLane, uint16(li))
+	}
+	e.stats.Kept = len(e.spans)
+	e.stats.StageASeconds += time.Since(tA).Seconds()
+	// Stage B: greedy assignment, one worker per shard, each walking
+	// the chunk in input order. Lanes write only their own state; the
+	// batch, signatures, and routing tables are read-only here.
+	tB := time.Now()
+	parallel.Run(e.workers, len(e.lanes), e.fnB)
+	// Coverage accounting, serial.
+	for i := 0; i < n; i++ {
+		if e.offs[i] >= 0 && e.addrs[i].ok {
+			e.bump(e.addrs[i])
 		}
 	}
-}
-
-// assign joins the read to the first indexed cluster whose
-// representative is within the cluster distance, or founds a new
-// cluster — the exact decision procedure of cluster.Group.
-func (e *Engine) assign(read dna.Seq, off int, sigs []uint64) {
-	ri := len(e.spans)
-	e.spans = append(e.spans, span{off: off, n: len(read)})
-	e.bases += len(read)
-	e.probeRead = read
-	if joined := e.index.Scan(sigs, e.probeFn); joined >= 0 {
-		e.members[joined] = append(e.members[joined], ri)
-		return
+	e.stats.StageBSeconds += time.Since(tB).Seconds()
+	e.curBatch = nil
+	if e.pool != nil {
+		e.maybeSubmit()
 	}
-	e.index.Add(sigs)
-	e.members = append(e.members, []int{ri})
-	e.reps = append(e.reps, dna.CompilePattern(read))
 }
 
 // bump credits one read to its own provisionally parsed slot. Counts
@@ -303,58 +556,273 @@ func (e *Engine) AllDone() bool {
 	return true
 }
 
+// CoverageEstimate reports the mean per-slot read coverage across the
+// block's expected slots — the engine's live coverage state, which
+// health probes read in place of re-deriving coverage from a scaled
+// batch read. false when the block was never registered via Expect.
+func (e *Engine) CoverageEstimate(block int) (float64, bool) {
+	versions := e.expected[block]
+	if len(versions) == 0 {
+		return 0, false
+	}
+	total, slots := 0, 0
+	for _, v := range versions {
+		for intra := 0; intra < e.mol; intra++ {
+			total += e.cov[slotKey{block, v, intra}]
+			slots++
+		}
+	}
+	return float64(total) / float64(slots), true
+}
+
 // Reopen escalates a block after a failed finalize: its coverage floor
 // doubles and its Done verdict is cleared, so sequencing (and gating)
 // resumes for its strands until the raised floor — or the caller's read
 // budget — is hit. The floor proved too shallow once, so the next stop
 // demands twice the evidence; repeated failures degrade exponentially
-// fast into the full-budget batch behavior.
+// fast into the full-budget batch behavior. An in-flight background
+// finalize of the block's shard is invalidated for this block — its
+// result is abandoned, and the shard resubmits when the raised floor
+// fills.
 func (e *Engine) Reopen(block int) {
 	e.reopened[block]++
 	delete(e.done, block)
 }
 
-// materialize unpacks the arena into the kept-read slice and orders the
-// clusters by descending size — stable, so ties keep creation order —
-// reproducing cluster.Group's output contract over the accumulated
-// state.
+// maybeSubmit hands every shard whose targets have all just met their
+// floors to the finalize pool. Shards are visited in index order and
+// jobs snapshot deterministic points of the read stream, so the
+// submission sequence is identical at any worker count.
+func (e *Engine) maybeSubmit() {
+	for li := 0; li < e.shards; li++ {
+		ts := e.laneTargets[li]
+		if len(ts) == 0 {
+			continue
+		}
+		ready := true
+		for _, b := range ts {
+			if !e.Done(b) {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		if j := e.jobs[li]; j != nil && j.fresh(e.reopened, ts) {
+			continue // already submitted for this escalation state
+		}
+		e.submitLane(li, ts)
+	}
+}
+
+// submitLane cuts a snapshot of one shard's clusters (plus the residue
+// shard's) and decodes it on the background pool.
+func (e *Engine) submitLane(li int, targets []int) {
+	if old := e.jobs[li]; old != nil && !old.consumed {
+		e.stats.FinalizeDiscarded++
+	}
+	t0 := time.Now()
+	kept, clusters := e.materializeLanes(e.laneSet(li), true)
+	e.stats.HandoffSeconds += time.Since(t0).Seconds()
+	j := &laneJob{done: make(chan struct{}), gens: make(map[int]int, len(targets))}
+	for _, b := range targets {
+		j.gens[b] = e.reopened[b]
+	}
+	e.jobs[li] = j
+	e.stats.FinalizeJobs++
+	pipe := e.pipe
+	e.pool.Go(func() {
+		t := time.Now()
+		j.results, j.err = pipe.DecodeClusters(kept, clusters, -1)
+		j.secs = time.Since(t).Seconds()
+		close(j.done)
+	})
+}
+
+// consumeJob serves a finalize from the block's shard job when one is
+// in flight (or done) and still fresh for this block's escalation
+// round.
+func (e *Engine) consumeJob(block int) (*decode.BlockResult, error, bool) {
+	if e.pool == nil {
+		return nil, nil, false
+	}
+	j := e.jobs[e.laneFor(block)]
+	if j == nil {
+		return nil, nil, false
+	}
+	if gen, ok := j.gens[block]; !ok || gen != e.reopened[block] {
+		return nil, nil, false
+	}
+	t0 := time.Now()
+	<-j.done
+	e.stats.FinalizeWaitSeconds += time.Since(t0).Seconds()
+	if !j.counted {
+		e.stats.FinalizeSeconds += j.secs
+		j.counted = true
+	}
+	j.consumed = true
+	res, err := decode.FinishBlock(j.results, j.err, block)
+	return res, err, true
+}
+
+// laneSet lists the shards participating in one shard's finalize: the
+// shard itself plus, when sharding is on, the residue shard — an
+// unparseable read may still carry a usable payload for any block.
+func (e *Engine) laneSet(li int) []int {
+	if e.shards <= 1 {
+		return []int{0}
+	}
+	return []int{li, e.shards}
+}
+
+// materialize unpacks the arena into the kept-read slice and merges
+// every shard's clusters ordered by descending size — stable, ties in
+// founding order — reproducing cluster.Group's output contract over
+// the accumulated state (bit-identical at one shard).
 func (e *Engine) materialize() ([]dna.Seq, [][]int) {
-	kept := make([]dna.Seq, len(e.spans))
-	slab := make(dna.Seq, 0, e.bases)
+	set := make([]int, len(e.lanes))
+	for i := range set {
+		set[i] = i
+	}
+	return e.materializeLanes(set, false)
+}
+
+// materializeLanes unpacks the kept reads of the given shards into a
+// fresh slab and returns their clusters — reindexed against the
+// returned read slice, founding-order merged across shards, stable-
+// sorted by descending size. copy forces private member lists (job
+// snapshots must not alias lanes that keep growing).
+func (e *Engine) materializeLanes(set []int, copyMembers bool) ([]dna.Seq, [][]int) {
+	all := len(set) == len(e.lanes)
+	if cap(e.laneMask) < len(e.lanes) {
+		e.laneMask = make([]bool, len(e.lanes))
+	}
+	mask := e.laneMask[:len(e.lanes)]
+	for i := range mask {
+		mask[i] = false
+	}
+	for _, li := range set {
+		mask[li] = true
+	}
+	var local []int32
+	n, bases := len(e.spans), e.bases
+	if !all {
+		if cap(e.localIdx) < len(e.spans) {
+			e.localIdx = make([]int32, len(e.spans))
+		}
+		local = e.localIdx[:len(e.spans)]
+		n, bases = 0, 0
+		for i, s := range e.spans {
+			if mask[e.riLane[i]] {
+				local[i] = int32(n)
+				n++
+				bases += s.n
+			}
+		}
+	}
+	kept := make([]dna.Seq, n)
+	slab := make(dna.Seq, 0, bases)
+	k := 0
 	for i, s := range e.spans {
+		if !all && !mask[e.riLane[i]] {
+			continue
+		}
 		view := dna.PackedView(e.arena[s.off:s.off+(s.n+3)/4], s.n)
 		start := len(slab)
 		slab = view.AppendRange(slab, 0, s.n)
-		kept[i] = slab[start:len(slab):len(slab)]
+		kept[k] = slab[start:len(slab):len(slab)]
+		k++
 	}
-	order := make([]int, len(e.members))
-	for i := range order {
-		order[i] = i
+	type cref struct {
+		founder int
+		members []int
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		return len(e.members[order[i]]) > len(e.members[order[j]])
-	})
-	clusters := make([][]int, len(order))
-	for i, ci := range order {
-		clusters[i] = e.members[ci]
+	total := 0
+	for _, li := range set {
+		total += len(e.lanes[li].members)
+	}
+	refs := make([]cref, 0, total)
+	for _, li := range set {
+		l := e.lanes[li]
+		for ci := range l.members {
+			refs = append(refs, cref{l.founders[ci], l.members[ci]})
+		}
+	}
+	// Founding order first (founder indices are unique), then a stable
+	// size sort: at one shard this is exactly cluster.Group's ordering,
+	// and across shards it is the canonical deterministic merge.
+	sort.Slice(refs, func(i, j int) bool { return refs[i].founder < refs[j].founder })
+	sort.SliceStable(refs, func(i, j int) bool { return len(refs[i].members) > len(refs[j].members) })
+	clusters := make([][]int, len(refs))
+	for i, ref := range refs {
+		switch {
+		case all && !copyMembers:
+			clusters[i] = ref.members
+		case all:
+			clusters[i] = append([]int(nil), ref.members...)
+		default:
+			m := make([]int, len(ref.members))
+			for k, ri := range ref.members {
+				m[k] = int(local[ri])
+			}
+			clusters[i] = m
+		}
 	}
 	return kept, clusters
 }
 
 // FinalizeBlock runs the back half of the decode pipeline — trace
 // reconstruction, RS decoding, candidate recursion — over the
-// accumulated clusters for one target block. The engine remains usable
-// afterwards: escalation adds more reads and finalizes again.
+// accumulated clusters of the block's shard (and the residue shard),
+// consuming the shard's background job when a fresh one exists. The
+// engine remains usable afterwards: escalation adds more reads and
+// finalizes again.
 func (e *Engine) FinalizeBlock(block int) (*decode.BlockResult, error) {
-	kept, clusters := e.materialize()
+	if res, err, ok := e.consumeJob(block); ok {
+		return res, err
+	}
+	t0 := time.Now()
+	kept, clusters := e.materializeLanes(e.laneSet(e.laneFor(block)), false)
 	results, err := e.pipe.DecodeClusters(kept, clusters, block)
+	d := time.Since(t0).Seconds()
+	e.stats.FinalizeSeconds += d
+	e.stats.FinalizeWaitSeconds += d
 	return decode.FinishBlock(results, err, block)
 }
 
-// Finalize decodes every block visible in the accumulated clusters.
+// Finalize drains the engine. With targets registered it finalizes
+// them in ascending block order — consuming background jobs where
+// fresh ones exist — and aggregates deterministically: the result map
+// holds every target that produced a decode, and the returned error is
+// non-nil only when no target did (the first failure, by block order).
+// Without targets (the software-only entry point) it decodes every
+// block visible in the accumulated clusters in one batch pass.
 func (e *Engine) Finalize() (map[int]*decode.BlockResult, error) {
-	kept, clusters := e.materialize()
-	return e.pipe.DecodeClusters(kept, clusters, -1)
+	if len(e.targets) == 0 {
+		t0 := time.Now()
+		kept, clusters := e.materialize()
+		results, err := e.pipe.DecodeClusters(kept, clusters, -1)
+		d := time.Since(t0).Seconds()
+		e.stats.FinalizeSeconds += d
+		e.stats.FinalizeWaitSeconds += d
+		return results, err
+	}
+	out := make(map[int]*decode.BlockResult, len(e.targets))
+	var firstErr error
+	for _, b := range e.targets {
+		res, err := e.FinalizeBlock(b)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if res != nil {
+			out[b] = res
+		}
+	}
+	if len(out) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 func growBools(s []bool, n int) []bool {

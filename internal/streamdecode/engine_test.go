@@ -3,6 +3,7 @@ package streamdecode
 import (
 	"reflect"
 	"runtime"
+	"sort"
 	"testing"
 
 	"dnastore/internal/channel"
@@ -12,6 +13,7 @@ import (
 	"dnastore/internal/dna"
 	"dnastore/internal/indextree"
 	"dnastore/internal/layout"
+	"dnastore/internal/parallel"
 	"dnastore/internal/rng"
 )
 
@@ -260,10 +262,158 @@ func TestEngineCoverageFloor(t *testing.T) {
 	}
 }
 
+// TestEngineShardedMatchesBatch pins the sharding invariant: each
+// shard's clusters equal cluster.Group run over exactly the reads
+// routed to that shard (kept order preserved), and a targeted Finalize
+// decodes content identical to the batch per-block decode, at every
+// shard count.
+func TestEngineShardedMatchesBatch(t *testing.T) {
+	enc := newEncoder(t)
+	pipe := newPipeline(t, enc)
+	reads := poolReads(t, enc, rng.New(11), channel.Illumina(), true)
+	blocks := []int{2, 17, 40}
+	wantBlk := make(map[int]*decode.BlockResult)
+	for _, b := range blocks {
+		res, err := pipe.DecodeBlock(reads, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBlk[b] = res
+	}
+	for _, shards := range []int{1, 4, runtime.GOMAXPROCS(0) + 1} {
+		eng, err := NewSharded(pipe, 0, 4, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			eng.Expect(b, []int{0})
+		}
+		feed(eng, reads, 97)
+		// Re-derive each shard's read subsequence the way stage A routes
+		// it and check the shard's clusters against the batch clusterer
+		// run over just that subsequence.
+		laneReads := make([][]dna.Seq, len(eng.lanes))
+		local := make([]int, eng.Kept())
+		ri := 0
+		for _, rd := range reads {
+			if !pipe.Keep(rd) {
+				continue
+			}
+			li := 0
+			if shards > 1 {
+				if b, _, _, ok := pipe.ProvisionalAddress(rd); ok {
+					li = cluster.ShardOf(b, shards)
+				} else {
+					li = shards
+				}
+			}
+			if int(eng.riLane[ri]) != li {
+				t.Fatalf("shards=%d: read %d routed to lane %d, want %d", shards, ri, eng.riLane[ri], li)
+			}
+			local[ri] = len(laneReads[li])
+			laneReads[li] = append(laneReads[li], rd)
+			ri++
+		}
+		for li, l := range eng.lanes {
+			want, err := cluster.Group(laneReads[li], pipe.Config().Cluster)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got [][]int
+			for _, ms := range l.members {
+				c := make([]int, len(ms))
+				for k, gi := range ms {
+					c[k] = local[gi]
+				}
+				got = append(got, c)
+			}
+			sort.SliceStable(got, func(i, j int) bool { return len(got[i]) > len(got[j]) })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d: lane %d clusters diverge from batch clusterer", shards, li)
+			}
+		}
+		if res := eng.Stats().Residue; shards > 1 && res == 0 {
+			t.Fatalf("shards=%d: decayed pool produced no residue reads", shards)
+		}
+		all, err := eng.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			got, ok := all[b]
+			if !ok {
+				t.Fatalf("shards=%d: block %d missing from drain", shards, b)
+			}
+			if !reflect.DeepEqual(got.Versions, wantBlk[b].Versions) {
+				t.Fatalf("shards=%d: block %d content diverges from batch", shards, b)
+			}
+		}
+	}
+}
+
+// TestEngineOverlapReopen exercises the background finalize pool: jobs
+// are submitted as shards meet their floors, a mid-flight Reopen
+// invalidates the stale job (it is discarded, never consumed), and the
+// drain still matches the batch decode.
+func TestEngineOverlapReopen(t *testing.T) {
+	enc := newEncoder(t)
+	pipe := newPipeline(t, enc)
+	reads := poolReads(t, enc, rng.New(11), channel.Illumina(), false)
+	blocks := []int{2, 17, 40}
+	eng, err := NewSharded(pipe, 0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Overlap(parallel.NewPool(4))
+	defer eng.Close()
+	for _, b := range blocks {
+		eng.Expect(b, []int{0})
+	}
+	feed(eng, reads, 97)
+	if !eng.AllDone() {
+		t.Fatal("eight noisy copies per strand did not satisfy the floor")
+	}
+	if jobs := eng.Stats().FinalizeJobs; jobs < 3 {
+		t.Fatalf("%d finalize jobs for 3 targets on distinct shards", jobs)
+	}
+	// Escalate block 17 while its shard's job is in flight (or done):
+	// the job must not serve block 17 anymore, and once the doubled
+	// floor fills, the shard resubmits, discarding the stale job.
+	eng.Reopen(17)
+	if eng.Done(17) {
+		t.Fatal("reopened block reported done")
+	}
+	feed(eng, reads, 97) // same pool again: doubles every slot's coverage
+	if !eng.Done(17) {
+		t.Fatal("doubled floor not met by a second pass of the pool")
+	}
+	st := eng.Stats()
+	if st.FinalizeDiscarded < 1 {
+		t.Fatalf("stale job not discarded (discarded=%d)", st.FinalizeDiscarded)
+	}
+	all, err := eng.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlk, err := pipe.DecodeBlock(reads, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(all[17].Versions, wantBlk.Versions) {
+		t.Fatal("post-escalation content diverges from batch")
+	}
+	if eng.Stats().FinalizeSeconds <= 0 {
+		t.Fatal("finalize compute unaccounted")
+	}
+}
+
 // TestEngineAssignAllocs pins the per-read assignment hot path — probe
 // scan plus cluster join — as allocation-free once the engine's slices
 // have grown.
 func TestEngineAssignAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; pin is meaningless")
+	}
 	enc := newEncoder(t)
 	pipe := newPipeline(t, enc)
 	r := rng.New(6)
@@ -283,24 +433,21 @@ func TestEngineAssignAllocs(t *testing.T) {
 	h := eng.signer.NumHashes
 	sigs := make([]uint64, h)
 	eng.signer.Into(join, sigs)
-	off := len(eng.arena)
-	eng.arena = dna.AppendPackedBytes(eng.arena, join)
-	spans, bases := len(eng.spans), eng.bases
-	snapshot := make([]int, len(eng.members))
-	for i := range eng.members {
-		snapshot[i] = len(eng.members[i])
+	l := eng.lanes[0]
+	snapshot := make([]int, len(l.members))
+	for i := range l.members {
+		snapshot[i] = len(l.members[i])
 	}
 	restore := func() {
-		eng.spans = eng.spans[:spans]
-		eng.bases = bases
 		for i := range snapshot {
-			eng.members[i] = eng.members[i][:snapshot[i]]
+			l.members[i] = l.members[i][:snapshot[i]]
 		}
 	}
-	eng.assign(join, off, sigs) // grow append capacity once
+	ri := len(eng.spans)
+	l.assign(join, ri, sigs) // grow append capacity once
 	restore()
 	avg := testing.AllocsPerRun(100, func() {
-		eng.assign(join, off, sigs)
+		l.assign(join, ri, sigs)
 		restore()
 	})
 	if avg != 0 {
@@ -308,5 +455,61 @@ func TestEngineAssignAllocs(t *testing.T) {
 	}
 	if eng.Clusters() < len(strands) {
 		t.Fatalf("%d clusters for %d strands", eng.Clusters(), len(strands))
+	}
+}
+
+// TestEngineAddAllocs pins the whole warm streaming path — stage A
+// filter/pack/sign/parse, shard routing, assignment, coverage, and the
+// finalize-submission gate with a pool attached — as allocation-free
+// per read once capacities have grown.
+func TestEngineAddAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; pin is meaningless")
+	}
+	enc := newEncoder(t)
+	pipe := newPipeline(t, enc)
+	r := rng.New(6)
+	strands := enc.encodeUnit(t, 17, 0, unitData(r, enc.unit.DataBytes()))
+	eng, err := NewSharded(pipe, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Overlap(parallel.NewPool(1))
+	defer eng.Close()
+	// The target's floor is never met (only strand 0's slot fills), so
+	// the submission gate runs on every Add without ever firing.
+	eng.Expect(17, []int{0})
+	var warm []dna.Seq
+	for _, s := range strands {
+		for c := 0; c < 8; c++ {
+			warm = append(warm, channel.Corrupt(r, s, channel.Illumina()))
+		}
+	}
+	eng.Add(warm)
+	join := strands[0].Clone()
+	batch := []dna.Seq{join}
+	l := eng.lanes[cluster.ShardOf(17, 4)]
+	snapshot := make([]int, len(l.members))
+	for i := range l.members {
+		snapshot[i] = len(l.members[i])
+	}
+	spans, bases, arenaLen, riLen := len(eng.spans), eng.bases, len(eng.arena), len(eng.riLane)
+	restore := func() {
+		eng.spans = eng.spans[:spans]
+		eng.bases = bases
+		eng.arena = eng.arena[:arenaLen]
+		eng.riLane = eng.riLane[:riLen]
+		for i := range snapshot {
+			l.members[i] = l.members[i][:snapshot[i]]
+		}
+	}
+	eng.Add(batch) // grow append capacity once
+	restore()
+	avg := testing.AllocsPerRun(100, func() {
+		eng.Add(batch)
+		restore()
+	})
+	if avg != 0 {
+		t.Errorf("warm Add allocates %.1f per read, want 0", avg)
 	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package streamdecode
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package streamdecode
+
+// raceEnabled reports whether the race detector is active; the
+// allocation pins skip under it because instrumentation allocates.
+const raceEnabled = true
